@@ -1,0 +1,256 @@
+package ddt
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (§5). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark prints the regenerated artifact once (via b.Logf on the
+// first iteration) and reports the usual Go timing/allocation metrics, so
+// the same run yields both the reproduction data and its cost.
+
+import (
+	"testing"
+
+	"repro/internal/baseline/sdv"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/experiments"
+	"repro/internal/vm"
+)
+
+// BenchmarkTable1Characteristics regenerates Table 1: the static
+// characterization (binary size, code size, function count, kernel imports)
+// of the six evaluation drivers, recovered from the closed binaries alone.
+func BenchmarkTable1Characteristics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		infos, err := experiments.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", experiments.FormatTable1(infos))
+		}
+	}
+}
+
+// BenchmarkTable2BugDiscovery regenerates Table 2: one full DDT run per
+// driver, asserting the found bug classes match the paper's 14 bugs.
+func BenchmarkTable2BugDiscovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		total := 0
+		for _, r := range rows {
+			if !r.Matches() {
+				b.Fatalf("%s: classes do not match Table 2", r.Driver)
+			}
+			total += len(r.Report.Bugs)
+		}
+		if total != 14 {
+			b.Fatalf("found %d bugs, want 14", total)
+		}
+		if i == 0 {
+			b.Logf("\n%s", experiments.FormatTable2(rows))
+		}
+	}
+}
+
+// BenchmarkFigure2RelativeCoverage regenerates Figure 2: relative
+// basic-block coverage versus (simulated) time for the representative
+// drivers, rising into the 60–90%% band with the per-entry-point step
+// pattern the paper describes.
+func BenchmarkFigure2RelativeCoverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs, err := experiments.Coverage()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range runs {
+			if r.Relative < 0.6 || r.Relative > 0.95 {
+				b.Fatalf("%s: relative coverage %.0f%% outside the paper's band", r.Driver, 100*r.Relative)
+			}
+		}
+		if i == 0 {
+			b.Logf("\n%s", experiments.FormatCoverage(runs, true))
+		}
+	}
+}
+
+// BenchmarkFigure3AbsoluteCoverage regenerates Figure 3: absolute covered
+// basic blocks versus time for the same runs.
+func BenchmarkFigure3AbsoluteCoverage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs, err := experiments.Coverage()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", experiments.FormatCoverage(runs, false))
+		}
+	}
+}
+
+// BenchmarkDriverVerifierBaseline regenerates the §5.1 Driver Verifier
+// comparison: concrete stress testing with the same in-guest checks finds
+// none of the 14 bugs.
+func BenchmarkDriverVerifierBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.DriverVerifier()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res {
+			if r.BugsSeen != 0 {
+				b.Fatalf("%s: Driver Verifier found %d bugs, paper says 0", r.Driver, r.BugsSeen)
+			}
+		}
+		if i == 0 {
+			b.Logf("Driver Verifier found 0 of the 14 Table 2 bugs (paper: 0)")
+		}
+	}
+}
+
+// BenchmarkSDVSampleBugs regenerates the §5.1 SDV head-to-head on the
+// DDK-style sample driver: both tools find the 8 seeded bugs.
+func BenchmarkSDVSampleBugs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cmp, err := experiments.RunSDVComparison()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cmp.SampleSDVFindings != 8 || cmp.SampleDDTBugs != 8 {
+			b.Fatalf("sample bugs: SDV %d / DDT %d, want 8 / 8", cmp.SampleSDVFindings, cmp.SampleDDTBugs)
+		}
+		if i == 0 {
+			b.Logf("\n%s", cmp.Format())
+		}
+	}
+}
+
+// BenchmarkSDVSyntheticBugs regenerates the §5.1 synthetic-bug comparison:
+// SDV finds 2 of 5 plus one false positive; DDT finds all 5 with none.
+func BenchmarkSDVSyntheticBugs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cmp, err := experiments.RunSDVComparison()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if cmp.SynSDVReal != 2 || cmp.SynSDVFalse != 1 {
+			b.Fatalf("SDV on synthetics: %d real + %d FP, want 2 + 1", cmp.SynSDVReal, cmp.SynSDVFalse)
+		}
+		if cmp.SynDDTBugs != 5 || cmp.SynDDTFalse != 0 {
+			b.Fatalf("DDT on synthetics: %d real + %d FP, want 5 + 0", cmp.SynDDTBugs, cmp.SynDDTFalse)
+		}
+	}
+}
+
+// BenchmarkAnnotationAblation regenerates the §5.1 annotation experiment:
+// with annotations off, races survive, leaks and segfaults are lost.
+func BenchmarkAnnotationAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Ablation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.NoAnnot["resource leak"] != 0 || r.NoAnnot["segmentation fault"] != 0 {
+				b.Fatalf("%s: leak/segfault found without annotations", r.Driver)
+			}
+		}
+		if i == 0 {
+			b.Logf("\n%s", experiments.FormatAblation(rows))
+		}
+	}
+}
+
+// BenchmarkStateForkMemory measures the chained copy-on-write state
+// representation (§4.1.3, §5.2's memory ceiling): deep fork chains share
+// pages, so per-state cost stays far below a full snapshot.
+func BenchmarkStateForkMemory(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mem := vm.NewMemory()
+		mem.WriteBytes(0x100000, make([]byte, 64<<10)) // 64 KiB image
+		cur := mem
+		for d := 0; d < 64; d++ {
+			cur = cur.Fork()
+			// Each state dirties one page — the typical per-path write set.
+			cur.WriteBytes(0x200000+uint32(d)*vm.PageSize, []byte{1, 2, 3, 4})
+		}
+		if cur.Depth() != 64 {
+			b.Fatal("bad depth")
+		}
+	}
+}
+
+// BenchmarkSchedulerHeuristics compares the coverage-guided heuristic
+// against FIFO/LIFO exploration on the RTL8029 (§4.3's pluggable
+// heuristics).
+func BenchmarkSchedulerHeuristics(b *testing.B) {
+	img, err := corpus.Build("rtl8029", corpus.Buggy)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		eng := core.NewEngine(img, core.DefaultOptions())
+		rep, err := eng.TestDriver()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Bugs) != 5 {
+			b.Fatalf("bugs = %d", len(rep.Bugs))
+		}
+	}
+}
+
+// BenchmarkSDVAnalysisOnly measures the static analyzer alone.
+func BenchmarkSDVAnalysisOnly(b *testing.B) {
+	img, err := corpus.Build("ddk-sample", corpus.Buggy)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := sdv.Analyze(img)
+		if len(rep.Findings) != 8 {
+			b.Fatal("findings changed")
+		}
+	}
+}
+
+// BenchmarkFullRunRTL8029 is the end-to-end cost of one complete DDT
+// session on the smallest driver ("a few minutes" of paper time; here
+// deterministic simulated time).
+func BenchmarkFullRunRTL8029(b *testing.B) {
+	img, err := corpus.Build("rtl8029", corpus.Buggy)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := core.NewEngine(img, core.DefaultOptions())
+		if _, err := eng.TestDriver(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullRunPro1000 is the same for the largest driver.
+func BenchmarkFullRunPro1000(b *testing.B) {
+	img, err := corpus.Build("intel-pro1000", corpus.Buggy)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := core.NewEngine(img, core.DefaultOptions())
+		if _, err := eng.TestDriver(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Command ddt tests a closed-source d32 driver binary (.dxe) for undesired
+// behaviours — the paper's "Test Now button" (§1). It prints the bug report
+// and optionally writes an executable trace per bug.
+//
+// Usage:
+//
+//	ddt [flags] driver.dxe
+//	ddt [flags] -corpus rtl8029
+//
+// Flags:
+//
+//	-corpus name     test an in-tree evaluation driver instead of a file
+//	-fixed           use the corrected corpus variant
+//	-no-annotations  disable the NDIS/WDM interface annotations (§5.1 ablation)
+//	-no-interrupts   disable symbolic interrupt injection
+//	-traces dir      write one executable .ddtrace file per bug into dir
+//	-v               also print per-bug solved inputs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro"
+)
+
+func main() {
+	corpusName := flag.String("corpus", "", "test an in-tree evaluation driver (see -list)")
+	list := flag.Bool("list", false, "list the in-tree evaluation drivers and exit")
+	fixed := flag.Bool("fixed", false, "use the corrected corpus variant")
+	noAnnot := flag.Bool("no-annotations", false, "disable interface annotations")
+	noIntr := flag.Bool("no-interrupts", false, "disable symbolic interrupts")
+	traceDir := flag.String("traces", "", "directory to write executable traces into")
+	verbose := flag.Bool("v", false, "print solved inputs per bug")
+	flag.Parse()
+
+	if *list {
+		for _, n := range ddt.CorpusNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	img, err := loadImage(*corpusName, *fixed, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := ddt.DefaultConfig()
+	cfg.Annotations = !*noAnnot
+	cfg.SymbolicInterrupts = !*noIntr
+
+	sess := ddt.NewSession(img, cfg)
+	rep, err := sess.Run()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep)
+
+	for i, b := range rep.Bugs {
+		if *verbose {
+			fmt.Printf("\nbug %d inputs:\n%s", i+1, b.Inputs())
+		}
+		if *traceDir != "" {
+			tr := sess.TraceBug(b)
+			path := filepath.Join(*traceDir, fmt.Sprintf("%s-bug%02d.ddtrace", img.Name, i+1))
+			if err := tr.Save(path); err != nil {
+				fatal(fmt.Errorf("writing trace: %w", err))
+			}
+			fmt.Printf("trace for bug %d written to %s\n", i+1, path)
+		}
+	}
+	if len(rep.Bugs) > 0 {
+		os.Exit(1)
+	}
+}
+
+func loadImage(corpusName string, fixed bool, args []string) (*ddt.Image, error) {
+	if corpusName != "" {
+		return ddt.CorpusDriver(corpusName, fixed)
+	}
+	if len(args) != 1 {
+		return nil, fmt.Errorf("usage: ddt [flags] driver.dxe (or -corpus name; -list to enumerate)")
+	}
+	b, err := os.ReadFile(args[0])
+	if err != nil {
+		return nil, err
+	}
+	return ddt.LoadDriver(b)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ddt:", err)
+	os.Exit(2)
+}

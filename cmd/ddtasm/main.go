@@ -1,0 +1,92 @@
+// Command ddtasm assembles d32 driver source into a closed DXE binary —
+// the stand-in for the vendor's build toolchain. It can also disassemble
+// and characterize existing binaries.
+//
+// Usage:
+//
+//	ddtasm -o driver.dxe driver.s     assemble
+//	ddtasm -d driver.dxe              disassemble
+//	ddtasm -info driver.dxe           print the Table 1 characterization
+//	ddtasm -corpus rtl8029 -o out.dxe emit an evaluation driver binary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/asm"
+	"repro/internal/binimg"
+)
+
+func main() {
+	out := flag.String("o", "", "output .dxe path")
+	dis := flag.Bool("d", false, "disassemble instead of assembling")
+	info := flag.Bool("info", false, "print static characterization")
+	corpusName := flag.String("corpus", "", "emit an in-tree evaluation driver")
+	fixed := flag.Bool("fixed", false, "use the corrected corpus variant")
+	flag.Parse()
+
+	switch {
+	case *corpusName != "":
+		img, err := ddt.CorpusDriver(*corpusName, *fixed)
+		if err != nil {
+			fatal(err)
+		}
+		emit(img, *out, *dis, *info)
+	case *dis || *info:
+		if flag.NArg() != 1 {
+			fatal(fmt.Errorf("need a .dxe file"))
+		}
+		b, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		img, err := binimg.Parse(b)
+		if err != nil {
+			fatal(err)
+		}
+		emit(img, "", *dis, *info)
+	default:
+		if flag.NArg() != 1 || *out == "" {
+			fatal(fmt.Errorf("usage: ddtasm -o driver.dxe driver.s"))
+		}
+		src, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		img, err := asm.Assemble(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		emit(img, *out, false, true)
+	}
+}
+
+func emit(img *binimg.Image, out string, dis, info bool) {
+	if out != "" {
+		if err := os.WriteFile(out, img.Marshal(), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", out, len(img.Marshal()))
+	}
+	if dis {
+		fmt.Print(binimg.Disassemble(img))
+	}
+	if info {
+		i := binimg.Analyze(img)
+		fmt.Printf("driver        %s\n", i.Name)
+		fmt.Printf("file size     %d bytes\n", i.FileSize)
+		fmt.Printf("code segment  %d bytes (%d instructions)\n", i.CodeSize, i.NumInstructions)
+		fmt.Printf("data+bss      %d bytes\n", i.DataSize)
+		fmt.Printf("functions     %d\n", i.NumFunctions)
+		fmt.Printf("basic blocks  %d\n", i.NumBasicBlocks)
+		fmt.Printf("kernel calls  %d distinct imports\n", i.KernelImports)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ddtasm:", err)
+	os.Exit(2)
+}

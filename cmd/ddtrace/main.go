@@ -1,0 +1,66 @@
+// Command ddtrace inspects and replays executable DDT traces (§3.5): the
+// self-contained evidence files the tester writes per bug.
+//
+// Usage:
+//
+//	ddtrace bug.ddtrace                     print the post-processed summary
+//	ddtrace -replay driver.dxe bug.ddtrace  re-execute and verify the bug
+//	ddtrace -replay-corpus rtl8029 bug.ddtrace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/binimg"
+	"repro/internal/trace"
+)
+
+func main() {
+	replayImg := flag.String("replay", "", "driver .dxe to replay the trace against")
+	replayCorpus := flag.String("replay-corpus", "", "in-tree driver to replay against")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fatal(fmt.Errorf("usage: ddtrace [-replay driver.dxe] bug.ddtrace"))
+	}
+	f, err := trace.Load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(f.Summary())
+
+	var img *ddt.Image
+	switch {
+	case *replayImg != "":
+		b, err := os.ReadFile(*replayImg)
+		if err != nil {
+			fatal(err)
+		}
+		img, err = binimg.Parse(b)
+		if err != nil {
+			fatal(err)
+		}
+	case *replayCorpus != "":
+		img, err = ddt.CorpusDriver(*replayCorpus, false)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		return
+	}
+	res, err := trace.Replay(f, img)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("replay:", res)
+	if !res.Reproduced {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ddtrace:", err)
+	os.Exit(2)
+}

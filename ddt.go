@@ -1,0 +1,202 @@
+// Package ddt is a faithful reimplementation of DDT — "Testing
+// Closed-Source Binary Device Drivers with DDT" (Kuznetsov, Chipounov,
+// Candea; USENIX ATC 2010) — as a Go library.
+//
+// DDT tests closed-source binary device drivers by combining virtualization
+// with selective symbolic execution: the driver binary runs symbolically
+// inside a virtual machine while the (simulated, concrete) OS kernel around
+// it runs natively. Fully symbolic hardware — a fake PCI device whose
+// register reads return fresh symbolic values and whose writes are
+// discarded — plus symbolic interrupts injected at kernel/driver boundary
+// crossings let DDT explore driver behaviours that depend on device output
+// and interrupt timing, with no physical device at all. Modular dynamic
+// checkers flag memory errors, race conditions, deadlocks, resource leaks
+// and kernel API misuse; every reported bug carries an executable trace
+// with solved concrete inputs that replays deterministically to the same
+// failure.
+//
+// Quick start:
+//
+//	img, err := ddt.LoadDriver(dxeBytes)          // a closed d32 binary
+//	report, err := ddt.Test(img, ddt.DefaultConfig())
+//	for _, bug := range report.Bugs {
+//	    fmt.Println(bug.Describe())
+//	    tr := ddt.TraceOf(bug, report)            // executable evidence
+//	    res, _ := ddt.Replay(tr, img)             // re-run to the same BSOD
+//	    fmt.Println(res)
+//	}
+//
+// Drivers are d32 machine-code images (see internal/isa for the ISA and
+// internal/asm for the assembler used to build the evaluation corpus); DDT
+// itself never sees source or symbols.
+package ddt
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/binimg"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/trace"
+)
+
+// Config selects DDT's testing options, mirroring the paper's setup.
+type Config struct {
+	// Annotations enables the stock NDIS/WDM interface annotations (§3.4):
+	// symbolic registry values, forked allocation failures, symbolic entry
+	// arguments. Disabling them is the §5.1 ablation: races and
+	// hardware-dependent bugs are still found, failure-path leaks and
+	// unexpected-argument crashes are not.
+	Annotations bool
+	// SymbolicInterrupts injects interrupts at kernel/driver boundary
+	// crossings (§3.3).
+	SymbolicInterrupts bool
+	// VerifierChecks enables the in-guest Driver Verifier-style checkers
+	// (§3.1.2).
+	VerifierChecks bool
+	// MaxStates, MaxStepsPerPath, MaxPathsPerEntry bound the exploration.
+	MaxStates        int
+	MaxStepsPerPath  uint64
+	MaxPathsPerEntry int
+	// Registry overrides the simulated registry hive.
+	Registry map[string]uint32
+}
+
+// DefaultConfig mirrors the paper's evaluation configuration.
+func DefaultConfig() Config {
+	o := core.DefaultOptions()
+	return Config{
+		Annotations:        o.Annotations,
+		SymbolicInterrupts: o.SymbolicInterrupts,
+		VerifierChecks:     o.VerifierChecks,
+		MaxStates:          o.MaxStates,
+		MaxStepsPerPath:    o.MaxStepsPerPath,
+		MaxPathsPerEntry:   o.MaxPathsPerEntry,
+	}
+}
+
+func (c Config) options() core.Options {
+	o := core.DefaultOptions()
+	o.Annotations = c.Annotations
+	o.SymbolicInterrupts = c.SymbolicInterrupts
+	o.VerifierChecks = c.VerifierChecks
+	if c.MaxStates > 0 {
+		o.MaxStates = c.MaxStates
+	}
+	if c.MaxStepsPerPath > 0 {
+		o.MaxStepsPerPath = c.MaxStepsPerPath
+	}
+	if c.MaxPathsPerEntry > 0 {
+		o.MaxPathsPerEntry = c.MaxPathsPerEntry
+	}
+	o.Registry = c.Registry
+	return o
+}
+
+// Re-exported result types.
+type (
+	// Report is a full DDT run report: bugs, coverage, statistics.
+	Report = core.Report
+	// Bug is one confirmed undesired behaviour with trace and inputs.
+	Bug = core.Bug
+	// Image is a parsed closed-source driver binary.
+	Image = binimg.Image
+	// DriverInfo is the static characterization behind Table 1.
+	DriverInfo = binimg.Info
+	// Trace is an executable, self-contained bug trace (§3.5).
+	Trace = trace.File
+	// ReplayResult reports a trace re-execution.
+	ReplayResult = trace.Result
+)
+
+// LoadDriver parses a DXE driver binary.
+func LoadDriver(b []byte) (*Image, error) { return binimg.Parse(b) }
+
+// Inspect statically characterizes a driver binary (file size, code size,
+// functions, kernel imports — the columns of Table 1).
+func Inspect(img *Image) DriverInfo { return binimg.Analyze(img) }
+
+// Test runs the full DDT workload — load, initialize, data path, query/set,
+// interrupts, DPCs, halt — against the driver image and reports every bug
+// found, each with an executable trace.
+func Test(img *Image, cfg Config) (*Report, error) {
+	eng := core.NewEngine(img, cfg.options())
+	return eng.TestDriver()
+}
+
+// Session is a reusable handle over one engine run, for callers that want
+// traces or custom inspection after Test.
+type Session struct {
+	eng *core.Engine
+	cfg Config
+}
+
+// NewSession prepares (but does not run) a DDT session.
+func NewSession(img *Image, cfg Config) *Session {
+	return &Session{eng: core.NewEngine(img, cfg.options()), cfg: cfg}
+}
+
+// Run executes the workload.
+func (s *Session) Run() (*Report, error) { return s.eng.TestDriver() }
+
+// Engine exposes the underlying engine for advanced use (custom phases,
+// direct state inspection). Most callers won't need it.
+func (s *Session) Engine() *core.Engine { return s.eng }
+
+// TraceBug builds the executable trace for one of this session's bugs.
+func (s *Session) TraceBug(b *Bug) *Trace {
+	return trace.New(b, s.eng.Img.Name, s.cfg.Annotations, s.eng.EffectiveRegistry())
+}
+
+// Replay re-executes a trace against the driver image, verifying the
+// recorded bug fires again.
+func Replay(t *Trace, img *Image) (*ReplayResult, error) { return trace.Replay(t, img) }
+
+// Bug post-mortem types (§3.6): classify whether a bug needs
+// malfunctioning hardware, given the device's documented behaviour.
+type (
+	// DeviceSpec is the datasheet slice used for hardware-dependence
+	// analysis.
+	DeviceSpec = analysis.DeviceSpec
+	// RegisterRange bounds one register's documented values.
+	RegisterRange = analysis.RegisterRange
+	// Verdict is the hardware-dependence conclusion for one bug.
+	Verdict = analysis.Verdict
+	// ExecTree is the reconstructed execution tree over bug traces (§3.5).
+	ExecTree = trace.Tree
+)
+
+// AnalyzeBug decides, from the bug's trace and solved inputs, whether the
+// failure can occur with specification-conforming hardware (§3.6). A nil
+// spec still reports hardware dependence, just not malfunction.
+func AnalyzeBug(b *Bug, spec *DeviceSpec) *Verdict { return analysis.Analyze(b, spec) }
+
+// BuildExecTree merges bug traces into the execution tree of explored
+// paths: shared prefixes appear once; each leaf is one failure (§3.5).
+func BuildExecTree(traces []*Trace) *ExecTree { return trace.BuildTree(traces) }
+
+// CorpusDriver assembles one of the in-tree evaluation drivers (Table 1):
+// "rtl8029", "amd-pcnet", "intel-pro1000", "intel-pro100",
+// "ensoniq-audiopci", "intel-ac97", "ddk-sample", "ddk-sample-synthetic".
+// fixed selects the corrected variant (used to validate the
+// zero-false-positive property).
+func CorpusDriver(name string, fixed bool) (*Image, error) {
+	v := corpus.Buggy
+	if fixed {
+		v = corpus.Fixed
+	}
+	return corpus.Build(name, v)
+}
+
+// CorpusNames lists the in-tree evaluation drivers.
+func CorpusNames() []string { return corpus.Names() }
+
+// ExpectedBugs returns the Table 2 bug classes planted in a corpus driver.
+func ExpectedBugs(name string) ([]string, error) {
+	spec, ok := corpus.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("ddt: unknown corpus driver %q", name)
+	}
+	return append([]string(nil), spec.ExpectedBugs...), nil
+}

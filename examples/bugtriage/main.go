@@ -1,0 +1,49 @@
+// bugtriage: the §3.6 analysis workflow — after DDT reports bugs, decide
+// which ones need malfunctioning hardware (using the device datasheet),
+// reconstruct the execution tree of all failing paths, and emit the
+// per-bug evidence a developer or certification lab would file.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	img, err := ddt.CorpusDriver("rtl8029", false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess := ddt.NewSession(img, ddt.DefaultConfig())
+	report, err := sess.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d bug(s) in %q\n\n", len(report.Bugs), img.Name)
+
+	// The datasheet slice for the RTL8029: the ISR status register (port
+	// 0x07) reports the low event bits; interrupts fire only after the
+	// IMR (port 0x0F) is programmed.
+	spec := &ddt.DeviceSpec{
+		Device: "rtl8029",
+		Registers: map[string]ddt.RegisterRange{
+			"hw_port_0x7": {Name: "ISR", Min: 0, Max: 0x7F},
+		},
+		InterruptEnableWrite: "hw_port_0xf",
+	}
+
+	var traces []*ddt.Trace
+	for i, b := range report.Bugs {
+		verdict := ddt.AnalyzeBug(b, spec)
+		fmt.Printf("bug %d: %s\n", i+1, b.Describe())
+		fmt.Printf("       hardware analysis: %s\n", verdict)
+		traces = append(traces, sess.TraceBug(b))
+	}
+
+	// The execution tree: all five failing paths share the DriverEntry
+	// prefix and diverge at the fork points DDT recorded (§3.5).
+	tree := ddt.BuildExecTree(traces)
+	fmt.Printf("\n%s", tree.Render())
+}

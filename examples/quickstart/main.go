@@ -1,0 +1,37 @@
+// Quickstart: test a closed-source driver binary with DDT and print the
+// bug report — the end-user scenario of §1 (the "Test Now" button: decide
+// whether a driver is trustworthy before loading it into your kernel).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// The RTL8029 NE2000-clone NDIS driver, as shipped (with its five
+	// latent bugs). In a real deployment this binary would come from the
+	// vendor; DDT needs nothing but the binary.
+	img, err := ddt.CorpusDriver("rtl8029", false)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	info := ddt.Inspect(img)
+	fmt.Printf("driver %q: %d KB binary, %d functions, %d kernel APIs used\n\n",
+		info.Name, info.FileSize/1024, info.NumFunctions, info.KernelImports)
+
+	report, err := ddt.Test(img, ddt.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report)
+
+	if len(report.Bugs) > 0 {
+		fmt.Println("\nVerdict: do NOT load this driver.")
+	} else {
+		fmt.Println("\nVerdict: no undesired behaviours found.")
+	}
+}

@@ -1,0 +1,44 @@
+package ddt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeAnalyzeBugAndTree(t *testing.T) {
+	img, err := CorpusDriver("rtl8029", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := NewSession(img, DefaultConfig())
+	rep, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &DeviceSpec{
+		Device: "rtl8029",
+		Registers: map[string]RegisterRange{
+			"hw_port_0x7": {Name: "ISR", Min: 0, Max: 0x7F},
+		},
+		InterruptEnableWrite: "hw_port_0xf",
+	}
+	var traces []*Trace
+	raceMalfunction := false
+	for _, b := range rep.Bugs {
+		v := AnalyzeBug(b, spec)
+		if b.Class == "race condition" && v.RequiresMalfunction {
+			raceMalfunction = true
+		}
+		traces = append(traces, sess.TraceBug(b))
+	}
+	if !raceMalfunction {
+		t.Error("the init race must be classified hardware-malfunction-only (§5.1)")
+	}
+	tree := BuildExecTree(traces)
+	if tree.Paths != len(rep.Bugs) || len(tree.Leaves()) != len(rep.Bugs) {
+		t.Errorf("tree paths=%d leaves=%d, want %d", tree.Paths, len(tree.Leaves()), len(rep.Bugs))
+	}
+	if !strings.Contains(tree.Render(), "DriverEntry") {
+		t.Error("tree render missing the shared prefix")
+	}
+}

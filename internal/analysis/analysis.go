@@ -1,0 +1,152 @@
+// Package analysis implements the bug post-mortems of §3.6: deciding from
+// a bug's trace and solved inputs whether the failure can occur with
+// correctly functioning hardware, or only when the device malfunctions.
+//
+// "Based on device specifications provided by hardware vendors, one can
+// decide whether a bug can only occur when a device malfunctions. Say a
+// DDT symbolic device returned a value that eventually led to a bug; if
+// the set of possible concrete values implied by the constraints on that
+// symbolic read does not intersect the set of possible values indicated by
+// the specification, then one can safely conclude that the observed
+// behavior would not have occurred unless the hardware malfunctioned."
+//
+// The paper's worked example is the RTL8029 init race: the trace contained
+// no write to the interrupt control register, so a correctly functioning
+// device would not have raised the interrupt — the bug needs
+// malfunctioning (or merely revised) silicon, which is exactly why DDT
+// tests against it anyway (§3.3).
+package analysis
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/expr"
+	"repro/internal/vm"
+)
+
+// RegisterRange is a vendor-documented constraint on one device register.
+type RegisterRange struct {
+	// Name of the register in the datasheet ("ISR", "CSR0", ...).
+	Name string
+	// Min/Max bound the values a correctly functioning device produces.
+	Min, Max uint32
+	// Mask, when non-zero, restricts the comparison to these bits.
+	Mask uint32
+}
+
+// DeviceSpec is the relevant slice of a device datasheet: per-register
+// value ranges keyed by the symbol-name prefix DDT gives reads of that
+// register ("hw_port_0x7", "hw_mmio_0xc0"), plus the register whose write
+// enables interrupts.
+type DeviceSpec struct {
+	Device string
+	// Registers maps the symbolic-read name prefix to its documented range.
+	Registers map[string]RegisterRange
+	// InterruptEnableWrite names the register (same prefix form) that the
+	// driver must write before the device may raise interrupts. Empty
+	// means unknown/not modelled.
+	InterruptEnableWrite string
+}
+
+// Verdict is the outcome of analyzing one bug.
+type Verdict struct {
+	// HardwareDependent: the path consumed at least one symbolic hardware
+	// value.
+	HardwareDependent bool
+	// RequiresMalfunction: the bug cannot occur with a device that honours
+	// the specification.
+	RequiresMalfunction bool
+	// Reasons explain the verdict, one line each.
+	Reasons []string
+}
+
+func (v *Verdict) String() string {
+	switch {
+	case !v.HardwareDependent:
+		return "independent of hardware behaviour (software-only bug)"
+	case v.RequiresMalfunction:
+		return "occurs only if the hardware malfunctions: " + strings.Join(v.Reasons, "; ")
+	default:
+		return "reachable with specification-conforming hardware"
+	}
+}
+
+// Analyze inspects a bug's trace and model against the device spec.
+func Analyze(b *core.Bug, spec *DeviceSpec) *Verdict {
+	v := &Verdict{}
+
+	// 1. Out-of-spec hardware read values: a hardware-origin symbol whose
+	// solved value falls outside the documented range means the path needs
+	// a register reading the datasheet forbids.
+	for _, si := range b.Symbols {
+		if si.Origin != expr.OriginHardware {
+			continue
+		}
+		v.HardwareDependent = true
+		if spec == nil {
+			continue
+		}
+		rr, ok := lookup(spec, si.Name)
+		if !ok {
+			continue
+		}
+		val := b.Model[si.ID]
+		masked := val
+		if rr.Mask != 0 {
+			masked = val & rr.Mask
+		}
+		if masked < rr.Min || masked > rr.Max {
+			v.RequiresMalfunction = true
+			v.Reasons = append(v.Reasons, fmt.Sprintf(
+				"%s read %#x, but the %s specification allows [%#x, %#x]",
+				si.Name, masked, rr.Name, rr.Min, rr.Max))
+		}
+	}
+
+	// 2. The paper's interrupt argument: an injected interrupt with no
+	// prior write to the interrupt-enable register cannot come from a
+	// correctly functioning device.
+	if spec != nil && spec.InterruptEnableWrite != "" {
+		if interruptBeforeEnable(b.Trace, spec.InterruptEnableWrite) {
+			v.HardwareDependent = true
+			v.RequiresMalfunction = true
+			v.Reasons = append(v.Reasons, fmt.Sprintf(
+				"interrupt delivered before any write to %s (interrupts were never enabled)",
+				spec.InterruptEnableWrite))
+		}
+	}
+	return v
+}
+
+// lookup finds the range whose register prefix matches the symbol name
+// (symbol names carry a "#N" uniquifier suffix).
+func lookup(spec *DeviceSpec, symName string) (RegisterRange, bool) {
+	for prefix, rr := range spec.Registers {
+		if strings.HasPrefix(symName, prefix) {
+			return rr, true
+		}
+	}
+	return RegisterRange{}, false
+}
+
+// interruptBeforeEnable scans the trace for the paper's RTL8029 argument:
+// an EvInterrupt occurring before any recorded device write (EvDevice) to
+// the interrupt-enable register means the interrupt fired while interrupts
+// were still disabled — impossible for a specification-conforming device.
+func interruptBeforeEnable(events []vm.Event, enable string) bool {
+	sawIntr := false
+	for _, ev := range events {
+		switch ev.Kind {
+		case vm.EvInterrupt:
+			sawIntr = true
+			return true // no enable write seen yet on this path
+		case vm.EvDevice:
+			if ev.Write && strings.HasPrefix(ev.Name, enable) {
+				return false // interrupts enabled before any injection
+			}
+		}
+	}
+	return sawIntr
+}

@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/trace"
+)
+
+// rtl8029Spec models the relevant slice of the RTL8029 (NE2000) datasheet:
+// the interrupt status register (port 0x07) reports only its low event
+// bits, and interrupts fire only after the IMR (port 0x0F) is written —
+// which the buggy driver never does before its init race.
+func rtl8029Spec() *DeviceSpec {
+	return &DeviceSpec{
+		Device: "rtl8029",
+		Registers: map[string]RegisterRange{
+			"hw_port_0x7": {Name: "ISR", Min: 0, Max: 0x7F},
+		},
+		InterruptEnableWrite: "hw_port_0xf",
+	}
+}
+
+func rtl8029Bugs(t *testing.T) []*core.Bug {
+	t.Helper()
+	img, err := corpus.Build("rtl8029", corpus.Buggy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.NewEngine(img, core.DefaultOptions())
+	if _, err := e.TestDriver(); err != nil {
+		t.Fatal(err)
+	}
+	return e.Bugs()
+}
+
+// TestRTL8029RaceRequiresMalfunction reproduces §5.1's manual analysis:
+// "since the execution traces contained no writes to that register, we
+// concluded that the crash occurred before the driver enabled interrupts"
+// — the init race is a hardware-malfunction-only bug.
+func TestRTL8029RaceRequiresMalfunction(t *testing.T) {
+	spec := rtl8029Spec()
+	found := false
+	for _, b := range rtl8029Bugs(t) {
+		if b.Class != "race condition" {
+			continue
+		}
+		found = true
+		v := Analyze(b, spec)
+		if !v.HardwareDependent {
+			t.Error("race not marked hardware dependent")
+		}
+		if !v.RequiresMalfunction {
+			t.Errorf("race should require malfunctioning hardware: %v", v)
+		}
+		if !strings.Contains(v.String(), "interrupt delivered before") {
+			t.Errorf("verdict = %v", v)
+		}
+	}
+	if !found {
+		t.Fatal("race bug not found")
+	}
+}
+
+// TestSoftwareOnlyBugs: the registry-driven memory corruption and the
+// config-handle leak involve no hardware values at all.
+func TestSoftwareOnlyBugs(t *testing.T) {
+	spec := rtl8029Spec()
+	for _, b := range rtl8029Bugs(t) {
+		if b.Class != "resource leak" && b.Class != "memory corruption" {
+			continue
+		}
+		v := Analyze(b, spec)
+		if v.HardwareDependent {
+			t.Errorf("%s marked hardware dependent: %v", b.Class, v)
+		}
+		if !strings.Contains(v.String(), "software-only") {
+			t.Errorf("verdict = %v", v)
+		}
+	}
+}
+
+func TestOutOfSpecRegisterValue(t *testing.T) {
+	// A synthetic spec that forbids what the model assigns: any bug whose
+	// path consumed a hardware symbol must then be flagged out-of-spec.
+	for _, b := range rtl8029Bugs(t) {
+		hw := false
+		for _, si := range b.Symbols {
+			if strings.HasPrefix(si.Name, "hw_port_0x7") {
+				hw = true
+			}
+		}
+		if !hw {
+			continue
+		}
+		spec := &DeviceSpec{
+			Device: "rtl8029",
+			Registers: map[string]RegisterRange{
+				// The device "never" returns anything (empty range at an
+				// impossible point).
+				"hw_port_0x7": {Name: "ISR", Min: 0x50, Max: 0x50, Mask: 0xFF},
+			},
+		}
+		v := Analyze(b, spec)
+		if len(b.Model) > 0 && !v.RequiresMalfunction {
+			// Only flag when the model value actually misses 0x50.
+			for _, si := range b.Symbols {
+				if strings.HasPrefix(si.Name, "hw_port_0x7") && b.Model[si.ID]&0xFF != 0x50 {
+					t.Errorf("out-of-spec value not flagged: %v", v)
+				}
+			}
+		}
+		return
+	}
+	t.Skip("no hardware-consuming bug found")
+}
+
+func TestNilSpec(t *testing.T) {
+	for _, b := range rtl8029Bugs(t) {
+		v := Analyze(b, nil)
+		if v.RequiresMalfunction {
+			t.Error("nil spec cannot prove malfunction")
+		}
+	}
+}
+
+func TestExecutionTree(t *testing.T) {
+	img, err := corpus.Build("rtl8029", corpus.Buggy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := core.NewEngine(img, core.DefaultOptions())
+	if _, err := e.TestDriver(); err != nil {
+		t.Fatal(err)
+	}
+	var files []*trace.File
+	for _, b := range e.Bugs() {
+		files = append(files, trace.New(b, "rtl8029", true, e.EffectiveRegistry()))
+	}
+	tree := trace.BuildTree(files)
+	if tree.Paths != len(files) {
+		t.Errorf("paths = %d", tree.Paths)
+	}
+	leaves := tree.Leaves()
+	if len(leaves) != len(files) {
+		t.Errorf("leaves = %d, want %d", len(leaves), len(files))
+	}
+	// All five bug paths share the DriverEntry prefix: the root must have
+	// exactly one child (the shared entry), and fork points must exist.
+	if len(tree.Root.Children) != 1 {
+		t.Errorf("root children = %d, want 1 (shared DriverEntry prefix)", len(tree.Root.Children))
+	}
+	if tree.ForkPoints() == 0 {
+		t.Error("no fork points in a five-path tree")
+	}
+	r := tree.Render()
+	if !strings.Contains(r, "DriverEntry") || !strings.Contains(r, "BUG") {
+		t.Errorf("render:\n%s", r)
+	}
+}

@@ -1,0 +1,138 @@
+package baseline_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/baseline/driververifier"
+	"repro/internal/baseline/sdv"
+	"repro/internal/corpus"
+)
+
+// TestDriverVerifierFindsNoneOfTable2 reproduces §5.1: "We tried to find
+// these bugs with the Microsoft Driver Verifier running the driver
+// concretely, but did not find any of them."
+func TestDriverVerifierFindsNoneOfTable2(t *testing.T) {
+	for _, name := range []string{"rtl8029", "amd-pcnet", "intel-pro1000", "intel-pro100", "ensoniq-audiopci", "intel-ac97"} {
+		img, err := corpus.Build(name, corpus.Buggy)
+		if err != nil {
+			t.Fatalf("build %s: %v", name, err)
+		}
+		rep, err := driververifier.Run(img, driververifier.Options{})
+		if err != nil {
+			t.Fatalf("dv %s: %v", name, err)
+		}
+		if len(rep.Bugs) != 0 {
+			for _, b := range rep.Bugs {
+				t.Errorf("%s: DV unexpectedly found: %s", name, b.Describe())
+			}
+		}
+	}
+}
+
+func TestSDVFindsEightSampleBugs(t *testing.T) {
+	img, err := corpus.Build("ddk-sample", corpus.Buggy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sdv.Analyze(img)
+	t.Logf("%s", rep)
+	if len(rep.Findings) != 8 {
+		t.Errorf("SDV findings on sample = %d, want 8", len(rep.Findings))
+	}
+	wantRules := []string{
+		"alloc-no-null-check", "leak-on-failure-path", "timer-not-initialized",
+		"release-not-acquired", "paged-alloc-under-lock", "double-free",
+		"unchecked-table-index", "wrong-irql-call",
+	}
+	have := map[string]bool{}
+	for _, f := range rep.Findings {
+		have[f.Rule] = true
+	}
+	for _, r := range wantRules {
+		if !have[r] {
+			t.Errorf("SDV missing rule hit %q", r)
+		}
+	}
+}
+
+func TestSDVCleanOnFixedSample(t *testing.T) {
+	img, err := corpus.Build("ddk-sample", corpus.Fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sdv.Analyze(img)
+	if len(rep.Findings) != 0 {
+		t.Errorf("SDV findings on fixed sample:\n%s", rep)
+	}
+}
+
+// TestSDVSyntheticProfile reproduces §5.1's synthetic-bug comparison: of
+// the five injected bugs (deadlock, out-of-order release, extra release,
+// forgotten release, wrong-IRQL call), SDV misses the first three, finds
+// the last two, and produces one false positive.
+func TestSDVSyntheticProfile(t *testing.T) {
+	img, err := corpus.Build("ddk-sample-synthetic", corpus.Buggy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sdv.Analyze(img)
+	t.Logf("%s", rep)
+	if len(rep.Findings) != 3 {
+		t.Fatalf("SDV findings on synthetic = %d, want 3 (2 real + 1 FP)", len(rep.Findings))
+	}
+	real, fp := 0, 0
+	for _, f := range rep.Findings {
+		switch {
+		case f.Rule == "forgotten-release" && strings.Contains(f.Msg, "acquired 1"):
+			// Either the genuine SYN4 or the smp_flush false positive;
+			// distinguish below by count.
+			real++
+		case f.Rule == "wrong-irql-call":
+			real++
+		default:
+			fp++
+		}
+	}
+	// Two forgotten-release findings (one genuine, one the FP) plus the
+	// wrong-IRQL hit.
+	forgotten := 0
+	for _, f := range rep.Findings {
+		if f.Rule == "forgotten-release" {
+			forgotten++
+		}
+	}
+	if forgotten != 2 {
+		t.Errorf("forgotten-release findings = %d, want 2 (genuine + false positive)", forgotten)
+	}
+	wrongIrql := 0
+	for _, f := range rep.Findings {
+		if f.Rule == "wrong-irql-call" {
+			wrongIrql++
+		}
+	}
+	if wrongIrql != 1 {
+		t.Errorf("wrong-irql findings = %d, want 1", wrongIrql)
+	}
+	// The misses: no deadlock, no out-of-order, no extra-release findings.
+	for _, f := range rep.Findings {
+		if f.Rule == "double-acquire" || f.Rule == "release-not-acquired" {
+			t.Errorf("SDV should have missed: %s", f)
+		}
+	}
+	_ = real
+	_ = fp
+}
+
+func TestSDVCleanOnFixedSynthetic(t *testing.T) {
+	img, err := corpus.Build("ddk-sample-synthetic", corpus.Fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sdv.Analyze(img)
+	// The FP bait (lock released in a callee) is present in both variants
+	// of the synthetic driver, so fixed still shows exactly the one FP.
+	if len(rep.Findings) != 1 || rep.Findings[0].Rule != "forgotten-release" {
+		t.Errorf("fixed synthetic should show exactly the FP bait:\n%s", rep)
+	}
+}

@@ -1,0 +1,466 @@
+// Package sdv implements the static-analysis baseline of §5.1: an
+// SLAM/SDV-style checker that verifies kernel API usage rules over an
+// abstraction of the driver — here, a CFG-free linear abstraction of each
+// recovered function with constant propagation for lock and pool-type
+// arguments.
+//
+// Like the real SDV, it encodes a fixed set of API usage rules and pays for
+// its static nature with both false negatives (rules are intraprocedural
+// and path-insensitive, so the cross-function deadlock, the multi-lock
+// out-of-order release, and the conditionally-acquired extra release of
+// §5.1's synthetic experiment are missed) and false positives (a lock
+// released in a callee looks forgotten). DDT's dynamic checkers share none
+// of these blind spots — that asymmetry is the point of the comparison.
+package sdv
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/binimg"
+	"repro/internal/isa"
+)
+
+// Finding is one rule violation reported by the analyzer.
+type Finding struct {
+	Rule string
+	Func uint32 // function entry VA
+	PC   uint32 // violating instruction VA
+	Msg  string
+	// FuncEvents is how many API interactions the function contains —
+	// small counts mark helper/wrapper functions, where the
+	// forgotten-release rule is known to produce false positives.
+	FuncEvents int
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("[%s] %s (fn %#x, pc %#x)", f.Rule, f.Msg, f.Func, f.PC)
+}
+
+// Report is the outcome of one SDV run.
+type Report struct {
+	Driver    string
+	Findings  []Finding
+	Functions int
+	Rules     int
+}
+
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "SDV report for %q: %d functions, %d rules, %d finding(s)\n",
+		r.Driver, r.Functions, r.Rules, len(r.Findings))
+	for _, f := range r.Findings {
+		fmt.Fprintf(&b, "  %s\n", f)
+	}
+	return b.String()
+}
+
+// event is one abstracted API interaction in a function's linear sweep.
+type event struct {
+	api  string
+	pc   uint32
+	arg0 argDesc // abstract value of r0 at the call
+}
+
+// argDesc abstracts the first argument: a known constant (lock address,
+// pool type), a known memory slot (for double-free detection), or unknown.
+type argDesc struct {
+	kind  uint8 // 0 unknown, 1 const, 2 deref of const address
+	value uint32
+}
+
+func (a argDesc) eq(b argDesc) bool { return a.kind != 0 && a.kind == b.kind && a.value == b.value }
+
+// lock-ish API classification.
+func isAcquire(api string) bool {
+	return api == "NdisAcquireSpinLock" || api == "NdisDprAcquireSpinLock" || api == "KeAcquireSpinLock"
+}
+func isRelease(api string) bool {
+	return api == "NdisReleaseSpinLock" || api == "NdisDprReleaseSpinLock" || api == "KeReleaseSpinLock"
+}
+func isAlloc(api string) bool {
+	return api == "ExAllocatePoolWithTag" || api == "NdisAllocateMemoryWithTag"
+}
+func isFree(api string) bool {
+	return api == "ExFreePoolWithTag" || api == "NdisFreeMemory"
+}
+
+// Analyze runs the rule set over a driver binary.
+func Analyze(img *binimg.Image) *Report {
+	rep := &Report{Driver: img.Name, Rules: 9}
+	fns := functions(img)
+	rep.Functions = len(fns)
+
+	imageCallsInitTimer := false
+	for _, fn := range fns {
+		for _, ev := range fn.events {
+			if ev.api == "NdisMInitializeTimer" {
+				imageCallsInitTimer = true
+			}
+		}
+	}
+
+	for _, fn := range fns {
+		var fs []Finding
+		fs = append(fs, checkLockRules(fn)...)
+		fs = append(fs, checkAllocRules(fn)...)
+		fs = append(fs, checkTimerRule(fn, imageCallsInitTimer)...)
+		fs = append(fs, checkIndexRule(fn)...)
+		for i := range fs {
+			fs[i].FuncEvents = len(fn.events)
+		}
+		rep.Findings = append(rep.Findings, fs...)
+	}
+	sort.Slice(rep.Findings, func(i, j int) bool { return rep.Findings[i].PC < rep.Findings[j].PC })
+	return rep
+}
+
+// fnAbs is the linear abstraction of one recovered function.
+type fnAbs struct {
+	entry  uint32
+	instrs []isa.Instr
+	pcs    []uint32
+	events []event
+}
+
+// functions recovers function extents (entry + call targets, each running
+// to the next function start) and abstracts each with a linear sweep that
+// propagates constants into r0.
+func functions(img *binimg.Image) []*fnAbs {
+	textBase := img.TextBase()
+	textEnd := textBase + uint32(len(img.Text))
+	starts := map[uint32]bool{img.Entry: true}
+	for off := 0; off+isa.InstrSize <= len(img.Text); off += isa.InstrSize {
+		in, err := isa.Decode(img.Text[off : off+isa.InstrSize])
+		if err != nil || in.Op != isa.CALL {
+			continue
+		}
+		if _, trap := isa.InTrapWindow(in.Imm); !trap && in.Imm >= textBase && in.Imm < textEnd {
+			starts[in.Imm] = true
+		}
+	}
+	sorted := make([]uint32, 0, len(starts))
+	for va := range starts {
+		sorted = append(sorted, va)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	var out []*fnAbs
+	for i, start := range sorted {
+		end := textEnd
+		if i+1 < len(sorted) {
+			end = sorted[i+1]
+		}
+		fn := &fnAbs{entry: start}
+		// Constant propagation state: regConst[r] valid if regKnown[r].
+		var regConst [isa.NumRegs]uint32
+		var regKnown [isa.NumRegs]bool
+		var regDeref [isa.NumRegs]uint32 // address whose content r holds
+		var regIsDeref [isa.NumRegs]bool
+
+		invalidate := func(r uint8) {
+			regKnown[r] = false
+			regIsDeref[r] = false
+		}
+		for pc := start; pc < end; pc += isa.InstrSize {
+			in, err := isa.Decode(img.Text[pc-textBase:])
+			if err != nil {
+				continue
+			}
+			fn.instrs = append(fn.instrs, in)
+			fn.pcs = append(fn.pcs, pc)
+			switch in.Op {
+			case isa.MOVI:
+				regConst[in.Rd] = in.Imm
+				regKnown[in.Rd] = true
+				regIsDeref[in.Rd] = false
+			case isa.LDW:
+				if regKnown[in.Rs1] {
+					regDeref[in.Rd] = regConst[in.Rs1] + in.Imm
+					regIsDeref[in.Rd] = true
+					regKnown[in.Rd] = false
+				} else {
+					invalidate(in.Rd)
+				}
+			case isa.CALL:
+				if slot, ok := isa.InTrapWindow(in.Imm); ok && slot < len(img.Imports) {
+					var a argDesc
+					if regKnown[0] {
+						a = argDesc{kind: 1, value: regConst[0]}
+					} else if regIsDeref[0] {
+						a = argDesc{kind: 2, value: regDeref[0]}
+					}
+					fn.events = append(fn.events, event{api: img.Imports[slot], pc: pc, arg0: a})
+				}
+				invalidate(0) // return value
+			default:
+				// Any other instruction writing Rd invalidates it.
+				if writesRd(in.Op) {
+					invalidate(in.Rd)
+				}
+			}
+		}
+		out = append(out, fn)
+	}
+	return out
+}
+
+func writesRd(op isa.Opcode) bool {
+	switch op {
+	case isa.MOV, isa.ADD, isa.SUB, isa.MUL, isa.DIVU, isa.REMU, isa.AND, isa.OR,
+		isa.XOR, isa.SHL, isa.SHR, isa.SAR, isa.ADDI, isa.ANDI, isa.ORI, isa.XORI,
+		isa.SHLI, isa.SHRI, isa.SARI, isa.MULI, isa.LDH, isa.LDB, isa.POP, isa.IN:
+		return true
+	}
+	return false
+}
+
+// checkLockRules implements the four lock rules over the event sequence:
+// double acquire without release, release without any acquire in the
+// function, more acquires than releases (forgotten release — the rule
+// responsible for the §5.1 false positive), and a blocking/pageable call
+// between acquire and release.
+func checkLockRules(fn *fnAbs) []Finding {
+	var out []Finding
+	type cnt struct {
+		acq, rel   int
+		nowHeld    bool
+		firstAcqPC uint32
+		firstRelPC uint32
+	}
+	locks := map[uint32]*cnt{}
+	get := func(a argDesc) *cnt {
+		if a.kind != 1 {
+			return nil
+		}
+		c, ok := locks[a.value]
+		if !ok {
+			c = &cnt{}
+			locks[a.value] = c
+		}
+		return c
+	}
+	anyHeld := 0
+	for _, ev := range fn.events {
+		switch {
+		case isAcquire(ev.api):
+			c := get(ev.arg0)
+			if c == nil {
+				continue
+			}
+			if c.nowHeld {
+				out = append(out, Finding{Rule: "double-acquire", Func: fn.entry, PC: ev.pc,
+					Msg: fmt.Sprintf("lock %#x acquired twice without release", ev.arg0.value)})
+			}
+			c.acq++
+			c.nowHeld = true
+			if c.firstAcqPC == 0 {
+				c.firstAcqPC = ev.pc
+			}
+			anyHeld++
+		case isRelease(ev.api):
+			c := get(ev.arg0)
+			if c == nil {
+				continue
+			}
+			c.rel++
+			if c.firstRelPC == 0 {
+				c.firstRelPC = ev.pc
+			}
+			if c.nowHeld {
+				c.nowHeld = false
+				if anyHeld > 0 {
+					anyHeld--
+				}
+			}
+		case ev.api == "NdisMSleep":
+			if anyHeld > 0 {
+				out = append(out, Finding{Rule: "wrong-irql-call", Func: fn.entry, PC: ev.pc,
+					Msg: "blocking call while holding a spinlock (IRQL too high)"})
+			}
+		case ev.api == "ExAllocatePoolWithTag":
+			if anyHeld > 0 && ev.arg0.kind == 1 && ev.arg0.value == 1 {
+				out = append(out, Finding{Rule: "paged-alloc-under-lock", Func: fn.entry, PC: ev.pc,
+					Msg: "PagedPool allocation while holding a spinlock"})
+			}
+		}
+	}
+	// Lock-wrapper heuristic (as real tools whitelist lock wrappers):
+	// a function whose only API interaction is a single lock operation is
+	// assumed to be a wrapper and exempt from the ownership rules.
+	isWrapper := len(fn.events) == 1
+	for addr, c := range locks {
+		if c.rel > 0 && c.acq == 0 && !isWrapper {
+			out = append(out, Finding{Rule: "release-not-acquired", Func: fn.entry, PC: c.firstRelPC,
+				Msg: fmt.Sprintf("lock %#x released but never acquired in this function", addr)})
+		}
+		if c.acq > c.rel {
+			out = append(out, Finding{Rule: "forgotten-release", Func: fn.entry, PC: c.firstAcqPC,
+				Msg: fmt.Sprintf("lock %#x acquired %d time(s) but released %d", addr, c.acq, c.rel)})
+		}
+	}
+	return out
+}
+
+// checkAllocRules implements: (a) allocation result stored through before
+// any null check; (b) a failure path after a non-first allocation that
+// returns the failure status without freeing; (c) double free of the same
+// abstract slot with no intervening allocation.
+func checkAllocRules(fn *fnAbs) []Finding {
+	var out []Finding
+
+	// (a) store-through-result-without-check.
+	for i, in := range fn.instrs {
+		if in.Op != isa.CALL {
+			continue
+		}
+		slot, ok := isa.InTrapWindow(in.Imm)
+		if !ok {
+			continue
+		}
+		api := apiAt(fn, i)
+		if api == "" || !isAlloc(api) {
+			continue
+		}
+		_ = slot
+		for j := i + 1; j < len(fn.instrs) && j <= i+3; j++ {
+			nj := fn.instrs[j]
+			if nj.Op.IsBranch() && (nj.Rs1 == 0 || nj.Rs2 == 0) {
+				break // checked
+			}
+			if (nj.Op == isa.STW || nj.Op == isa.STH || nj.Op == isa.STB) && nj.Rs1 == 0 {
+				out = append(out, Finding{Rule: "alloc-no-null-check", Func: fn.entry, PC: fn.pcs[j],
+					Msg: "allocation result dereferenced before any NULL check"})
+				break
+			}
+		}
+	}
+
+	// (b) leak on a failure path following a non-first allocation: scan the
+	// fallthrough (or branch-target) failure block to RET for a free call.
+	allocSeen := 0
+	for i, in := range fn.instrs {
+		if in.Op == isa.CALL {
+			if api := apiAt(fn, i); isAlloc(api) {
+				allocSeen++
+				if allocSeen >= 2 {
+					if pc, bad := failurePathLeaks(fn, i); bad {
+						out = append(out, Finding{Rule: "leak-on-failure-path", Func: fn.entry, PC: pc,
+							Msg: "failure path returns without freeing earlier allocation"})
+					}
+				}
+			}
+		}
+	}
+
+	// (c) double free.
+	var lastFree argDesc
+	var haveLast bool
+	for i, in := range fn.instrs {
+		if in.Op != isa.CALL {
+			continue
+		}
+		api := apiAt(fn, i)
+		switch {
+		case isAlloc(api):
+			haveLast = false
+		case isFree(api):
+			a := fn.events[eventIndexAt(fn, i)].arg0
+			if haveLast && a.kind == 2 && a.eq(lastFree) {
+				out = append(out, Finding{Rule: "double-free", Func: fn.entry, PC: fn.pcs[i],
+					Msg: fmt.Sprintf("pointer from slot %#x freed twice", a.value)})
+			}
+			lastFree = a
+			haveLast = a.kind == 2
+		}
+	}
+	return out
+}
+
+// failurePathLeaks scans the code right after the status check of an
+// allocation at instruction index i: the block that returns the failure
+// status must contain a free call.
+func failurePathLeaks(fn *fnAbs, i int) (uint32, bool) {
+	// Find the conditional branch within the next few instructions; the
+	// failure code is the linear block containing "movi r0, 0xC0000001"
+	// before the next ret.
+	sawFree := false
+	sawFailStatus := false
+	var failPC uint32
+	for j := i + 1; j < len(fn.instrs); j++ {
+		in := fn.instrs[j]
+		if in.Op == isa.CALL {
+			if api := apiAt(fn, j); isFree(api) {
+				sawFree = true
+			}
+			if api := apiAt(fn, j); isAlloc(api) {
+				// Next allocation: this one's failure handling is over.
+				break
+			}
+		}
+		if in.Op == isa.MOVI && in.Rd == 0 && in.Imm == 0xC0000001 {
+			sawFailStatus = true
+			failPC = fn.pcs[j]
+		}
+		if in.Op == isa.RET {
+			break
+		}
+	}
+	if sawFailStatus && !sawFree {
+		return failPC, true
+	}
+	return 0, false
+}
+
+func checkTimerRule(fn *fnAbs, imageCallsInitTimer bool) []Finding {
+	var out []Finding
+	for _, ev := range fn.events {
+		if ev.api == "NdisMSetTimer" && !imageCallsInitTimer {
+			out = append(out, Finding{Rule: "timer-not-initialized", Func: fn.entry, PC: ev.pc,
+				Msg: "NdisMSetTimer but NdisMInitializeTimer is never called"})
+		}
+	}
+	return out
+}
+
+// checkIndexRule flags the classic unvalidated-jump-table pattern: a wide
+// mask (>= 0x100) feeding an indirect jump in the same function.
+func checkIndexRule(fn *fnAbs) []Finding {
+	wideMask := false
+	var maskPC uint32
+	hasJR := false
+	for i, in := range fn.instrs {
+		if in.Op == isa.ANDI && in.Imm >= 0x100 {
+			wideMask = true
+			maskPC = fn.pcs[i]
+		}
+		if in.Op == isa.JR {
+			hasJR = true
+		}
+	}
+	if wideMask && hasJR {
+		return []Finding{{Rule: "unchecked-table-index", Func: fn.entry, PC: maskPC,
+			Msg: "wide masked index feeds an indirect jump without bounds validation"}}
+	}
+	return nil
+}
+
+// apiAt returns the API name for the CALL at instruction index i, or "".
+func apiAt(fn *fnAbs, i int) string {
+	idx := eventIndexAt(fn, i)
+	if idx < 0 {
+		return ""
+	}
+	return fn.events[idx].api
+}
+
+func eventIndexAt(fn *fnAbs, i int) int {
+	pc := fn.pcs[i]
+	for idx, ev := range fn.events {
+		if ev.pc == pc {
+			return idx
+		}
+	}
+	return -1
+}

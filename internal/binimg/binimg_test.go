@@ -1,0 +1,175 @@
+package binimg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+// tiny builds a minimal valid image by hand (no assembler dependency, so
+// this package's tests stand alone).
+func tiny(t *testing.T) *Image {
+	t.Helper()
+	text := make([]byte, 4*isa.InstrSize)
+	isa.Instr{Op: isa.MOVI, Rd: 0, Imm: 7}.Encode(text[0:])
+	isa.Instr{Op: isa.CALL, Imm: isa.TrapAddr(0)}.Encode(text[8:])
+	isa.Instr{Op: isa.CALL, Imm: isa.ImageBase + 3*isa.InstrSize}.Encode(text[16:])
+	isa.Instr{Op: isa.RET}.Encode(text[24:])
+	return &Image{
+		Name:    "tiny",
+		Entry:   isa.ImageBase,
+		Text:    text,
+		Data:    []byte{1, 2, 3, 4},
+		BSSSize: 16,
+		Imports: []string{"KeBugCheckEx"},
+		Device: PCIDescriptor{
+			VendorID: 0x1234, DeviceID: 0x5678, Class: ClassNetwork,
+			BARSize: 256, IOPorts: 16, IRQLine: 9, Revision: 2,
+		},
+	}
+}
+
+func TestMarshalParseRoundTrip(t *testing.T) {
+	im := tiny(t)
+	got, err := Parse(im.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != im.Name || got.Entry != im.Entry || got.BSSSize != im.BSSSize {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if string(got.Text) != string(im.Text) || string(got.Data) != string(im.Data) {
+		t.Error("sections differ")
+	}
+	if got.Device != im.Device {
+		t.Errorf("device: %+v vs %+v", got.Device, im.Device)
+	}
+	if len(got.Imports) != 1 || got.Imports[0] != "KeBugCheckEx" {
+		t.Errorf("imports: %v", got.Imports)
+	}
+}
+
+func TestLayoutAddresses(t *testing.T) {
+	im := tiny(t)
+	if im.TextBase() != isa.ImageBase {
+		t.Errorf("text base %#x", im.TextBase())
+	}
+	if im.DataBase() != isa.ImageBase+uint32(len(im.Text)) {
+		t.Errorf("data base %#x", im.DataBase())
+	}
+	if im.BSSBase()%8 != 0 || im.BSSBase() < im.DataBase() {
+		t.Errorf("bss base %#x", im.BSSBase())
+	}
+	if im.LimitVA() < im.BSSBase()+im.BSSSize {
+		t.Errorf("limit %#x", im.LimitVA())
+	}
+}
+
+func TestImportSlot(t *testing.T) {
+	im := tiny(t)
+	if im.ImportSlot("KeBugCheckEx") != 0 {
+		t.Error("slot lookup failed")
+	}
+	if im.ImportSlot("Nope") != -1 {
+		t.Error("missing import should be -1")
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	im := tiny(t)
+	good := im.Marshal()
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xFF; return b }},
+		{"truncated", func(b []byte) []byte { return b[:12] }},
+		{"empty", func(b []byte) []byte { return nil }},
+	}
+	for _, tc := range cases {
+		b := append([]byte(nil), good...)
+		if _, err := Parse(tc.mutate(b)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+
+	// Misaligned entry.
+	bad := tiny(t)
+	bad.Entry = isa.ImageBase + 3
+	if _, err := Parse(bad.Marshal()); err == nil {
+		t.Error("misaligned entry accepted")
+	}
+	// Entry outside text.
+	bad2 := tiny(t)
+	bad2.Entry = isa.ImageBase + 0x10000
+	if _, err := Parse(bad2.Marshal()); err == nil {
+		t.Error("entry outside text accepted")
+	}
+	// Text not a multiple of the instruction size.
+	bad3 := tiny(t)
+	bad3.Text = bad3.Text[:len(bad3.Text)-3]
+	if _, err := Parse(bad3.Marshal()); err == nil {
+		t.Error("ragged text accepted")
+	}
+}
+
+func TestAnalyzeCounts(t *testing.T) {
+	im := tiny(t)
+	info := Analyze(im)
+	if info.NumFunctions != 2 { // entry + one local call target
+		t.Errorf("functions = %d", info.NumFunctions)
+	}
+	if info.KernelImports != 1 {
+		t.Errorf("imports called = %d", info.KernelImports)
+	}
+	if info.NumInstructions != 4 || info.CodeSize != 32 {
+		t.Errorf("size: %+v", info)
+	}
+	if info.FileSize != len(im.Marshal()) {
+		t.Errorf("file size: %d", info.FileSize)
+	}
+}
+
+func TestStaticBlocks(t *testing.T) {
+	im := tiny(t)
+	blocks := StaticBlocks(im)
+	if len(blocks) == 0 || blocks[0] != im.TextBase() {
+		t.Fatalf("blocks = %v", blocks)
+	}
+}
+
+func TestDisassembleRendersAll(t *testing.T) {
+	im := tiny(t)
+	dis := Disassemble(im)
+	if dis == "" {
+		t.Fatal("empty disassembly")
+	}
+}
+
+// TestQuickParseNeverPanics: the parser must reject arbitrary mutations of
+// a valid image gracefully (error, not panic) — a closed-binary consumer
+// cannot trust its inputs.
+func TestQuickParseNeverPanics(t *testing.T) {
+	im := tiny(t)
+	good := im.Marshal()
+	f := func(pos uint16, val byte, cut uint8) bool {
+		b := append([]byte(nil), good...)
+		b[int(pos)%len(b)] = val
+		if int(cut) < len(b) {
+			b = b[:len(b)-int(cut)]
+		}
+		_, _ = Parse(b) // must not panic; error is fine
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeviceClassString(t *testing.T) {
+	if ClassNetwork.String() != "network" || ClassAudio.String() != "audio" || ClassOther.String() != "other" {
+		t.Error("class names broken")
+	}
+}

@@ -1,0 +1,131 @@
+package binimg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Info is the static characterization of a driver binary that regenerates
+// Table 1 of the paper: binary file size, code segment size, number of
+// functions discovered in the driver, and number of distinct kernel
+// functions called. Since images are closed (no symbols), functions are
+// recovered the way a binary tool must: the entry point plus every CALL
+// target inside the text section.
+type Info struct {
+	Name            string
+	FileSize        int // bytes, marshaled image
+	CodeSize        int // bytes, text section
+	DataSize        int
+	NumInstructions int
+	NumFunctions    int // entry + distinct in-text CALL targets
+	NumBasicBlocks  int // statically discovered basic blocks
+	KernelImports   int // import-table entries actually called from text
+}
+
+// Analyze computes Info for an image.
+func Analyze(im *Image) Info {
+	info := Info{
+		Name:            im.Name,
+		FileSize:        len(im.Marshal()),
+		CodeSize:        len(im.Text),
+		DataSize:        len(im.Data) + int(im.BSSSize),
+		NumInstructions: len(im.Text) / isa.InstrSize,
+	}
+
+	funcs := map[uint32]bool{im.Entry: true}
+	calledImports := map[int]bool{}
+	leaders := map[uint32]bool{im.TextBase(): true}
+	textEnd := im.TextBase() + uint32(len(im.Text))
+
+	for off := 0; off+isa.InstrSize <= len(im.Text); off += isa.InstrSize {
+		pc := im.TextBase() + uint32(off)
+		in, err := isa.Decode(im.Text[off : off+isa.InstrSize])
+		if err != nil {
+			continue
+		}
+		switch {
+		case in.Op == isa.CALL:
+			if slot, ok := isa.InTrapWindow(in.Imm); ok {
+				if slot < len(im.Imports) {
+					calledImports[slot] = true
+				}
+			} else if in.Imm >= im.TextBase() && in.Imm < textEnd {
+				funcs[in.Imm] = true
+				leaders[in.Imm] = true
+			}
+			leaders[pc+isa.InstrSize] = true
+		case in.Op.IsBranch():
+			leaders[in.Imm] = true
+			leaders[pc+isa.InstrSize] = true
+		case in.Op == isa.JMP:
+			leaders[in.Imm] = true
+			leaders[pc+isa.InstrSize] = true
+		case in.Op == isa.JR, in.Op == isa.CALLR, in.Op == isa.RET, in.Op == isa.HLT:
+			leaders[pc+isa.InstrSize] = true
+		}
+	}
+
+	blocks := 0
+	for va := range leaders {
+		if va >= im.TextBase() && va < textEnd {
+			blocks++
+		}
+	}
+	info.NumFunctions = len(funcs)
+	info.NumBasicBlocks = blocks
+	info.KernelImports = len(calledImports)
+	return info
+}
+
+// StaticBlocks returns the sorted list of statically discovered basic-block
+// leader addresses, the denominator for the paper's relative-coverage
+// figures (Figure 2).
+func StaticBlocks(im *Image) []uint32 {
+	textEnd := im.TextBase() + uint32(len(im.Text))
+	leaders := map[uint32]bool{im.TextBase(): true}
+	for off := 0; off+isa.InstrSize <= len(im.Text); off += isa.InstrSize {
+		pc := im.TextBase() + uint32(off)
+		in, err := isa.Decode(im.Text[off : off+isa.InstrSize])
+		if err != nil {
+			continue
+		}
+		if in.Op.IsControlFlow() || in.Op == isa.CALL || in.Op == isa.CALLR {
+			leaders[pc+isa.InstrSize] = true
+		}
+		switch {
+		case in.Op.IsBranch() || in.Op == isa.JMP:
+			leaders[in.Imm] = true
+		case in.Op == isa.CALL:
+			if _, trap := isa.InTrapWindow(in.Imm); !trap && in.Imm >= im.TextBase() && in.Imm < textEnd {
+				leaders[in.Imm] = true
+			}
+		}
+	}
+	out := make([]uint32, 0, len(leaders))
+	for va := range leaders {
+		if va >= im.TextBase() && va < textEnd {
+			out = append(out, va)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Disassemble renders the text section as assembler listing, one
+// instruction per line, for trace post-processing and debugging.
+func Disassemble(im *Image) string {
+	var b strings.Builder
+	for off := 0; off+isa.InstrSize <= len(im.Text); off += isa.InstrSize {
+		pc := im.TextBase() + uint32(off)
+		in, err := isa.Decode(im.Text[off : off+isa.InstrSize])
+		if err != nil {
+			fmt.Fprintf(&b, "%08x  <invalid: %v>\n", pc, err)
+			continue
+		}
+		fmt.Fprintf(&b, "%08x  %s\n", pc, in.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,193 @@
+package checkers
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/isa"
+	"repro/internal/kernel"
+	"repro/internal/vm"
+)
+
+func stateWithKernel() (*vm.State, *kernel.KState) {
+	s := vm.NewState(1)
+	ks := kernel.NewKState()
+	ks.Grant(kernel.Region{Lo: isa.ImageBase, Hi: isa.ImageBase + 0x1000, Kind: kernel.RegionImage, Writable: true})
+	s.Kernel = ks
+	return s, ks
+}
+
+func TestMemoryCheckerNullPage(t *testing.T) {
+	c := NewMemoryChecker()
+	s, _ := stateWithKernel()
+	err := c.Check(s, 0x100000, 0x10, 4, false)
+	if err == nil || !strings.Contains(err.Error(), "null-pointer") {
+		t.Errorf("null read: %v", err)
+	}
+	if c.Vetoes != 1 {
+		t.Errorf("vetoes = %d", c.Vetoes)
+	}
+}
+
+func TestMemoryCheckerImageGrant(t *testing.T) {
+	c := NewMemoryChecker()
+	s, _ := stateWithKernel()
+	if err := c.Check(s, 0x100000, isa.ImageBase+0x100, 4, true); err != nil {
+		t.Errorf("granted write rejected: %v", err)
+	}
+	if err := c.Check(s, 0x100000, isa.ImageBase+0x2000, 4, false); err == nil {
+		t.Error("ungranted read accepted")
+	}
+}
+
+func TestMemoryCheckerReadOnlyRegion(t *testing.T) {
+	c := NewMemoryChecker()
+	s, ks := stateWithKernel()
+	ks.Grant(kernel.Region{Lo: 0x300000, Hi: 0x300100, Kind: kernel.RegionParam, Writable: false})
+	if err := c.Check(s, 0, 0x300010, 4, false); err != nil {
+		t.Errorf("read of read-only region rejected: %v", err)
+	}
+	err := c.Check(s, 0, 0x300010, 4, true)
+	if err == nil || !strings.Contains(err.Error(), "read-only") {
+		t.Errorf("write to read-only region: %v", err)
+	}
+}
+
+func TestMemoryCheckerStackRule(t *testing.T) {
+	c := NewMemoryChecker()
+	s, _ := stateWithKernel()
+	// SP defaults to StackBase; lower it to make room above.
+	sp := isa.StackBase - 0x100
+	s.SetReg(isa.SP, expr.Const(sp))
+	// At/above SP: fine.
+	if err := c.Check(s, 0, sp+8, 4, true); err != nil {
+		t.Errorf("access above sp rejected: %v", err)
+	}
+	// Below SP: prohibited (§3.1.1 — interrupt handlers may clobber it).
+	err := c.Check(s, 0, sp-8, 4, false)
+	if err == nil || !strings.Contains(err.Error(), "below the stack pointer") {
+		t.Errorf("below-sp access: %v", err)
+	}
+}
+
+func TestMemoryCheckerPageableAtDispatch(t *testing.T) {
+	c := NewMemoryChecker()
+	s, ks := stateWithKernel()
+	ks.Grant(kernel.Region{Lo: 0x400000, Hi: 0x400100, Kind: kernel.RegionAlloc, Writable: true, Pageable: true})
+	if err := c.Check(s, 0, 0x400010, 4, false); err != nil {
+		t.Errorf("pageable at passive rejected: %v", err)
+	}
+	ks.IRQL = kernel.DispatchLevel
+	err := c.Check(s, 0, 0x400010, 4, false)
+	if err == nil || !strings.Contains(err.Error(), "pageable") {
+		t.Errorf("pageable at dispatch: %v", err)
+	}
+}
+
+func TestLeakCheckerConfigHandle(t *testing.T) {
+	s, ks := stateWithKernel()
+	ks.ConfigHandles[1] = kernel.ConfigHandle{Label: "NdisOpenConfiguration", PC: 0x1234}
+	var lc LeakChecker
+	// Successful init: handles may stay open (driver keeps them... actually
+	// our kernel model closes them; but the checker only gates failures).
+	if err := lc.CheckEntryExit(s, "Initialize", kernel.StatusSuccess); err != nil {
+		t.Errorf("success path flagged: %v", err)
+	}
+	err := lc.CheckEntryExit(s, "Initialize", kernel.StatusFailure)
+	if err == nil || !strings.Contains(err.Error(), "configuration handle") {
+		t.Errorf("failed init with open handle: %v", err)
+	}
+}
+
+func TestLeakCheckerAllocsAfterHalt(t *testing.T) {
+	s, ks := stateWithKernel()
+	ks.HeapAlloc(64, "buf", "pool", 1, 0x2000)
+	var lc LeakChecker
+	err := lc.CheckEntryExit(s, "Halt", kernel.StatusSuccess)
+	if err == nil || !strings.Contains(err.Error(), "not freed") {
+		t.Errorf("halt with live alloc: %v", err)
+	}
+}
+
+func TestLeakCheckerHeldSpinlockAnyEntry(t *testing.T) {
+	s, ks := stateWithKernel()
+	ks.Spinlocks[0x500] = &kernel.Spin{Held: true}
+	var lc LeakChecker
+	err := lc.CheckEntryExit(s, "Send", kernel.StatusSuccess)
+	if err == nil || !strings.Contains(err.Error(), "spinlock") {
+		t.Errorf("held lock at exit: %v", err)
+	}
+}
+
+func TestLeakCheckerCleanState(t *testing.T) {
+	s, _ := stateWithKernel()
+	var lc LeakChecker
+	for _, entry := range []string{"Initialize", "Halt", "Send"} {
+		if err := lc.CheckEntryExit(s, entry, kernel.StatusSuccess); err != nil {
+			t.Errorf("%s clean exit flagged: %v", entry, err)
+		}
+	}
+}
+
+func TestLoopChecker(t *testing.T) {
+	lc := NewLoopChecker(5)
+	s := vm.NewState(7)
+	for i := 0; i < 4; i++ {
+		if err := lc.Visit(s, 0x100100); err != nil {
+			t.Fatalf("early trigger at %d: %v", i, err)
+		}
+	}
+	err := lc.Visit(s, 0x100100)
+	if err == nil || !strings.Contains(err.Error(), "infinite loop") {
+		t.Errorf("threshold: %v", err)
+	}
+	// Distinct states count separately.
+	s2 := vm.NewState(8)
+	if err := lc.Visit(s2, 0x100100); err != nil {
+		t.Errorf("fresh state triggered: %v", err)
+	}
+	lc.Forget(7)
+	if err := lc.Visit(s, 0x100100); err != nil {
+		t.Errorf("after forget: %v", err)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		class, msg string
+		inIntr     bool
+		want       string
+	}{
+		{"memory", "null-pointer dereference: write of 4 bytes", false, "segmentation fault"},
+		{"memory", "write of 4 bytes at unmapped address", false, "memory corruption"},
+		{"memory", "read of 4 bytes at unmapped address", false, "segmentation fault"},
+		{"memory", "read of 4 bytes at unmapped address", true, "race condition"},
+		{"leak", "whatever", false, "resource leak"},
+		{"crash", "BSOD", false, "kernel crash"},
+		{"crash", "BSOD", true, "race condition"},
+		{"deadlock", "self", false, "deadlock"},
+		{"irql", "x", false, "kernel crash"},
+		{"spinlock", "x", false, "kernel crash"},
+		{"loop", "x", false, "hang"},
+	}
+	for _, tc := range cases {
+		s := vm.NewState(1)
+		if tc.inIntr {
+			s.PushInterrupt(0x100000)
+		}
+		f := vm.Faultf(tc.class, 0, "%s", tc.msg)
+		if got := Classify(f, s); got != tc.want {
+			t.Errorf("Classify(%s,%q,intr=%v) = %q, want %q", tc.class, tc.msg, tc.inIntr, got, tc.want)
+		}
+	}
+}
+
+func TestClassifyISREntry(t *testing.T) {
+	s := vm.NewState(1)
+	s.EntryName = "ISR"
+	f := vm.Faultf("crash", 0, "x")
+	if got := Classify(f, s); got != "race condition" {
+		t.Errorf("ISR-entry fault = %q", got)
+	}
+}

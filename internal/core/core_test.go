@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+func runDDT(t *testing.T, driver string, v corpus.Variant, opts Options) *Report {
+	t.Helper()
+	img, err := corpus.Build(driver, v)
+	if err != nil {
+		t.Fatalf("build %s: %v", driver, err)
+	}
+	e := NewEngine(img, opts)
+	rep, err := e.TestDriver()
+	if err != nil {
+		t.Fatalf("test %s: %v", driver, err)
+	}
+	return rep
+}
+
+func classSet(rep *Report) map[string]int {
+	return rep.CountByClass()
+}
+
+func TestRTL8029FindsAllFiveBugs(t *testing.T) {
+	rep := runDDT(t, "rtl8029", corpus.Buggy, DefaultOptions())
+	got := classSet(rep)
+	t.Logf("rtl8029 buggy report:\n%s", rep)
+	for _, b := range rep.Bugs {
+		t.Logf("  %s", b.Describe())
+	}
+	want := map[string]int{
+		"resource leak":      1,
+		"memory corruption":  1,
+		"race condition":     1,
+		"segmentation fault": 2,
+	}
+	for class, n := range want {
+		if got[class] < n {
+			t.Errorf("class %q: found %d, want >= %d", class, got[class], n)
+		}
+	}
+	if len(rep.Bugs) != 5 {
+		t.Errorf("total bugs = %d, want exactly 5 (Table 2)", len(rep.Bugs))
+	}
+}
+
+func TestRTL8029FixedIsClean(t *testing.T) {
+	rep := runDDT(t, "rtl8029", corpus.Fixed, DefaultOptions())
+	if len(rep.Bugs) != 0 {
+		for _, b := range rep.Bugs {
+			t.Errorf("false positive: %s", b.Describe())
+		}
+	}
+}
+
+func TestRTL8029CoverageReasonable(t *testing.T) {
+	rep := runDDT(t, "rtl8029", corpus.Buggy, DefaultOptions())
+	if rep.RelativeCoverage() < 0.3 {
+		t.Errorf("coverage = %.0f%%, want >= 30%%", 100*rep.RelativeCoverage())
+	}
+	if len(rep.CoverageSeries) == 0 {
+		t.Error("no coverage series recorded")
+	}
+}

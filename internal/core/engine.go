@@ -1,0 +1,399 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/annot"
+	"repro/internal/binimg"
+	"repro/internal/checkers"
+	"repro/internal/exerciser"
+	"repro/internal/expr"
+	"repro/internal/hw"
+	"repro/internal/isa"
+	"repro/internal/kernel"
+	"repro/internal/solver"
+	"repro/internal/vm"
+)
+
+// Options configure one DDT run.
+type Options struct {
+	// Annotations enables the stock NDIS/WDM annotation sets. Off is DDT's
+	// default mode (§3.4); the §5.1 ablation toggles this.
+	Annotations bool
+	// SymbolicInterrupts injects forked interrupt deliveries at
+	// kernel/driver boundary crossings once an ISR is registered.
+	SymbolicInterrupts bool
+	// VerifierChecks enables the in-guest Driver Verifier-style checks.
+	VerifierChecks bool
+	// MaxStates caps the exploration frontier per phase.
+	MaxStates int
+	// MaxStepsPerPath bounds one path's instruction count per entry.
+	MaxStepsPerPath uint64
+	// MaxPathsPerEntry bounds completed paths per entry phase.
+	MaxPathsPerEntry int
+	// MaxIntrInjections bounds interrupt injections per path.
+	MaxIntrInjections uint64
+	// KeepStates is how many successful outcomes seed the next phase.
+	KeepStates int
+	// LoopThreshold is the infinite-loop heuristic's per-block repeat bound.
+	LoopThreshold uint64
+	// Registry overrides/extends the default registry hive.
+	Registry map[string]uint32
+	// Heuristic overrides the default min-block-count scheduler.
+	Heuristic exerciser.Heuristic
+	// ConcreteHardware replaces symbolic hardware with a deterministic
+	// concrete device model (register reads return a fixed pattern). This
+	// is how the Driver Verifier baseline runs: concrete stress testing
+	// with in-guest checks only.
+	ConcreteHardware bool
+	// StopAtFirstBug terminates the run after the first bug, as Driver
+	// Verifier's crash-on-first-failure behaviour does (§5.1: "looking for
+	// the next bug would typically require first fixing the found bug").
+	StopAtFirstBug bool
+}
+
+// DefaultOptions mirror the paper's configuration: annotations on,
+// symbolic interrupts on, Driver Verifier cooperating.
+func DefaultOptions() Options {
+	return Options{
+		Annotations:        true,
+		SymbolicInterrupts: true,
+		VerifierChecks:     true,
+		MaxStates:          512,
+		MaxStepsPerPath:    60_000,
+		MaxPathsPerEntry:   256,
+		MaxIntrInjections:  2,
+		KeepStates:         2,
+		LoopThreshold:      2_000,
+	}
+}
+
+// Engine is one DDT testing session bound to a driver image.
+type Engine struct {
+	Img  *binimg.Image
+	Opts Options
+
+	M    *vm.Machine
+	K    *kernel.Kernel
+	Dev  *hw.SymbolicDevice
+	Mem  *checkers.MemoryChecker
+	Loop *checkers.LoopChecker
+	Leak checkers.LeakChecker
+
+	Sched *exerciser.Scheduler
+	Cov   *exerciser.Coverage
+
+	bugs     []*Bug
+	bugKeys  map[string]bool
+	paths    int
+	pendLoop error // loop fault raised by the block hook, consumed by step loop
+}
+
+// metaInjectISR marks a forked state that should receive an interrupt
+// before resuming (set at a boundary crossing, consumed by the engine once
+// the state's post-call PC is in place).
+const metaInjectISR = "inject_isr"
+
+// metaIntrCount counts interrupt injections already spent on a path.
+const metaIntrCount = "intr_count"
+
+// NewEngine builds a fully wired DDT session for the image.
+func NewEngine(img *binimg.Image, opts Options) *Engine {
+	m := vm.NewMachine(img, expr.NewSymbolTable(), solver.New())
+	e := &Engine{
+		Img:     img,
+		Opts:    opts,
+		M:       m,
+		K:       kernel.New(m),
+		Dev:     hw.New(img.Device),
+		Mem:     checkers.NewMemoryChecker(),
+		Loop:    checkers.NewLoopChecker(opts.LoopThreshold),
+		Sched:   exerciser.NewScheduler(opts.MaxStates),
+		Cov:     exerciser.NewCoverage(len(binimg.StaticBlocks(img))),
+		bugKeys: make(map[string]bool),
+	}
+	e.K.VerifierChecks = opts.VerifierChecks
+	e.Dev.FreshSymbol = e.K.FreshSymbol
+	e.Dev.Attach(m)
+	if opts.ConcreteHardware {
+		// Deterministic concrete device: reads return a pattern derived
+		// from the register address; writes are still discarded.
+		m.ReadDevice = func(s *vm.State, addr, size uint32) *expr.Expr {
+			return expr.Const((addr*2654435761 + 0x5A) & 0xFF)
+		}
+		m.ReadPort = func(s *vm.State, port uint32) *expr.Expr {
+			return expr.Const((port*2246822519 + 0xA5) & 0xFF)
+		}
+	}
+	e.Mem.Install(m)
+	if opts.Heuristic != nil {
+		e.Sched.SetHeuristic(opts.Heuristic)
+	}
+	if opts.Annotations {
+		annot.InstallAll(e.K)
+	}
+	m.OnBlock = func(s *vm.State, pc uint32) {
+		e.Sched.Record(pc)
+		e.Cov.Visit(pc, m.Steps)
+		if err := e.Loop.Visit(s, pc); err != nil {
+			e.pendLoop = err
+		}
+	}
+	e.K.OnBoundary = e.boundaryHook
+	return e
+}
+
+// boundaryHook implements symbolic interrupts (§3.3): at each return from a
+// kernel API (equivalently, just before the next kernel interaction), fork
+// a sibling in which the device's interrupt fires there. Injection at entry
+// start covers the remaining equivalence class (before the first API call).
+func (e *Engine) boundaryHook(s *vm.State, api, when string) []*vm.State {
+	if !e.Opts.SymbolicInterrupts || when != "return" {
+		return nil
+	}
+	ks := kernel.Of(s)
+	if !ks.ISRRegistered || s.InInterrupt > 0 {
+		return nil
+	}
+	if s.Meta != nil && s.Meta[metaIntrCount] >= e.Opts.MaxIntrInjections {
+		return nil
+	}
+	alt := e.M.ForkState(s)
+	if alt.Meta == nil {
+		alt.Meta = make(map[string]uint64)
+	}
+	alt.Meta[metaIntrCount]++
+	alt.Meta[metaInjectISR] = 1
+	return []*vm.State{alt}
+}
+
+// EffectiveRegistry returns the registry hive the run boots with: defaults
+// plus option overrides. Trace files embed it so replays see the same
+// configuration.
+func (e *Engine) EffectiveRegistry() map[string]uint32 {
+	reg := map[string]uint32{
+		"MaximumMulticastList": 4,
+		"NetworkAddress":       0,
+		"Speed":                100,
+		"Duplex":               1,
+		"TxRingSize":           8,
+		"RxRingSize":           8,
+		"SampleRate":           44100,
+		"BufferMs":             10,
+	}
+	for k, v := range e.Opts.Registry {
+		reg[k] = v
+	}
+	return reg
+}
+
+// NewBootState builds the state in which the OS just loaded the driver:
+// image mapped and granted, kernel booted, registry populated.
+func (e *Engine) NewBootState() *vm.State {
+	s := e.M.NewRootState()
+	ks := kernel.NewKState()
+	ks.Grant(kernel.Region{
+		Lo: isa.ImageBase, Hi: e.Img.LimitVA(),
+		Kind: kernel.RegionImage, Writable: true, Tag: "driver image",
+	})
+	for k, v := range e.EffectiveRegistry() {
+		ks.Registry[k] = v
+	}
+	s.Kernel = ks
+	s.HW = &hw.DeviceState{}
+	return s
+}
+
+// recordBug deduplicates, solves the input model, and stores a bug.
+func (e *Engine) recordBug(s *vm.State, fault *vm.Fault) {
+	b := &Bug{
+		Class:       checkers.Classify(fault, s),
+		Fault:       fault,
+		Entry:       s.EntryName,
+		StateID:     s.ID,
+		ICount:      s.ICount,
+		InInterrupt: s.InInterrupt > 0,
+	}
+	if e.bugKeys[b.Key()] {
+		return
+	}
+	e.bugKeys[b.Key()] = true
+	b.Trace = s.Trace.Path()
+	b.Trace = append(b.Trace, vm.Event{Kind: vm.EvBug, Seq: s.ICount, PC: fault.PC, Name: b.Class + ": " + fault.Msg})
+	model := e.M.Solver.Model(s.Constraints)
+	if model == nil {
+		model = expr.Assignment{}
+	}
+	// Complete the model over every symbol on this path (unconstrained
+	// symbols get an explicit zero so the trace is fully concrete).
+	for _, ev := range b.Trace {
+		if ev.Kind == vm.EvNewSym {
+			if _, ok := model[ev.Sym]; !ok {
+				model[ev.Sym] = 0
+			}
+			b.Symbols = append(b.Symbols, e.M.Syms.Info(ev.Sym))
+		}
+	}
+	b.Model = model
+	e.bugs = append(e.bugs, b)
+}
+
+// PhaseResult is what one entry-phase exploration returns.
+type PhaseResult struct {
+	// Succeeded are exited states whose R0 was StatusSuccess (capped at
+	// Opts.KeepStates), used to seed the next phase.
+	Succeeded []*vm.State
+	// Exited counts all completed paths.
+	Exited int
+	// BugsFound counts new bugs recorded during the phase.
+	BugsFound int
+}
+
+// Explore runs all queued states to completion, recording coverage and
+// bugs. Initial states must already be pushed (via e.Sched.Push) and set up
+// with kernel.Invoke.
+func (e *Engine) Explore(entryName string) PhaseResult {
+	var res PhaseResult
+	bugsBefore := len(e.bugs)
+	for e.Sched.Len() > 0 && res.Exited < e.Opts.MaxPathsPerEntry {
+		if e.Opts.StopAtFirstBug && len(e.bugs) > 0 {
+			break
+		}
+		st := e.Sched.Pop()
+		e.runPath(st, entryName, &res)
+	}
+	// Frontier left over when the path budget is hit is abandoned —
+	// bounded-exploration coverage loss, never unsoundness.
+	for e.Sched.Len() > 0 {
+		st := e.Sched.Pop()
+		st.Status = vm.StatusKilled
+		e.Loop.Forget(st.ID)
+	}
+	res.BugsFound = len(e.bugs) - bugsBefore
+	return res
+}
+
+// runPath steps one state until it terminates or forks; forked siblings go
+// back to the scheduler.
+func (e *Engine) runPath(st *vm.State, entryName string, res *PhaseResult) {
+	// Deferred ISR injection (marked at a boundary crossing).
+	if st.Meta != nil && st.Meta[metaInjectISR] == 1 {
+		delete(st.Meta, metaInjectISR)
+		if !e.K.InjectInterrupt(st) {
+			st.Status = vm.StatusKilled
+			return
+		}
+	}
+	start := st.ICount
+	cur := st
+	for cur.Status == vm.StatusRunning {
+		if cur.ICount-start >= e.Opts.MaxStepsPerPath {
+			cur.Status = vm.StatusKilled
+			e.Loop.Forget(cur.ID)
+			return
+		}
+		next, err := e.M.Step(cur)
+		if e.pendLoop != nil {
+			err = e.pendLoop
+			e.pendLoop = nil
+			cur.Status = vm.StatusBug
+		}
+		if err != nil {
+			if f, ok := err.(*vm.Fault); ok {
+				e.recordBug(cur, f)
+			} else {
+				e.recordBug(cur, vm.Faultf("engine", cur.PC, "%v", err))
+			}
+			e.Loop.Forget(cur.ID)
+			return
+		}
+		switch len(next) {
+		case 0:
+			e.finishPath(cur, res)
+			return
+		case 1:
+			cur = next[0]
+		default:
+			for _, n := range next[1:] {
+				e.Sched.Push(n)
+			}
+			cur = next[0]
+			// Keep running the first child without rescheduling: cheap
+			// depth-first descent within the coverage-guided outer loop.
+		}
+	}
+}
+
+func (e *Engine) finishPath(s *vm.State, res *PhaseResult) {
+	e.Loop.Forget(s.ID)
+	if s.Status != vm.StatusExited {
+		return
+	}
+	e.paths++
+	res.Exited++
+	status, ok := s.RegConcrete(isa.R0)
+	if !ok {
+		// A symbolic entry status: concretize for bookkeeping.
+		v, err := e.M.Concretize(s, s.Reg(isa.R0), "entry status")
+		if err != nil {
+			return
+		}
+		status = v
+	}
+	// Leak checking at entry exit (failed Initialize / completed Halt).
+	if err := e.Leak.CheckEntryExit(s, s.EntryName, status); err != nil {
+		if f, ok := err.(*vm.Fault); ok {
+			e.recordBug(s, f)
+		}
+		return
+	}
+	if status == kernel.StatusSuccess && len(res.Succeeded) < e.Opts.KeepStates*4 {
+		res.Succeeded = append(res.Succeeded, s)
+	}
+}
+
+// InvokeEntry seeds the scheduler with an entry invocation on a fork of
+// base, plus (when enabled and registered) a sibling that takes an
+// interrupt immediately at entry start.
+func (e *Engine) InvokeEntry(base *vm.State, name string, pc uint32, args ...*expr.Expr) {
+	st := e.M.ForkState(base)
+	e.K.InvokeSym(st, name, pc, args...)
+	e.Sched.Push(st)
+
+	if e.Opts.SymbolicInterrupts && kernel.Of(st).ISRRegistered {
+		alt := e.M.ForkState(base)
+		e.K.InvokeSym(alt, name, pc, args...)
+		if alt.Meta == nil {
+			alt.Meta = make(map[string]uint64)
+		}
+		alt.Meta[metaIntrCount] = 1
+		alt.Meta[metaInjectISR] = 1
+		e.Sched.Push(alt)
+	}
+}
+
+// Report assembles the session report.
+func (e *Engine) Report() *Report {
+	r := &Report{
+		Driver:        e.Img.Name,
+		Bugs:          append([]*Bug(nil), e.bugs...),
+		PathsExplored: e.paths,
+		StatesForked:  e.M.Forks,
+		Instructions:  e.M.Steps,
+		BlocksCovered: e.Cov.Blocks(),
+		BlocksStatic:  e.Cov.TotalStatic,
+		SolverQueries: e.M.Solver.Stats.Queries,
+		SymbolsMade:   e.M.Syms.Len(),
+	}
+	for _, p := range e.Cov.Series() {
+		r.CoverageSeries = append(r.CoverageSeries, CoveragePointOut{p.Instructions, p.Blocks})
+	}
+	return r
+}
+
+// Bugs returns the bugs recorded so far.
+func (e *Engine) Bugs() []*Bug { return e.bugs }
+
+func (e *Engine) String() string {
+	return fmt.Sprintf("ddt engine for %q (%d bugs, %d paths)", e.Img.Name, len(e.bugs), e.paths)
+}

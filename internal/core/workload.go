@@ -1,0 +1,351 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/binimg"
+	"repro/internal/expr"
+	"repro/internal/kernel"
+	"repro/internal/vm"
+)
+
+// The workload generator is our Device Path Exerciser (§4.3): it invokes
+// each registered entry point the way the OS would — load, initialize,
+// exercise the data path (one packet / one playback, §5.2), query and set
+// driver information with symbolic OIDs, drain DPCs, deliver interrupts,
+// halt — and lets symbolic execution fan out from each invocation.
+
+// TestDriver runs the complete workload against the image and returns the
+// bug report. This is the top-level "Test Now button" (§1).
+func (e *Engine) TestDriver() (*Report, error) {
+	boot := e.NewBootState()
+
+	// Phase: DriverEntry — the load-time entry named in the binary header.
+	entry := e.M.ForkState(boot)
+	e.K.Invoke(entry, "DriverEntry", e.Img.Entry)
+	e.Sched.Push(entry)
+	res := e.Explore("DriverEntry")
+	if len(res.Succeeded) == 0 {
+		// A driver whose load entry always fails or crashes: report what
+		// we found.
+		return e.Report(), nil
+	}
+	bases := res.Succeeded
+
+	switch e.Img.Device.Class {
+	case binimg.ClassNetwork:
+		bases = e.networkWorkload(bases)
+	case binimg.ClassAudio:
+		bases = e.audioWorkload(bases)
+	default:
+		// No class-specific data path: still exercise halt if registered.
+	}
+	_ = bases
+	return e.Report(), nil
+}
+
+// phase runs one entry phase across all base states. It returns the new
+// bases (successful outcomes) and whether any invocation succeeded; when
+// none did, the old bases are returned so the caller can decide whether the
+// remaining workload still makes sense.
+func (e *Engine) phase(bases []*vm.State, name string, pcOf func(ks *kernel.KState) uint32,
+	argsOf func(s *vm.State) []*expr.Expr, prep func(s *vm.State)) ([]*vm.State, bool) {
+
+	any := false
+	for _, base := range bases {
+		ks := kernel.Of(base)
+		pc := pcOf(ks)
+		if pc == 0 {
+			continue
+		}
+		any = true
+		st := e.M.ForkState(base)
+		if prep != nil {
+			prep(st)
+		}
+		var args []*expr.Expr
+		if argsOf != nil {
+			args = argsOf(st)
+		}
+		e.K.InvokeSym(st, name, pc, args...)
+		e.Sched.Push(st)
+
+		if e.Opts.SymbolicInterrupts && kernel.Of(st).ISRRegistered && name != "ISR" {
+			alt := e.M.ForkState(base)
+			if prep != nil {
+				prep(alt)
+			}
+			var altArgs []*expr.Expr
+			if argsOf != nil {
+				altArgs = argsOf(alt)
+			}
+			e.K.InvokeSym(alt, name, pc, altArgs...)
+			if alt.Meta == nil {
+				alt.Meta = make(map[string]uint64)
+			}
+			alt.Meta[metaIntrCount] = 1
+			alt.Meta[metaInjectISR] = 1
+			e.Sched.Push(alt)
+		}
+	}
+	if !any {
+		return bases, false
+	}
+	res := e.Explore(name)
+	if len(res.Succeeded) == 0 {
+		return bases, false
+	}
+	// Prefer carrying forward states with queued DPCs — they hold the
+	// continuations (timer callbacks) the DPC-drain phase must exercise —
+	// then cap at the configured fan-out.
+	sort.SliceStable(res.Succeeded, func(i, j int) bool {
+		return len(kernel.Of(res.Succeeded[i]).PendingDPCs) > len(kernel.Of(res.Succeeded[j]).PendingDPCs)
+	})
+	if len(res.Succeeded) > e.Opts.KeepStates {
+		res.Succeeded = res.Succeeded[:e.Opts.KeepStates]
+	}
+	// Normalize carried state: phases must not leak DPC/IRQL context.
+	for _, s := range res.Succeeded {
+		ks := kernel.Of(s)
+		ks.InDpc = false
+		ks.IRQL = kernel.PassiveLevel
+	}
+	return res.Succeeded, true
+}
+
+// adapterHandle is the opaque per-adapter context the kernel hands to
+// network entry points.
+const adapterHandle uint32 = 0x7000_0001
+
+func (e *Engine) networkWorkload(bases []*vm.State) []*vm.State {
+	mp := func(ks *kernel.KState) *kernel.MiniportChars {
+		if ks.Miniport == nil {
+			return &kernel.MiniportChars{}
+		}
+		return ks.Miniport
+	}
+
+	// Initialize. Interrupt registration happens inside; the boundary hook
+	// begins injecting as soon as the ISR is registered — this is the
+	// window where the RTL8029 init race lives.
+	bases, initialized := e.phase(bases, "Initialize",
+		func(ks *kernel.KState) uint32 { return mp(ks).InitializePC },
+		func(s *vm.State) []*expr.Expr { return []*expr.Expr{expr.Const(adapterHandle)} },
+		nil)
+	if !initialized {
+		// The OS only exercises the data path — and eventually Halt — on
+		// an adapter that initialized successfully.
+		return bases
+	}
+
+	// Send one packet with symbolic contents and symbolic (bounded) length.
+	bases, _ = e.phase(bases, "Send",
+		func(ks *kernel.KState) uint32 { return mp(ks).SendPC },
+		func(s *vm.State) []*expr.Expr {
+			pkt := e.makeSymbolicPacket(s)
+			return []*expr.Expr{expr.Const(adapterHandle), expr.Const(pkt)}
+		},
+		nil)
+
+	// QueryInformation / SetInformation with a fully symbolic OID — the
+	// unexpected-OID crashes of Table 2 need exactly this. Symbolic entry
+	// arguments are concrete-to-symbolic conversion hints (§3.4): in
+	// default, annotation-free mode "driver entry point arguments are not
+	// touched" and a representative concrete OID is used instead.
+	infoArgs := func(concreteOID uint32) func(s *vm.State) []*expr.Expr {
+		return func(s *vm.State) []*expr.Expr {
+			var oid *expr.Expr
+			if e.Opts.Annotations {
+				oid = e.K.FreshSymbol(s, "oid", expr.OriginArgument)
+			} else {
+				oid = expr.Const(concreteOID)
+			}
+			buf := e.makeInfoBuffer(s)
+			return []*expr.Expr{expr.Const(adapterHandle), oid, expr.Const(buf), expr.Const(64)}
+		}
+	}
+	bases, _ = e.phase(bases, "QueryInformation",
+		func(ks *kernel.KState) uint32 { return mp(ks).QueryInfoPC },
+		infoArgs(kernel.OIDGenSupportedList), nil)
+	bases, _ = e.phase(bases, "SetInformation",
+		func(ks *kernel.KState) uint32 { return mp(ks).SetInfoPC },
+		infoArgs(kernel.OIDGenCurrentPacketFil), nil)
+
+	// Direct ISR delivery (device interrupt while otherwise idle).
+	bases, _ = e.phase(bases, "ISR",
+		func(ks *kernel.KState) uint32 {
+			if ks.ISRRegistered {
+				return ks.ISRPC
+			}
+			return 0
+		},
+		func(s *vm.State) []*expr.Expr { return []*expr.Expr{expr.Const(adapterHandle)} },
+		func(s *vm.State) { kernel.Of(s).IRQL = kernel.DeviceLevel })
+
+	// Drain queued DPCs (timer callbacks) at DISPATCH_LEVEL.
+	bases = e.drainDPCs(bases)
+
+	// Halt: everything must be released afterwards.
+	bases, _ = e.phase(bases, "Halt",
+		func(ks *kernel.KState) uint32 { return mp(ks).HaltPC },
+		func(s *vm.State) []*expr.Expr { return []*expr.Expr{expr.Const(adapterHandle)} },
+		nil)
+	return bases
+}
+
+func (e *Engine) audioWorkload(bases []*vm.State) []*vm.State {
+	au := func(ks *kernel.KState) *kernel.AudioChars {
+		if ks.Audio == nil {
+			return &kernel.AudioChars{}
+		}
+		return ks.Audio
+	}
+
+	bases, initialized := e.phase(bases, "Initialize",
+		func(ks *kernel.KState) uint32 { return au(ks).InitializePC },
+		func(s *vm.State) []*expr.Expr { return []*expr.Expr{expr.Const(adapterHandle)} },
+		nil)
+	if !initialized {
+		return bases
+	}
+
+	// Play a small sound: the paper's audio workload (§5.2).
+	bases, _ = e.phase(bases, "Play",
+		func(ks *kernel.KState) uint32 { return au(ks).PlayPC },
+		func(s *vm.State) []*expr.Expr {
+			buf := e.makeAudioBuffer(s)
+			return []*expr.Expr{expr.Const(adapterHandle), expr.Const(buf), expr.Const(256)}
+		},
+		nil)
+
+	bases, _ = e.phase(bases, "ISR",
+		func(ks *kernel.KState) uint32 {
+			if ks.ISRRegistered {
+				return ks.ISRPC
+			}
+			return 0
+		},
+		func(s *vm.State) []*expr.Expr { return []*expr.Expr{expr.Const(adapterHandle)} },
+		func(s *vm.State) { kernel.Of(s).IRQL = kernel.DeviceLevel })
+
+	bases = e.drainDPCs(bases)
+
+	bases, _ = e.phase(bases, "Stop",
+		func(ks *kernel.KState) uint32 { return au(ks).StopPC },
+		func(s *vm.State) []*expr.Expr { return []*expr.Expr{expr.Const(adapterHandle)} },
+		nil)
+
+	bases, _ = e.phase(bases, "Halt",
+		func(ks *kernel.KState) uint32 { return au(ks).HaltPC },
+		func(s *vm.State) []*expr.Expr { return []*expr.Expr{expr.Const(adapterHandle)} },
+		nil)
+	return bases
+}
+
+// drainDPCs dispatches pending timer/DPC callbacks at DISPATCH_LEVEL with
+// the DPC flag set (where the Intel Pro/100 spinlock bug manifests).
+func (e *Engine) drainDPCs(bases []*vm.State) []*vm.State {
+	var out []*vm.State
+	ran := false
+	for _, base := range bases {
+		ks := kernel.Of(base)
+		if len(ks.PendingDPCs) == 0 {
+			out = append(out, base)
+			continue
+		}
+		ran = true
+		dpc := ks.PendingDPCs[0]
+		st := e.M.ForkState(base)
+		sks := kernel.Of(st)
+		sks.PendingDPCs = sks.PendingDPCs[1:]
+		sks.IRQL = kernel.DispatchLevel
+		sks.InDpc = true
+		e.K.InvokeSym(st, "DPC:"+dpc.Label, dpc.FuncPC, expr.Const(dpc.Ctx))
+		e.Sched.Push(st)
+	}
+	if !ran {
+		return bases
+	}
+	res := e.Explore("DPC")
+	for _, s := range res.Succeeded {
+		ks := kernel.Of(s)
+		ks.InDpc = false
+		ks.IRQL = kernel.PassiveLevel
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return bases
+	}
+	return out
+}
+
+// makeSymbolicPacket builds the one-packet Send workload: a packet header
+// { dataPtr, length } plus a payload whose leading bytes are symbolic. The
+// length is symbolic but constrained to the buffer size — the soundness
+// requirement §7 contrasts with RevNIC ("constrained not to be greater
+// than the original, to avoid buffer overflows").
+func (e *Engine) makeSymbolicPacket(s *vm.State) uint32 {
+	ks := kernel.Of(s)
+	const payload = 64
+	addr, err := ks.HeapAlloc(8+payload, "sendpkt", "packet", s.ICount, 0)
+	if err != nil {
+		return 0
+	}
+	delete(ks.Allocs, addr) // kernel-owned: the driver must not free it
+	data := addr + 8
+	s.Mem.Write(addr, 4, expr.Const(data))
+	if e.Opts.Annotations {
+		length := e.K.FreshSymbol(s, "packet_len", expr.OriginPacket)
+		s.AddConstraint(expr.UGe(length, expr.Const(14)))
+		s.AddConstraint(expr.ULe(length, expr.Const(payload)))
+		s.Mem.Write(addr+4, 4, length)
+		for i := uint32(0); i < 16; i++ {
+			b := e.K.FreshSymbol(s, fmt.Sprintf("packet_byte_%d", i), expr.OriginPacket)
+			s.Mem.Write(data+i, 1, b)
+		}
+	} else {
+		s.Mem.Write(addr+4, 4, expr.Const(42))
+		for i := uint32(0); i < 16; i++ {
+			s.Mem.Write(data+i, 1, expr.Const(uint32(0x40+i)))
+		}
+	}
+	for i := uint32(16); i < payload; i++ {
+		s.Mem.Write(data+i, 1, expr.Const(0))
+	}
+	return addr
+}
+
+// makeInfoBuffer allocates the kernel-owned information buffer passed to
+// Query/SetInformation.
+func (e *Engine) makeInfoBuffer(s *vm.State) uint32 {
+	ks := kernel.Of(s)
+	addr, err := ks.HeapAlloc(64, "infobuf", "param", s.ICount, 0)
+	if err != nil {
+		return 0
+	}
+	delete(ks.Allocs, addr)
+	return addr
+}
+
+// makeAudioBuffer allocates a playback buffer with symbolic leading
+// samples.
+func (e *Engine) makeAudioBuffer(s *vm.State) uint32 {
+	ks := kernel.Of(s)
+	addr, err := ks.HeapAlloc(256, "audiobuf", "param", s.ICount, 0)
+	if err != nil {
+		return 0
+	}
+	delete(ks.Allocs, addr)
+	if e.Opts.Annotations {
+		for i := uint32(0); i < 8; i++ {
+			b := e.K.FreshSymbol(s, fmt.Sprintf("sample_%d", i), expr.OriginPacket)
+			s.Mem.Write(addr+i, 1, b)
+		}
+	} else {
+		for i := uint32(0); i < 8; i++ {
+			s.Mem.Write(addr+i, 1, expr.Const(i*17&0xFF))
+		}
+	}
+	return addr
+}

@@ -1,0 +1,236 @@
+package corpus
+
+import (
+	"fmt"
+
+	"repro/internal/binimg"
+)
+
+func init() {
+	register(&Spec{
+		Name:  "intel-ac97",
+		Class: binimg.ClassAudio,
+		ExpectedBugs: []string{
+			"race condition", // during playback, the ISR can cause a BSOD
+		},
+		FillerFuncs: 120,
+		Source:      ac97Source,
+	})
+}
+
+// ac97Source generates the Intel 82801AA AC'97 WDM audio driver. Table 2
+// plants one bug: during playback the interrupt handler dereferences the
+// DMA descriptor pointer, which Play publishes only after raising the
+// playing flag — an interrupt in that window crashes the kernel.
+func ac97Source(v Variant) string {
+	buggy := v == Buggy
+	return fmt.Sprintf(`
+; Intel 82801AA (ICH) AC'97 WDM audio driver (corpus reimplementation)
+.name intel-ac97
+.device vendor=0x8086 device=0x2415 class=audio bar=256 ports=64 irq=5 rev=1
+.import PcRegisterMiniport
+.import PcNewInterruptSync
+.import PcRegisterServiceRoutine
+.import ExAllocatePoolWithTag
+.import ExFreePoolWithTag
+.import KeInitializeSpinLock
+.import KeAcquireSpinLock
+.import KeReleaseSpinLock
+.import KeStallExecutionProcessor
+.import KeGetCurrentIrql
+.entry DriverEntry
+
+.text
+DriverEntry:
+    push lr
+    movi r0, chars
+    call PcRegisterMiniport
+    call ich_selftest
+    pop  lr
+    movi r0, 0
+    ret
+
+; ---------------------------------------------------------------
+; Initialize(adapter) -> status
+; ---------------------------------------------------------------
+Initialize:
+    push lr
+    mov  r11, r0
+    addi sp, sp, -8
+    ; adapter context (checked correctly)
+    movi r0, 0
+    movi r1, 160
+    movi r2, 0x37394341
+    call ExAllocatePoolWithTag
+    movi r10, 0
+    bne  r0, r10, ich_adapter_ok
+    jmp  ich_fail_bare
+ich_adapter_ok:
+    movi r5, g_adapter
+    stw  [r5+0], r0
+    ; codec warm-up: read the reset register until it settles
+    movi r1, 0x00
+    in   r2, r1
+    movi r12, g_codec_id
+    stw  [r12+0], r2
+    ; interrupt sync (checked correctly)
+    mov  r0, sp
+    mov  r1, r11
+    call PcNewInterruptSync
+    beq  r0, r10, ich_sync_ok
+    movi r12, g_adapter
+    ldw  r0, [r12+0]
+    movi r1, 0x37394341
+    call ExFreePoolWithTag
+    jmp  ich_fail_bare
+ich_sync_ok:
+    ldw  r6, [sp+0]
+    movi r5, g_sync
+    stw  [r5+0], r6
+    ldw  r0, [sp+0]
+    movi r1, Isr
+    movi r2, 0
+    call PcRegisterServiceRoutine
+    movi r0, g_lock
+    call KeInitializeSpinLock
+    addi sp, sp, 8
+    pop  lr
+    movi r0, 0
+    ret
+ich_fail_bare:
+    addi sp, sp, 8
+    pop  lr
+    movi r0, 0xC0000001
+    ret
+
+; ---------------------------------------------------------------
+; Play(adapter, buf, len) -> status
+; ---------------------------------------------------------------
+Play:
+    push lr
+    mov  r9, r1
+%s
+    pop  lr
+    movi r0, 0
+    ret
+ich_play_alloc_fail:
+    movi r12, g_playing
+    movi r10, 0
+    stw  [r12+0], r10
+    pop  lr
+    movi r0, 0xC0000001
+    ret
+
+; ---------------------------------------------------------------
+; Stop(adapter) -> status
+; ---------------------------------------------------------------
+Stop:
+    push lr
+    movi r12, g_playing
+    movi r10, 0
+    stw  [r12+0], r10
+    movi r12, g_dmadesc
+    ldw  r4, [r12+0]
+    beq  r4, r10, ich_stop_done
+    stw  [r12+0], r10
+    mov  r0, r4
+    movi r1, 0x42394341
+    call ExFreePoolWithTag
+ich_stop_done:
+    pop  lr
+    movi r0, 0
+    ret
+
+; ---------------------------------------------------------------
+; Halt(adapter)
+; ---------------------------------------------------------------
+Halt:
+    push lr
+    movi r10, 0
+    movi r12, g_adapter
+    ldw  r4, [r12+0]
+    beq  r4, r10, ich_halt_done
+    stw  [r12+0], r10
+    mov  r0, r4
+    movi r1, 0x37394341
+    call ExFreePoolWithTag
+ich_halt_done:
+    pop  lr
+    movi r0, 0
+    ret
+
+; ---------------------------------------------------------------
+; ISR(adapter)
+; ---------------------------------------------------------------
+Isr:
+    push lr
+    movi r1, 0x16             ; PCM out status
+    in   r2, r1
+    movi r10, 0
+    andi r3, r2, 8            ; buffer-complete interrupt
+    beq  r3, r10, ich_isr_done
+    out  r1, r3               ; ack
+    movi r4, g_playing
+    ldw  r4, [r4+0]
+    beq  r4, r10, ich_isr_done
+    ; advance the DMA descriptor (bug 14: may be NULL in the Play window)
+    movi r5, g_dmadesc
+    ldw  r5, [r5+0]
+%s
+    ldw  r6, [r5+0]
+    addi r6, r6, 1
+    andi r6, r6, 31
+    stw  [r5+0], r6
+ich_isr_done:
+    pop  lr
+    movi r0, 0
+    ret
+
+%s
+
+.data
+chars:      .word Initialize, Play, Stop, Isr, Halt
+g_adapter:  .word 0
+g_sync:     .word 0
+g_codec_id: .word 0
+g_dmadesc:  .word 0
+g_playing:  .word 0
+g_lock:     .space 8
+`,
+		// Bug 14: buggy Play raises the playing flag before publishing the
+		// DMA descriptor (with a kernel call in between); fixed Play
+		// publishes first.
+		pick(buggy, `    movi r12, g_playing
+    movi r5, 1
+    stw  [r12+0], r5          ; flag first: wrong order
+    movi r0, 3
+    call KeStallExecutionProcessor
+    movi r0, 0
+    movi r1, 128
+    movi r2, 0x42394341
+    call ExAllocatePoolWithTag
+    movi r10, 0
+    beq  r0, r10, ich_play_alloc_fail
+    movi r12, g_dmadesc
+    stw  [r12+0], r0
+    ldb  r4, [r9+0]
+    stb  [r0+4], r4`, `    movi r0, 0
+    movi r1, 128
+    movi r2, 0x42394341
+    call ExAllocatePoolWithTag
+    movi r10, 0
+    beq  r0, r10, ich_play_alloc_fail
+    movi r12, g_dmadesc
+    stw  [r12+0], r0
+    ldb  r4, [r9+0]
+    stb  [r0+4], r4
+    movi r0, 3
+    call KeStallExecutionProcessor
+    movi r12, g_playing
+    movi r5, 1
+    stw  [r12+0], r5`),
+		// The fixed ISR also guards the descriptor pointer.
+		pick(buggy, "", "    beq  r5, r10, ich_isr_done"),
+		filler("ich", 120, 4),
+	)
+}

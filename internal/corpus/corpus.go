@@ -1,0 +1,120 @@
+// Package corpus contains the evaluation driver suite: d32 reimplementations
+// of the six Windows drivers of Table 1, each with the corresponding
+// previously-unknown bugs of Table 2 planted at the same functional
+// locations, plus bug-free ("fixed") variants used to validate DDT's
+// zero-false-positive property, plus the DDK-style sample driver used for
+// the SDV comparison of §5.1.
+//
+// Drivers are assembled on demand and consumed by DDT as closed binary
+// images; nothing in the testing pipeline sees this source.
+package corpus
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/asm"
+	"repro/internal/binimg"
+)
+
+// Variant selects the buggy (as-shipped) or fixed build of a driver.
+type Variant int
+
+// Driver build variants.
+const (
+	Buggy Variant = iota
+	Fixed
+)
+
+func (v Variant) String() string {
+	if v == Fixed {
+		return "fixed"
+	}
+	return "buggy"
+}
+
+// Spec describes one corpus driver.
+type Spec struct {
+	Name string
+	// Class is the device class the PnP manager binds.
+	Class binimg.DeviceClass
+	// Source generates the assembly for a variant.
+	Source func(v Variant) string
+	// ExpectedBugs lists the Table 2 bug classes DDT must find in the
+	// buggy variant (by Table-2 category name, duplicated per instance).
+	ExpectedBugs []string
+	// FillerFuncs scales the binary to its Table 1 size class.
+	FillerFuncs int
+}
+
+var registry = map[string]*Spec{}
+
+func register(s *Spec) { registry[s.Name] = s }
+
+// Names lists the corpus drivers in Table 1 order.
+func Names() []string {
+	order := []string{"intel-pro1000", "intel-pro100", "intel-ac97", "ensoniq-audiopci", "amd-pcnet", "rtl8029", "ddk-sample"}
+	var out []string
+	for _, n := range order {
+		if _, ok := registry[n]; ok {
+			out = append(out, n)
+		}
+	}
+	// Any extras, alphabetically.
+	var extra []string
+	for n := range registry {
+		found := false
+		for _, o := range out {
+			if o == n {
+				found = true
+			}
+		}
+		if !found {
+			extra = append(extra, n)
+		}
+	}
+	sort.Strings(extra)
+	return append(out, extra...)
+}
+
+// Get returns the spec for a driver name.
+func Get(name string) (*Spec, bool) {
+	s, ok := registry[name]
+	return s, ok
+}
+
+var (
+	buildMu    sync.Mutex
+	buildCache = map[string]*binimg.Image{}
+)
+
+// Build assembles a corpus driver variant (cached).
+func Build(name string, v Variant) (*binimg.Image, error) {
+	spec, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("corpus: unknown driver %q", name)
+	}
+	key := name + "/" + v.String()
+	buildMu.Lock()
+	defer buildMu.Unlock()
+	if im, ok := buildCache[key]; ok {
+		return im, nil
+	}
+	im, err := asm.Assemble(spec.Source(v))
+	if err != nil {
+		return nil, fmt.Errorf("corpus: assembling %s (%s): %w", name, v, err)
+	}
+	buildCache[key] = im
+	return im, nil
+}
+
+// MustBuild is Build that panics on error (corpus sources are validated by
+// the test suite).
+func MustBuild(name string, v Variant) *binimg.Image {
+	im, err := Build(name, v)
+	if err != nil {
+		panic(err)
+	}
+	return im
+}

@@ -1,0 +1,132 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/binimg"
+)
+
+func TestAllDriversAssemble(t *testing.T) {
+	for _, name := range Names() {
+		for _, v := range []Variant{Buggy, Fixed} {
+			img, err := Build(name, v)
+			if err != nil {
+				t.Errorf("%s/%s: %v", name, v, err)
+				continue
+			}
+			if img.Name != name {
+				t.Errorf("%s: image name %q", name, img.Name)
+			}
+		}
+	}
+}
+
+func TestBuggyAndFixedDiffer(t *testing.T) {
+	for _, name := range Names() {
+		b := MustBuild(name, Buggy)
+		f := MustBuild(name, Fixed)
+		if string(b.Text) == string(f.Text) {
+			t.Errorf("%s: buggy and fixed variants are identical", name)
+		}
+	}
+}
+
+func TestBuildCacheReturnsSameImage(t *testing.T) {
+	a := MustBuild("rtl8029", Buggy)
+	b := MustBuild("rtl8029", Buggy)
+	if a != b {
+		t.Error("cache miss for identical build")
+	}
+}
+
+func TestUnknownDriver(t *testing.T) {
+	if _, err := Build("nonexistent", Buggy); err == nil || !strings.Contains(err.Error(), "unknown driver") {
+		t.Errorf("err = %v", err)
+	}
+	if _, ok := Get("nonexistent"); ok {
+		t.Error("Get of unknown driver succeeded")
+	}
+}
+
+// TestTable1SizeOrdering: the corpus tracks Table 1's size ordering — the
+// Intel Pro/1000 is the largest binary, the RTL8029 the smallest, and the
+// Pro/1000 has by far the most functions.
+func TestTable1SizeOrdering(t *testing.T) {
+	info := map[string]binimg.Info{}
+	for _, name := range []string{"intel-pro1000", "intel-pro100", "intel-ac97", "ensoniq-audiopci", "amd-pcnet", "rtl8029"} {
+		info[name] = binimg.Analyze(MustBuild(name, Buggy))
+	}
+	if !(info["intel-pro1000"].CodeSize > info["intel-pro100"].CodeSize &&
+		info["intel-pro100"].CodeSize > info["amd-pcnet"].CodeSize &&
+		info["amd-pcnet"].CodeSize > info["rtl8029"].CodeSize) {
+		t.Errorf("size ordering broken: %v", info)
+	}
+	if info["intel-pro1000"].NumFunctions < 400 {
+		t.Errorf("pro/1000 functions = %d, want ~525", info["intel-pro1000"].NumFunctions)
+	}
+	if info["rtl8029"].NumFunctions > 60 {
+		t.Errorf("rtl8029 functions = %d, want ~48", info["rtl8029"].NumFunctions)
+	}
+	// Paper: 18 KB to 168 KB binaries. Ours track the same order of
+	// magnitude and strictly the same ranking.
+	if info["rtl8029"].FileSize > 32<<10 || info["intel-pro1000"].FileSize < 100<<10 {
+		t.Errorf("size band: rtl=%d pro1000=%d", info["rtl8029"].FileSize, info["intel-pro1000"].FileSize)
+	}
+}
+
+func TestExpectedBugCountsMatchTable2(t *testing.T) {
+	want := map[string]int{
+		"rtl8029": 5, "amd-pcnet": 2, "intel-pro1000": 1,
+		"intel-pro100": 1, "ensoniq-audiopci": 4, "intel-ac97": 1,
+	}
+	total := 0
+	for name, n := range want {
+		spec, ok := Get(name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		if len(spec.ExpectedBugs) != n {
+			t.Errorf("%s: %d expected bugs, want %d", name, len(spec.ExpectedBugs), n)
+		}
+		total += n
+	}
+	if total != 14 {
+		t.Errorf("total = %d, want 14", total)
+	}
+}
+
+func TestDeviceDescriptors(t *testing.T) {
+	for _, name := range Names() {
+		spec, _ := Get(name)
+		img := MustBuild(name, Buggy)
+		if img.Device.Class != spec.Class {
+			t.Errorf("%s: class %v, want %v", name, img.Device.Class, spec.Class)
+		}
+		if img.Device.VendorID == 0 {
+			t.Errorf("%s: zero vendor id", name)
+		}
+	}
+}
+
+func TestNamesOrderStable(t *testing.T) {
+	a := Names()
+	b := Names()
+	if len(a) != len(b) {
+		t.Fatal("unstable names")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("unstable order")
+		}
+	}
+	if len(a) < 8 {
+		t.Errorf("corpus has %d drivers, want >= 8", len(a))
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if Buggy.String() != "buggy" || Fixed.String() != "fixed" {
+		t.Error("variant names")
+	}
+}

@@ -1,0 +1,318 @@
+package corpus
+
+import (
+	"fmt"
+
+	"repro/internal/binimg"
+)
+
+func init() {
+	register(&Spec{
+		Name:  "ensoniq-audiopci",
+		Class: binimg.ClassAudio,
+		ExpectedBugs: []string{
+			"segmentation fault", // NULL from ExAllocatePoolWithTag used on error path
+			"segmentation fault", // NULL sync after PcNewInterruptSync failure
+			"race condition",     // init-routine race with the ISR
+			"race condition",     // playback races with interrupts
+		},
+		FillerFuncs: 205,
+		Source:      ensoniqSource,
+	})
+}
+
+// ensoniqSource generates the Ensoniq AudioPCI (ES1370) WDM audio driver.
+// Table 2 plants two NULL-dereference crashes on allocation/interrupt-sync
+// failure paths and two interrupt races.
+func ensoniqSource(v Variant) string {
+	buggy := v == Buggy
+	return fmt.Sprintf(`
+; Ensoniq AudioPCI (ES1370) WDM/PortCls audio driver (corpus reimplementation)
+.name ensoniq-audiopci
+.device vendor=0x1274 device=0x5000 class=audio bar=64 ports=64 irq=5 rev=1
+.import PcRegisterMiniport
+.import PcNewInterruptSync
+.import PcRegisterServiceRoutine
+.import ExAllocatePoolWithTag
+.import ExFreePoolWithTag
+.import KeInitializeSpinLock
+.import KeAcquireSpinLock
+.import KeReleaseSpinLock
+.import KeStallExecutionProcessor
+.import KeGetCurrentIrql
+.entry DriverEntry
+
+.text
+DriverEntry:
+    push lr
+    movi r0, chars
+    call PcRegisterMiniport
+    call es_selftest
+    pop  lr
+    movi r0, 0
+    ret
+
+; ---------------------------------------------------------------
+; Initialize(adapter) -> status
+; ---------------------------------------------------------------
+Initialize:
+    push lr
+    mov  r11, r0
+    addi sp, sp, -8           ; [0]=syncPtr [4]=tmp
+    ; adapter context
+    movi r0, 0                ; NonPagedPool
+    movi r1, 192
+    movi r2, 0x31534545
+    call ExAllocatePoolWithTag
+    movi r10, 0
+    bne  r0, r10, es_adapter_ok
+    ; allocation failed:
+%s
+es_adapter_ok:
+    movi r5, g_adapter
+    stw  [r5+0], r0
+    ; sensible defaults in the context block
+    movi r5, 44100
+    stw  [r0+0], r5
+    movi r5, 2
+    stw  [r0+4], r5
+    ; interrupt sync object
+    mov  r4, r0
+    mov  r0, sp
+    mov  r1, r11
+    call PcNewInterruptSync
+%s
+    ldw  r6, [sp+0]
+    movi r5, g_sync
+    stw  [r5+0], r6
+    ldw  r7, [r6+0]           ; touch the sync object (NULL here = bug 9)
+    movi r5, g_syncword
+    stw  [r5+0], r7
+    ; attach the service routine: interrupts may fire from here on
+    ldw  r0, [sp+0]
+    movi r1, Isr
+    movi r2, 0
+    call PcRegisterServiceRoutine
+    movi r0, g_lock
+    call KeInitializeSpinLock
+    ; DMA ring (the ISR consumes it -- bug 10 window until the store)
+    movi r0, 0
+    movi r1, 512
+    movi r2, 0x32534545
+    call ExAllocatePoolWithTag
+    bne  r0, r10, es_ring_ok
+    ; ring allocation failed: undo the adapter block
+    movi r12, g_adapter
+    ldw  r0, [r12+0]
+    movi r1, 0x31534545
+    call ExFreePoolWithTag
+    addi sp, sp, 8
+    pop  lr
+    movi r0, 0xC0000001
+    ret
+es_ring_ok:
+    movi r5, g_ring
+    stw  [r5+0], r0
+    addi sp, sp, 8
+    pop  lr
+    movi r0, 0
+    ret
+
+; buggy-only (bug 8): "handles" allocation failure by writing defaults
+; through the pointer it just found to be NULL
+es_err_defaults:
+    movi r5, 8000
+    stw  [r0+0], r5           ; NULL dereference
+    movi r5, 1
+    stw  [r0+4], r5
+    addi sp, sp, 8
+    pop  lr
+    movi r0, 0xC0000001
+    ret
+
+es_fail_bare:
+    addi sp, sp, 8
+    pop  lr
+    movi r0, 0xC0000001
+    ret
+
+; fixed-only (bug 9 fix): bail out cleanly when sync creation fails
+es_sync_fail:
+    movi r12, g_adapter
+    ldw  r0, [r12+0]
+    movi r1, 0x31534545
+    call ExFreePoolWithTag
+    addi sp, sp, 8
+    pop  lr
+    movi r0, 0xC0000001
+    ret
+
+; ---------------------------------------------------------------
+; Play(adapter, buf, len) -> status
+; ---------------------------------------------------------------
+Play:
+    push lr
+    mov  r9, r1               ; sample source
+%s
+    pop  lr
+    movi r0, 0
+    ret
+es_play_alloc_fail:
+    movi r12, g_playing
+    movi r10, 0
+    stw  [r12+0], r10
+    pop  lr
+    movi r0, 0xC0000001
+    ret
+
+; ---------------------------------------------------------------
+; Stop(adapter) -> status
+; ---------------------------------------------------------------
+Stop:
+    push lr
+    ; clear the flag before releasing the buffer: the safe order
+    movi r12, g_playing
+    movi r10, 0
+    stw  [r12+0], r10
+    movi r12, g_playbuf
+    ldw  r4, [r12+0]
+    beq  r4, r10, es_stop_done
+    stw  [r12+0], r10         ; unpublish before freeing (ISR-safe order)
+    mov  r0, r4
+    movi r1, 0x33534545
+    call ExFreePoolWithTag
+es_stop_done:
+    pop  lr
+    movi r0, 0
+    ret
+
+; ---------------------------------------------------------------
+; Halt(adapter)
+; ---------------------------------------------------------------
+Halt:
+    push lr
+    movi r10, 0
+    movi r12, g_ring
+    ldw  r4, [r12+0]
+    beq  r4, r10, es_halt_adapter
+    stw  [r12+0], r10         ; unpublish before freeing (ISR-safe order)
+    mov  r0, r4
+    movi r1, 0x32534545
+    call ExFreePoolWithTag
+es_halt_adapter:
+    movi r12, g_adapter
+    ldw  r4, [r12+0]
+    beq  r4, r10, es_halt_done
+    stw  [r12+0], r10
+    mov  r0, r4
+    movi r1, 0x31534545
+    call ExFreePoolWithTag
+es_halt_done:
+    pop  lr
+    movi r0, 0
+    ret
+
+; ---------------------------------------------------------------
+; ISR(adapter)
+; ---------------------------------------------------------------
+Isr:
+    push lr
+    movi r1, 0x04             ; interrupt/chip status
+    in   r2, r1
+    movi r10, 0
+    andi r3, r2, 1            ; DAC1 frame interrupt
+    beq  r3, r10, es_isr_play
+    ; advance the DMA ring position (bug 10: ring may still be NULL
+    ; while Initialize is running)
+    movi r4, g_ring
+    ldw  r4, [r4+0]
+%s
+    ldw  r5, [r4+0]
+    addi r5, r5, 1
+    andi r5, r5, 127
+    stw  [r4+0], r5
+es_isr_play:
+    andi r3, r2, 2            ; playback buffer complete
+    beq  r3, r10, es_isr_done
+    movi r4, g_playing
+    ldw  r4, [r4+0]
+    beq  r4, r10, es_isr_done
+    ; mix the next block (bug 11: playbuf may be NULL in the window
+    ; Play opens between setting the flag and storing the buffer)
+    movi r5, g_playbuf
+    ldw  r5, [r5+0]
+%s
+    ldb  r6, [r5+0]
+    movi r7, g_mixacc
+    ldw  r8, [r7+0]
+    add  r8, r8, r6
+    stw  [r7+0], r8
+es_isr_done:
+    pop  lr
+    movi r0, 0
+    ret
+es_isr_skip:
+    pop  lr
+    movi r0, 0
+    ret
+
+%s
+
+.data
+chars:      .word Initialize, Play, Stop, Isr, Halt
+g_adapter:  .word 0
+g_sync:     .word 0
+g_syncword: .word 0
+g_ring:     .word 0
+g_playbuf:  .word 0
+g_playing:  .word 0
+g_mixacc:   .word 0
+g_lock:     .space 8
+`,
+		// Bug 8: buggy build writes defaults through the NULL pointer on
+		// the allocation-failure path; fixed build bails out.
+		pick(buggy, "    jmp  es_err_defaults", "    jmp  es_fail_bare"),
+		// Bug 9: buggy build never checks PcNewInterruptSync's status (and
+		// dereferences the NULL sync object below); fixed build bails out.
+		pick(buggy, "", `    beq  r0, r10, es_sync_ok
+    jmp  es_sync_fail
+es_sync_ok:`),
+		// Bug 11: buggy Play raises the playing flag before the buffer
+		// exists (with kernel calls in between — interrupt windows); fixed
+		// Play publishes the buffer first.
+		pick(buggy, `    movi r12, g_playing
+    movi r5, 1
+    stw  [r12+0], r5          ; flag first: wrong order
+    movi r0, 5
+    call KeStallExecutionProcessor
+    movi r0, 0
+    movi r1, 256
+    movi r2, 0x33534545
+    call ExAllocatePoolWithTag
+    movi r10, 0
+    beq  r0, r10, es_play_alloc_fail
+    movi r12, g_playbuf
+    stw  [r12+0], r0
+    ldb  r4, [r9+0]
+    stb  [r0+0], r4`, `    movi r0, 0
+    movi r1, 256
+    movi r2, 0x33534545
+    call ExAllocatePoolWithTag
+    movi r10, 0
+    beq  r0, r10, es_play_alloc_fail
+    movi r12, g_playbuf
+    stw  [r12+0], r0          ; publish the buffer first
+    ldb  r4, [r9+0]
+    stb  [r0+0], r4
+    movi r0, 5
+    call KeStallExecutionProcessor
+    movi r12, g_playing
+    movi r5, 1
+    stw  [r12+0], r5`),
+		// Bug 10 fix: the fixed ISR checks the ring pointer.
+		pick(buggy, "", "    beq  r4, r10, es_isr_play"),
+		// Bug 11 fix: the fixed ISR checks the play buffer pointer.
+		pick(buggy, "", "    beq  r5, r10, es_isr_done"),
+		filler("es", 205, 1),
+	)
+}

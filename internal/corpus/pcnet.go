@@ -1,0 +1,486 @@
+package corpus
+
+import (
+	"fmt"
+
+	"repro/internal/binimg"
+)
+
+func init() {
+	register(&Spec{
+		Name:  "amd-pcnet",
+		Class: binimg.ClassNetwork,
+		ExpectedBugs: []string{
+			"resource leak", // NdisAllocateMemoryWithTag buffer never freed
+			"resource leak", // packets and buffers not freed on failed init
+		},
+		FillerFuncs: 66,
+		Source:      pcnetSource,
+	})
+}
+
+// pcnetSource generates the AMD PCNet NDIS miniport. Table 2 plants two
+// resource leaks on its initialization failure paths.
+func pcnetSource(v Variant) string {
+	buggy := v == Buggy
+	return fmt.Sprintf(`
+; AMD PCNet LANCE-family NDIS miniport (corpus reimplementation)
+.name amd-pcnet
+.device vendor=0x1022 device=0x2000 class=network bar=64 ports=32 irq=10 rev=2
+.import NdisMRegisterMiniport
+.import NdisOpenConfiguration
+.import NdisReadConfiguration
+.import NdisCloseConfiguration
+.import NdisAllocateMemoryWithTag
+.import NdisFreeMemory
+.import NdisAllocatePacketPool
+.import NdisFreePacketPool
+.import NdisAllocatePacket
+.import NdisFreePacket
+.import NdisAllocateBufferPool
+.import NdisFreeBufferPool
+.import NdisAllocateBuffer
+.import NdisFreeBuffer
+.import NdisMAllocateSharedMemory
+.import NdisMFreeSharedMemory
+.import NdisMMapIoSpace
+.import NdisMRegisterInterrupt
+.import NdisMDeregisterInterrupt
+.import NdisMInitializeTimer
+.import NdisMSetTimer
+.import NdisMCancelTimer
+.import NdisAllocateSpinLock
+.import NdisFreeSpinLock
+.import NdisAcquireSpinLock
+.import NdisReleaseSpinLock
+.import NdisStallExecution
+.import NdisReadNetworkAddress
+.entry DriverEntry
+
+.text
+DriverEntry:
+    push lr
+    movi r0, chars
+    call NdisMRegisterMiniport
+    call pcn_selftest
+    pop  lr
+    movi r0, 0
+    ret
+
+; ---------------------------------------------------------------
+; Initialize(adapter) -> status
+; ---------------------------------------------------------------
+Initialize:
+    push lr
+    mov  r11, r0
+    addi sp, sp, -20         ; [0]=status [4]=cfg [8]=param [12]=tmp [16]=tmp2
+    ; configuration
+    mov  r0, sp
+    addi r1, sp, 4
+    call NdisOpenConfiguration
+    ldw  r12, [sp+0]
+    movi r10, 0
+    beq  r12, r10, pcn_cfg_ok
+    jmp  pcn_fail_bare
+pcn_cfg_ok:
+    mov  r0, sp
+    addi r1, sp, 8
+    ldw  r2, [sp+4]
+    movi r3, cfg_txring_name
+    call NdisReadConfiguration
+    ldw  r12, [sp+0]
+    bne  r12, r10, pcn_fail_close
+    ldw  r4, [sp+8]
+    ldw  r4, [r4+4]
+    movi r5, g_txring_size
+    stw  [r5+0], r4
+    ; adapter context block (the first NdisAllocateMemoryWithTag)
+    addi r0, sp, 12
+    movi r1, 128
+    movi r2, 0x41435458
+    call NdisAllocateMemoryWithTag
+    bne  r0, r10, pcn_fail_close
+    ldw  r6, [sp+12]
+    movi r5, g_adapter
+    stw  [r5+0], r6
+    ; descriptor scratch block (the second allocation)
+    addi r0, sp, 12
+    movi r1, 256
+    movi r2, 0x44455343
+    call NdisAllocateMemoryWithTag
+    beq  r0, r10, pcn_desc_ok
+    ; second allocation failed:
+%s
+pcn_desc_ok:
+    ldw  r6, [sp+12]
+    movi r5, g_desc
+    stw  [r5+0], r6
+    ; packet pool with two pre-allocated packets + one buffer
+    mov  r0, sp
+    addi r1, sp, 12
+    movi r2, 8
+    movi r3, 0
+    call NdisAllocatePacketPool
+    ldw  r4, [sp+12]
+    movi r5, g_pktpool
+    stw  [r5+0], r4
+    mov  r0, sp
+    addi r1, sp, 12
+    mov  r2, r4
+    call NdisAllocatePacket
+    bne  r0, r10, pcn_pkt0_fail
+    ldw  r6, [sp+12]
+    movi r5, g_pkt0
+    stw  [r5+0], r6
+    mov  r0, sp
+    addi r1, sp, 12
+    mov  r2, r4
+    call NdisAllocatePacket
+    bne  r0, r10, pcn_pkt1_fail
+    ldw  r6, [sp+12]
+    movi r5, g_pkt1
+    stw  [r5+0], r6
+    mov  r0, sp
+    addi r1, sp, 12
+    movi r2, 8
+    call NdisAllocateBufferPool
+    ldw  r4, [sp+12]
+    movi r5, g_bufpool
+    stw  [r5+0], r4
+    mov  r0, sp
+    addi r1, sp, 12
+    mov  r2, r4
+    movi r3, g_rxstage
+    push r10
+    movi r12, 128
+    stw  [sp+0], r12         ; arg4: length
+    call NdisAllocateBuffer
+    pop  r12
+    ldw  r6, [sp+12]
+    movi r5, g_buf0
+    stw  [r5+0], r6
+    ; DMA init block
+    mov  r0, r11
+    movi r1, 1024
+    movi r2, 1
+    addi r3, sp, 12
+    push r10
+    addi r12, sp, 20         ; &tmp2 (old sp+16)
+    stw  [sp+0], r12
+    call NdisMAllocateSharedMemory
+    pop  r12
+    beq  r0, r10, pcn_dma_ok
+    ; shared memory failed:
+%s
+pcn_dma_ok:
+    ldw  r6, [sp+12]
+    movi r5, g_initblk
+    stw  [r5+0], r6
+    ; map registers, hook interrupt, start watchdog
+    addi r0, sp, 12
+    mov  r1, r11
+    movi r2, 0
+    movi r3, 64
+    call NdisMMapIoSpace
+    movi r0, g_lock
+    call NdisAllocateSpinLock
+    movi r0, g_intr
+    mov  r1, r11
+    movi r2, 10
+    movi r3, 5
+    call NdisMRegisterInterrupt
+    movi r0, g_timer
+    mov  r1, r11
+    movi r2, TimerFunc
+    movi r3, 0
+    call NdisMInitializeTimer
+    movi r12, g_timer_inited
+    movi r5, 1
+    stw  [r12+0], r5
+    ldw  r0, [sp+4]
+    call NdisCloseConfiguration
+    addi sp, sp, 20
+    pop  lr
+    movi r0, 0
+    ret
+
+; packet allocation failures: undo exactly what exists (both builds)
+pcn_pkt0_fail:
+    movi r12, g_pktpool
+    ldw  r0, [r12+0]
+    call NdisFreePacketPool
+    jmp  pcn_fail_free_desc
+pcn_pkt1_fail:
+    movi r12, g_pkt0
+    ldw  r0, [r12+0]
+    call NdisFreePacket
+    movi r12, g_pktpool
+    ldw  r0, [r12+0]
+    call NdisFreePacketPool
+    jmp  pcn_fail_free_desc
+
+; correct cleanup chains (used by the fixed build and shared paths)
+pcn_fail_all:
+    ; free buffer, packets, pools
+    movi r12, g_buf0
+    ldw  r0, [r12+0]
+    call NdisFreeBuffer
+    movi r12, g_bufpool
+    ldw  r0, [r12+0]
+    call NdisFreeBufferPool
+    movi r12, g_pkt0
+    ldw  r0, [r12+0]
+    call NdisFreePacket
+    movi r12, g_pkt1
+    ldw  r0, [r12+0]
+    call NdisFreePacket
+    movi r12, g_pktpool
+    ldw  r0, [r12+0]
+    call NdisFreePacketPool
+pcn_fail_free_desc:
+    movi r12, g_desc
+    ldw  r0, [r12+0]
+    movi r1, 256
+    movi r2, 0
+    call NdisFreeMemory
+pcn_fail_free_adapter:
+    movi r12, g_adapter
+    ldw  r0, [r12+0]
+    movi r1, 128
+    movi r2, 0
+    call NdisFreeMemory
+pcn_fail_close:
+    ldw  r0, [sp+4]
+    call NdisCloseConfiguration
+pcn_fail_bare:
+    addi sp, sp, 20
+    pop  lr
+    movi r0, 0xC0000001
+    ret
+
+; buggy-only: forgets the adapter block (bug: memory never freed)
+pcn_leak_adapter:
+    ldw  r0, [sp+4]
+    call NdisCloseConfiguration
+    addi sp, sp, 20
+    pop  lr
+    movi r0, 0xC0000001
+    ret
+
+; buggy-only: frees plain memory but abandons packets/buffers/pools
+pcn_leak_packets:
+    movi r12, g_desc
+    ldw  r0, [r12+0]
+    movi r1, 256
+    movi r2, 0
+    call NdisFreeMemory
+    movi r12, g_adapter
+    ldw  r0, [r12+0]
+    movi r1, 128
+    movi r2, 0
+    call NdisFreeMemory
+    ldw  r0, [sp+4]
+    call NdisCloseConfiguration
+    addi sp, sp, 20
+    pop  lr
+    movi r0, 0xC0000001
+    ret
+
+; ---------------------------------------------------------------
+; Send(adapter, packet) -> status
+; ---------------------------------------------------------------
+Send:
+    push lr
+    ldw  r2, [r1+0]
+    ldw  r3, [r1+4]
+    movi r12, 14
+    bgeu r3, r12, pcn_send_ok
+    pop  lr
+    movi r0, 0xC0000001
+    ret
+pcn_send_ok:
+    movi r0, g_lock
+    call NdisAcquireSpinLock
+    ; stage the first dword of the frame
+    ldw  r4, [r2+0]
+    movi r5, g_rxstage
+    stw  [r5+0], r4
+    movi r1, 0x10
+    out  r1, r3              ; program length
+    movi r0, g_lock
+    call NdisReleaseSpinLock
+    pop  lr
+    movi r0, 0
+    ret
+
+; ---------------------------------------------------------------
+; QueryInformation / SetInformation
+; ---------------------------------------------------------------
+Query:
+    push lr
+    movi r12, 0x00010101
+    beq  r1, r12, pq_supported
+    movi r12, 0x00010107
+    beq  r1, r12, pq_speed
+    movi r12, 0x01010101
+    beq  r1, r12, pq_mac
+    pop  lr
+    movi r0, 0xC0010017
+    ret
+pq_supported:
+    movi r4, 0x00010101
+    stw  [r2+0], r4
+    movi r4, 0x00010107
+    stw  [r2+4], r4
+    pop  lr
+    movi r0, 0
+    ret
+pq_speed:
+    movi r4, 10000
+    stw  [r2+0], r4
+    pop  lr
+    movi r0, 0
+    ret
+pq_mac:
+    movi r4, g_macaddr
+    ldw  r5, [r4+0]
+    stw  [r2+0], r5
+    pop  lr
+    movi r0, 0
+    ret
+
+Set:
+    push lr
+    movi r12, 0x0001010E
+    beq  r1, r12, ps_filter
+    pop  lr
+    movi r0, 0xC0010017
+    ret
+ps_filter:
+    ldw  r4, [r2+0]
+    movi r5, g_filter
+    stw  [r5+0], r4
+    pop  lr
+    movi r0, 0
+    ret
+
+; ---------------------------------------------------------------
+; Halt(adapter): full teardown
+; ---------------------------------------------------------------
+Halt:
+    push lr
+    mov  r11, r0
+    movi r0, g_intr
+    call NdisMDeregisterInterrupt
+    addi sp, sp, -4
+    movi r0, g_timer
+    mov  r1, sp
+    call NdisMCancelTimer
+    addi sp, sp, 4
+    movi r12, g_buf0
+    ldw  r0, [r12+0]
+    call NdisFreeBuffer
+    movi r12, g_bufpool
+    ldw  r0, [r12+0]
+    call NdisFreeBufferPool
+    movi r12, g_pkt0
+    ldw  r0, [r12+0]
+    call NdisFreePacket
+    movi r12, g_pkt1
+    ldw  r0, [r12+0]
+    call NdisFreePacket
+    movi r12, g_pktpool
+    ldw  r0, [r12+0]
+    call NdisFreePacketPool
+    mov  r0, r11
+    movi r1, 1024
+    movi r2, 1
+    movi r12, g_initblk
+    ldw  r3, [r12+0]
+    push r3
+    call NdisMFreeSharedMemory
+    pop  r3
+    movi r12, g_desc
+    ldw  r0, [r12+0]
+    movi r1, 256
+    movi r2, 0
+    call NdisFreeMemory
+    movi r12, g_adapter
+    ldw  r0, [r12+0]
+    movi r1, 128
+    movi r2, 0
+    call NdisFreeMemory
+    movi r0, g_lock
+    call NdisFreeSpinLock
+    pop  lr
+    movi r0, 0
+    ret
+
+; ---------------------------------------------------------------
+; ISR(adapter) / TimerFunc(ctx)
+; ---------------------------------------------------------------
+Isr:
+    push lr
+    movi r1, 0x14            ; CSR0
+    in   r2, r1
+    andi r3, r2, 1
+    movi r12, 0
+    beq  r3, r12, pcn_isr_done
+    out  r1, r3              ; ack
+    movi r4, g_timer_inited
+    ldw  r4, [r4+0]
+    beq  r4, r12, pcn_isr_done
+    movi r0, g_timer
+    movi r1, 20
+    call NdisMSetTimer
+pcn_isr_done:
+    pop  lr
+    movi r0, 0
+    ret
+
+HandleInt:
+    movi r0, 0
+    ret
+
+TimerFunc:
+    push lr
+    movi r1, 0x14
+    in   r2, r1
+    movi r12, g_linkstate
+    stw  [r12+0], r2
+    pop  lr
+    movi r0, 0
+    ret
+
+%s
+
+.data
+chars:           .word Initialize, Send, Query, Set, Halt, Isr, HandleInt
+cfg_txring_name: .asciz "TxRingSize"
+g_macaddr:       .word 0x56341200, 0x00009A78
+g_adapter:       .word 0
+g_desc:          .word 0
+g_pktpool:       .word 0
+g_pkt0:          .word 0
+g_pkt1:          .word 0
+g_bufpool:       .word 0
+g_buf0:          .word 0
+g_initblk:       .word 0
+g_txring_size:   .word 0
+g_timer_inited:  .word 0
+g_filter:        .word 0
+g_linkstate:     .word 0
+g_rxstage:       .space 128
+g_lock:          .space 8
+g_timer:         .space 16
+g_intr:          .space 16
+`,
+		// Bug 6: the buggy build forgets to free the adapter block when the
+		// descriptor allocation fails.
+		pick(buggy, "    jmp  pcn_leak_adapter", "    jmp  pcn_fail_free_adapter"),
+		// Bug 7: the buggy build abandons packets, buffers, and pools when
+		// the DMA init block allocation fails.
+		pick(buggy, "    jmp  pcn_leak_packets", "    jmp  pcn_fail_all"),
+		filler("pcn", 66, 10),
+	)
+}

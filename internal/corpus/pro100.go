@@ -1,0 +1,303 @@
+package corpus
+
+import (
+	"fmt"
+
+	"repro/internal/binimg"
+)
+
+func init() {
+	register(&Spec{
+		Name:  "intel-pro100",
+		Class: binimg.ClassNetwork,
+		ExpectedBugs: []string{
+			"kernel crash", // KeReleaseSpinLock-style misuse: NdisReleaseSpinLock from DPC
+		},
+		FillerFuncs: 104,
+		Source:      pro100Source,
+	})
+}
+
+// pro100Source generates the Intel Pro/100 NDIS miniport (the DDK-derived
+// driver whose source appears in the Windows DDK, per §5.1). Table 2 plants
+// one bug: its DPC (the watchdog timer routine) acquires the transmit lock
+// with NdisDprAcquireSpinLock but releases it with NdisReleaseSpinLock —
+// "specifically prohibited by Microsoft documentation", corrupting the IRQL
+// inside the DPC.
+func pro100Source(v Variant) string {
+	buggy := v == Buggy
+	return fmt.Sprintf(`
+; Intel Pro/100 (i82557/8/9) NDIS miniport (corpus reimplementation)
+.name intel-pro100
+.device vendor=0x8086 device=0x1229 class=network bar=4096 ports=64 irq=11 rev=1
+.import NdisMRegisterMiniport
+.import NdisOpenConfiguration
+.import NdisReadConfiguration
+.import NdisCloseConfiguration
+.import NdisMAllocateSharedMemory
+.import NdisMFreeSharedMemory
+.import NdisMMapIoSpace
+.import NdisMRegisterInterrupt
+.import NdisMDeregisterInterrupt
+.import NdisMInitializeTimer
+.import NdisMSetTimer
+.import NdisMCancelTimer
+.import NdisAllocateSpinLock
+.import NdisFreeSpinLock
+.import NdisAcquireSpinLock
+.import NdisReleaseSpinLock
+.import NdisDprAcquireSpinLock
+.import NdisDprReleaseSpinLock
+.import NdisStallExecution
+.entry DriverEntry
+
+.text
+DriverEntry:
+    push lr
+    movi r0, chars
+    call NdisMRegisterMiniport
+    call i557_selftest
+    pop  lr
+    movi r0, 0
+    ret
+
+; ---------------------------------------------------------------
+; Initialize(adapter) -> status
+; ---------------------------------------------------------------
+Initialize:
+    push lr
+    mov  r11, r0
+    addi sp, sp, -20
+    mov  r0, sp
+    addi r1, sp, 4
+    call NdisOpenConfiguration
+    ldw  r12, [sp+0]
+    movi r10, 0
+    bne  r12, r10, i557_fail_bare
+    ; control/status block in shared memory
+    mov  r0, r11
+    movi r1, 256
+    movi r2, 1
+    addi r3, sp, 12
+    push r10
+    addi r12, sp, 20
+    stw  [sp+0], r12
+    call NdisMAllocateSharedMemory
+    pop  r12
+    bne  r0, r10, i557_fail_close
+    ldw  r6, [sp+12]
+    movi r5, g_csb
+    stw  [r5+0], r6
+    ; registers
+    addi r0, sp, 12
+    mov  r1, r11
+    movi r2, 0
+    movi r3, 4096
+    call NdisMMapIoSpace
+    ldw  r6, [sp+12]
+    movi r5, g_mmio
+    stw  [r5+0], r6
+    movi r0, g_txlock
+    call NdisAllocateSpinLock
+    movi r0, g_intr
+    mov  r1, r11
+    movi r2, 11
+    movi r3, 5
+    call NdisMRegisterInterrupt
+    movi r0, g_timer
+    mov  r1, r11
+    movi r2, TimerFunc
+    movi r3, 0
+    call NdisMInitializeTimer
+    movi r12, g_timer_inited
+    movi r5, 1
+    stw  [r12+0], r5
+    ldw  r0, [sp+4]
+    call NdisCloseConfiguration
+    addi sp, sp, 20
+    pop  lr
+    movi r0, 0
+    ret
+i557_fail_close:
+    ldw  r0, [sp+4]
+    call NdisCloseConfiguration
+i557_fail_bare:
+    addi sp, sp, 20
+    pop  lr
+    movi r0, 0xC0000001
+    ret
+
+; ---------------------------------------------------------------
+; Send(adapter, packet) -> status
+; ---------------------------------------------------------------
+Send:
+    push lr
+    ldw  r2, [r1+0]
+    ldw  r3, [r1+4]
+    movi r12, 14
+    bgeu r3, r12, i557_send_ok
+    pop  lr
+    movi r0, 0xC0000001
+    ret
+i557_send_ok:
+    movi r0, g_txlock
+    call NdisAcquireSpinLock
+    movi r4, g_csb
+    ldw  r4, [r4+0]
+    stw  [r4+0], r2
+    stw  [r4+4], r3
+    movi r1, 0x08
+    out  r1, r3
+    movi r0, g_txlock
+    call NdisReleaseSpinLock
+    pop  lr
+    movi r0, 0
+    ret
+
+; ---------------------------------------------------------------
+; QueryInformation / SetInformation
+; ---------------------------------------------------------------
+Query:
+    push lr
+    movi r12, 0x00010101
+    beq  r1, r12, iq_supported
+    movi r12, 0x00010107
+    beq  r1, r12, iq_speed
+    movi r12, 0x01010101
+    beq  r1, r12, iq_mac
+    pop  lr
+    movi r0, 0xC0010017
+    ret
+iq_supported:
+    movi r4, 0x00010101
+    stw  [r2+0], r4
+    movi r4, 0x00010107
+    stw  [r2+4], r4
+    pop  lr
+    movi r0, 0
+    ret
+iq_speed:
+    movi r4, 100000
+    stw  [r2+0], r4
+    pop  lr
+    movi r0, 0
+    ret
+iq_mac:
+    movi r4, g_macaddr
+    ldw  r5, [r4+0]
+    stw  [r2+0], r5
+    pop  lr
+    movi r0, 0
+    ret
+
+Set:
+    push lr
+    movi r12, 0x0001010E
+    beq  r1, r12, is_filter
+    pop  lr
+    movi r0, 0xC0010017
+    ret
+is_filter:
+    ldw  r4, [r2+0]
+    movi r5, g_filter
+    stw  [r5+0], r4
+    pop  lr
+    movi r0, 0
+    ret
+
+; ---------------------------------------------------------------
+; Halt(adapter)
+; ---------------------------------------------------------------
+Halt:
+    push lr
+    mov  r11, r0
+    movi r0, g_intr
+    call NdisMDeregisterInterrupt
+    addi sp, sp, -4
+    movi r0, g_timer
+    mov  r1, sp
+    call NdisMCancelTimer
+    addi sp, sp, 4
+    mov  r0, r11
+    movi r1, 256
+    movi r2, 1
+    movi r12, g_csb
+    ldw  r3, [r12+0]
+    push r3
+    call NdisMFreeSharedMemory
+    pop  r3
+    movi r0, g_txlock
+    call NdisFreeSpinLock
+    pop  lr
+    movi r0, 0
+    ret
+
+; ---------------------------------------------------------------
+; ISR
+; ---------------------------------------------------------------
+Isr:
+    push lr
+    movi r1, 0x0C             ; SCB status
+    in   r2, r1
+    andi r3, r2, 1
+    movi r12, 0
+    beq  r3, r12, i557_isr_ck
+    out  r1, r3               ; ack
+i557_isr_ck:
+    ; the CU-idle event code arms the watchdog DPC
+    andi r3, r2, 0xFF
+    movi r12, 0x33
+    bne  r3, r12, i557_isr_out
+    movi r4, g_timer_inited
+    ldw  r4, [r4+0]
+    movi r12, 0
+    beq  r4, r12, i557_isr_out
+    movi r0, g_timer
+    movi r1, 100
+    call NdisMSetTimer
+i557_isr_out:
+    pop  lr
+    movi r0, 0
+    ret
+
+HandleInt:
+    movi r0, 0
+    ret
+
+; ---------------------------------------------------------------
+; TimerFunc(ctx): the DPC with the Table 2 bug
+; ---------------------------------------------------------------
+TimerFunc:
+    push lr
+    movi r0, g_txlock
+    call NdisDprAcquireSpinLock
+    movi r1, 0x0C
+    in   r2, r1
+    movi r12, g_linkstate
+    stw  [r12+0], r2
+    movi r0, g_txlock
+%s
+    pop  lr
+    movi r0, 0
+    ret
+
+%s
+
+.data
+chars:          .word Initialize, Send, Query, Set, Halt, Isr, HandleInt
+g_macaddr:      .word 0x12E00900, 0x00005634
+g_csb:          .word 0
+g_mmio:         .word 0
+g_filter:       .word 0
+g_linkstate:    .word 0
+g_timer_inited: .word 0
+g_txlock:       .space 8
+g_timer:        .space 16
+g_intr:         .space 16
+`,
+		// Bug 13: the buggy DPC releases a Dpr-acquired lock with the
+		// non-Dpr NdisReleaseSpinLock.
+		pick(buggy, "    call NdisReleaseSpinLock", "    call NdisDprReleaseSpinLock"),
+		filler("i557", 104, 16),
+	)
+}

@@ -1,0 +1,518 @@
+package corpus
+
+import (
+	"fmt"
+
+	"repro/internal/binimg"
+)
+
+func init() {
+	register(&Spec{
+		Name:  "intel-pro1000",
+		Class: binimg.ClassNetwork,
+		ExpectedBugs: []string{
+			"resource leak", // memory leak on failed initialization
+		},
+		FillerFuncs: 510,
+		Source:      pro1000Source,
+	})
+}
+
+// pro1000Source generates the Intel Pro/1000 gigabit NDIS miniport — the
+// largest driver of Table 1 (120 KB of code, 525 functions). Table 2 plants
+// one memory leak: the transmit descriptor ring is not freed when the
+// receive ring allocation fails during initialization.
+func pro1000Source(v Variant) string {
+	buggy := v == Buggy
+	return fmt.Sprintf(`
+; Intel Pro/1000 gigabit NDIS miniport (corpus reimplementation)
+.name intel-pro1000
+.device vendor=0x8086 device=0x100E class=network bar=131072 ports=64 irq=11 rev=2
+.import NdisMRegisterMiniport
+.import NdisOpenConfiguration
+.import NdisReadConfiguration
+.import NdisCloseConfiguration
+.import NdisAllocateMemoryWithTag
+.import NdisFreeMemory
+.import NdisMAllocateSharedMemory
+.import NdisMFreeSharedMemory
+.import NdisMMapIoSpace
+.import NdisMRegisterInterrupt
+.import NdisMDeregisterInterrupt
+.import NdisMInitializeTimer
+.import NdisMSetTimer
+.import NdisMCancelTimer
+.import NdisAllocateSpinLock
+.import NdisFreeSpinLock
+.import NdisAcquireSpinLock
+.import NdisReleaseSpinLock
+.import NdisDprAcquireSpinLock
+.import NdisDprReleaseSpinLock
+.import NdisStallExecution
+.import NdisReadNetworkAddress
+.import NdisWriteErrorLogEntry
+.import NdisGetCurrentSystemTime
+.entry DriverEntry
+
+.text
+DriverEntry:
+    push lr
+    movi r0, chars
+    call NdisMRegisterMiniport
+    call e1k_selftest
+    pop  lr
+    movi r0, 0
+    ret
+
+; ---------------------------------------------------------------
+; Initialize(adapter) -> status
+; ---------------------------------------------------------------
+Initialize:
+    push lr
+    mov  r11, r0
+    addi sp, sp, -20          ; [0]=status [4]=cfg [8]=param [12]=tmp [16]=tmp2
+    mov  r0, sp
+    addi r1, sp, 4
+    call NdisOpenConfiguration
+    ldw  r12, [sp+0]
+    movi r10, 0
+    bne  r12, r10, e1k_fail_bare
+    ; registry: TxRingSize, RxRingSize, Speed, Duplex
+    call e1k_read_cfg_tx
+    call e1k_read_cfg_rx
+    call e1k_read_cfg_speed
+    call e1k_read_cfg_duplex
+    ; clamp the (symbolic) tx ring size to the hardware maximum
+    movi r4, g_txring_size
+    ldw  r4, [r4+0]
+    movi r12, 64
+    bltu r4, r12, e1k_tx_ok
+    movi r4, 64
+    movi r5, g_txring_size
+    stw  [r5+0], r4
+e1k_tx_ok:
+    ; EEPROM checksum: 16 words over port I/O
+    movi r5, 0
+    movi r6, 0
+e1k_eeprom:
+    movi r12, 16
+    bgeu r5, r12, e1k_eeprom_done
+    movi r1, 0x14
+    out  r1, r5               ; select word
+    in   r7, r1
+    add  r6, r6, r7
+    addi r5, r5, 1
+    jmp  e1k_eeprom
+e1k_eeprom_done:
+    movi r12, g_eeprom_sum
+    stw  [r12+0], r6
+    ; transmit descriptor ring
+    mov  r0, r11
+    movi r1, 2048
+    movi r2, 1
+    addi r3, sp, 12
+    push r10
+    addi r12, sp, 20
+    stw  [sp+0], r12
+    call NdisMAllocateSharedMemory
+    pop  r12
+    bne  r0, r10, e1k_fail_close
+    ldw  r6, [sp+12]
+    movi r5, g_txring
+    stw  [r5+0], r6
+    ; receive descriptor ring
+    mov  r0, r11
+    movi r1, 2048
+    movi r2, 1
+    addi r3, sp, 12
+    push r10
+    addi r12, sp, 20
+    stw  [sp+0], r12
+    call NdisMAllocateSharedMemory
+    pop  r12
+    beq  r0, r10, e1k_rx_ok
+    ; rx ring allocation failed:
+%s
+e1k_rx_ok:
+    ldw  r6, [sp+12]
+    movi r5, g_rxring
+    stw  [r5+0], r6
+    ; map the 128KB register window
+    addi r0, sp, 12
+    mov  r1, r11
+    movi r2, 0
+    movi r3, 131072
+    call NdisMMapIoSpace
+    ldw  r6, [sp+12]
+    movi r5, g_mmio
+    stw  [r5+0], r6
+    ; reset the MAC and wait for auto-negotiation status
+    movi r7, 0x00000000       ; CTRL offset
+    add  r7, r6, r7
+    movi r8, 0x04000000       ; RST
+    stw  [r7+0], r8
+    movi r0, 10
+    call NdisStallExecution
+    ldw  r8, [r6+8]           ; STATUS (symbolic hardware)
+    movi r12, g_link
+    andi r8, r8, 3
+    stw  [r12+0], r8
+    ; spinlock, interrupt, watchdog
+    movi r0, g_lock
+    call NdisAllocateSpinLock
+    movi r0, g_intr
+    mov  r1, r11
+    movi r2, 11
+    movi r3, 5
+    call NdisMRegisterInterrupt
+    movi r0, g_timer
+    mov  r1, r11
+    movi r2, TimerFunc
+    movi r3, 0
+    call NdisMInitializeTimer
+    movi r12, g_timer_inited
+    movi r5, 1
+    stw  [r12+0], r5
+    ldw  r0, [sp+4]
+    call NdisCloseConfiguration
+    addi sp, sp, 20
+    pop  lr
+    movi r0, 0
+    ret
+
+e1k_fail_free_tx:
+    mov  r0, r11
+    movi r1, 2048
+    movi r2, 1
+    movi r12, g_txring
+    ldw  r3, [r12+0]
+    push r3
+    call NdisMFreeSharedMemory
+    pop  r3
+e1k_fail_close:
+    ldw  r0, [sp+4]
+    call NdisCloseConfiguration
+e1k_fail_bare:
+    addi sp, sp, 20
+    pop  lr
+    movi r0, 0xC0000001
+    ret
+
+; buggy-only: forgets the tx ring
+e1k_leak_tx:
+    ldw  r0, [sp+4]
+    call NdisCloseConfiguration
+    addi sp, sp, 20
+    pop  lr
+    movi r0, 0xC0000001
+    ret
+
+; registry helpers (each reads one value into its global)
+e1k_read_cfg_tx:
+    push lr
+    addi sp, sp, -12          ; local frame: [0]=status [4]=param
+    mov  r0, sp
+    addi r1, sp, 4
+    ldw  r2, [sp+20]          ; caller's [sp+4] = cfg handle
+    movi r3, cfg_tx_name
+    call NdisReadConfiguration
+    ldw  r12, [sp+0]
+    movi r10, 0
+    bne  r12, r10, e1k_rct_out
+    ldw  r4, [sp+4]
+    ldw  r4, [r4+4]
+    movi r5, g_txring_size
+    stw  [r5+0], r4
+e1k_rct_out:
+    addi sp, sp, 12
+    pop  lr
+    ret
+e1k_read_cfg_rx:
+    push lr
+    addi sp, sp, -12
+    mov  r0, sp
+    addi r1, sp, 4
+    ldw  r2, [sp+20]
+    movi r3, cfg_rx_name
+    call NdisReadConfiguration
+    ldw  r12, [sp+0]
+    movi r10, 0
+    bne  r12, r10, e1k_rcr_out
+    ldw  r4, [sp+4]
+    ldw  r4, [r4+4]
+    movi r5, g_rxring_size
+    stw  [r5+0], r4
+e1k_rcr_out:
+    addi sp, sp, 12
+    pop  lr
+    ret
+e1k_read_cfg_speed:
+    push lr
+    addi sp, sp, -12
+    mov  r0, sp
+    addi r1, sp, 4
+    ldw  r2, [sp+20]
+    movi r3, cfg_speed_name
+    call NdisReadConfiguration
+    ldw  r12, [sp+0]
+    movi r10, 0
+    bne  r12, r10, e1k_rcs_out
+    ldw  r4, [sp+4]
+    ldw  r4, [r4+4]
+    movi r5, g_speed
+    stw  [r5+0], r4
+e1k_rcs_out:
+    addi sp, sp, 12
+    pop  lr
+    ret
+e1k_read_cfg_duplex:
+    push lr
+    addi sp, sp, -12
+    mov  r0, sp
+    addi r1, sp, 4
+    ldw  r2, [sp+20]
+    movi r3, cfg_duplex_name
+    call NdisReadConfiguration
+    ldw  r12, [sp+0]
+    movi r10, 0
+    bne  r12, r10, e1k_rcd_out
+    ldw  r4, [sp+4]
+    ldw  r4, [r4+4]
+    movi r5, g_duplex
+    stw  [r5+0], r4
+e1k_rcd_out:
+    addi sp, sp, 12
+    pop  lr
+    ret
+
+; ---------------------------------------------------------------
+; Send(adapter, packet) -> status
+; ---------------------------------------------------------------
+Send:
+    push lr
+    ldw  r2, [r1+0]
+    ldw  r3, [r1+4]
+    movi r12, 14
+    bgeu r3, r12, e1k_send_ok
+    pop  lr
+    movi r0, 0xC0000001
+    ret
+e1k_send_ok:
+    movi r0, g_lock
+    call NdisAcquireSpinLock
+    ; write a tx descriptor into the ring
+    movi r4, g_txring
+    ldw  r4, [r4+0]
+    movi r5, g_txhead
+    ldw  r6, [r5+0]
+    andi r6, r6, 15           ; ring of 16 descriptors
+    shli r7, r6, 3
+    add  r7, r4, r7
+    stw  [r7+0], r2           ; buffer address
+    stw  [r7+4], r3           ; length
+    addi r6, r6, 1
+    stw  [r5+0], r6
+    movi r0, g_lock
+    call NdisReleaseSpinLock
+    pop  lr
+    movi r0, 0
+    ret
+
+; ---------------------------------------------------------------
+; QueryInformation / SetInformation
+; ---------------------------------------------------------------
+Query:
+    push lr
+    movi r12, 0x00010101
+    beq  r1, r12, gq_supported
+    movi r12, 0x00010102
+    beq  r1, r12, gq_hwstatus
+    movi r12, 0x00010106
+    beq  r1, r12, gq_framesize
+    movi r12, 0x00010107
+    beq  r1, r12, gq_speed
+    movi r12, 0x01010101
+    beq  r1, r12, gq_mac
+    movi r12, 0x01010102
+    beq  r1, r12, gq_mac
+    pop  lr
+    movi r0, 0xC0010017
+    ret
+gq_supported:
+    movi r4, 0x00010101
+    stw  [r2+0], r4
+    movi r4, 0x00010106
+    stw  [r2+4], r4
+    movi r4, 0x00010107
+    stw  [r2+8], r4
+    pop  lr
+    movi r0, 0
+    ret
+gq_hwstatus:
+    movi r4, g_link
+    ldw  r4, [r4+0]
+    stw  [r2+0], r4
+    pop  lr
+    movi r0, 0
+    ret
+gq_framesize:
+    movi r4, 1514
+    stw  [r2+0], r4
+    pop  lr
+    movi r0, 0
+    ret
+gq_speed:
+    movi r4, g_speed
+    ldw  r4, [r4+0]
+    muli r4, r4, 10000
+    stw  [r2+0], r4
+    pop  lr
+    movi r0, 0
+    ret
+gq_mac:
+    movi r4, g_macaddr
+    ldw  r5, [r4+0]
+    stw  [r2+0], r5
+    ldh  r5, [r4+4]
+    sth  [r2+4], r5
+    pop  lr
+    movi r0, 0
+    ret
+
+Set:
+    push lr
+    movi r12, 0x0001010E
+    beq  r1, r12, gs_filter
+    movi r12, 0x0001010F
+    beq  r1, r12, gs_lookahead
+    pop  lr
+    movi r0, 0xC0010017
+    ret
+gs_filter:
+    ldw  r4, [r2+0]
+    movi r5, g_filter
+    stw  [r5+0], r4
+    pop  lr
+    movi r0, 0
+    ret
+gs_lookahead:
+    ldw  r4, [r2+0]
+    movi r5, g_lookahead
+    stw  [r5+0], r4
+    pop  lr
+    movi r0, 0
+    ret
+
+; ---------------------------------------------------------------
+; Halt(adapter)
+; ---------------------------------------------------------------
+Halt:
+    push lr
+    mov  r11, r0
+    movi r0, g_intr
+    call NdisMDeregisterInterrupt
+    addi sp, sp, -4
+    movi r0, g_timer
+    mov  r1, sp
+    call NdisMCancelTimer
+    addi sp, sp, 4
+    mov  r0, r11
+    movi r1, 2048
+    movi r2, 1
+    movi r12, g_rxring
+    ldw  r3, [r12+0]
+    push r3
+    call NdisMFreeSharedMemory
+    pop  r3
+    mov  r0, r11
+    movi r1, 2048
+    movi r2, 1
+    movi r12, g_txring
+    ldw  r3, [r12+0]
+    push r3
+    call NdisMFreeSharedMemory
+    pop  r3
+    movi r0, g_lock
+    call NdisFreeSpinLock
+    pop  lr
+    movi r0, 0
+    ret
+
+; ---------------------------------------------------------------
+; ISR / watchdog
+; ---------------------------------------------------------------
+Isr:
+    push lr
+    movi r4, g_mmio
+    ldw  r4, [r4+0]
+    movi r12, 0
+    beq  r4, r12, e1k_isr_out
+    ldw  r2, [r4+0xC0]        ; ICR (symbolic)
+    andi r3, r2, 1
+    beq  r3, r12, e1k_isr_out
+    movi r4, g_timer_inited
+    ldw  r4, [r4+0]
+    beq  r4, r12, e1k_isr_out
+    movi r0, g_timer
+    movi r1, 5
+    call NdisMSetTimer
+e1k_isr_out:
+    pop  lr
+    movi r0, 0
+    ret
+
+HandleInt:
+    movi r0, 0
+    ret
+
+TimerFunc:
+    push lr
+    movi r0, g_lock
+    call NdisDprAcquireSpinLock
+    movi r4, g_mmio
+    ldw  r4, [r4+0]
+    movi r12, 0
+    beq  r4, r12, e1k_tmr_unlock
+    ldw  r5, [r4+8]
+    movi r12, g_link
+    andi r5, r5, 3
+    stw  [r12+0], r5
+e1k_tmr_unlock:
+    movi r0, g_lock
+    call NdisDprReleaseSpinLock
+    pop  lr
+    movi r0, 0
+    ret
+
+%s
+
+.data
+chars:          .word Initialize, Send, Query, Set, Halt, Isr, HandleInt
+cfg_tx_name:    .asciz "TxRingSize"
+cfg_rx_name:    .asciz "RxRingSize"
+cfg_speed_name: .asciz "Speed"
+cfg_duplex_name: .asciz "Duplex"
+g_macaddr:      .word 0xA2001B00, 0x0000C4D5
+g_txring:       .word 0
+g_rxring:       .word 0
+g_mmio:         .word 0
+g_txring_size:  .word 0
+g_rxring_size:  .word 0
+g_speed:        .word 0
+g_duplex:       .word 0
+g_eeprom_sum:   .word 0
+g_link:         .word 0
+g_filter:       .word 0
+g_lookahead:    .word 0
+g_txhead:       .word 0
+g_timer_inited: .word 0
+g_lock:         .space 8
+g_timer:        .space 16
+g_intr:         .space 16
+`,
+		// Bug 12: the buggy build forgets to free the tx descriptor ring
+		// when the rx ring allocation fails.
+		pick(buggy, "    jmp  e1k_leak_tx", "    jmp  e1k_fail_free_tx"),
+		filler("e1k", 510, 5),
+	)
+}

@@ -1,0 +1,488 @@
+package corpus
+
+import (
+	"fmt"
+
+	"repro/internal/binimg"
+)
+
+func init() {
+	register(&Spec{
+		Name:  "rtl8029",
+		Class: binimg.ClassNetwork,
+		ExpectedBugs: []string{
+			"resource leak",      // missing NdisCloseConfiguration on failed init
+			"memory corruption",  // unchecked MaximumMulticastList registry value
+			"race condition",     // interrupt before timer initialization
+			"segmentation fault", // unexpected OID in QueryInformation
+			"segmentation fault", // unexpected OID in SetInformation
+		},
+		FillerFuncs: 38,
+		Source:      rtl8029Source,
+	})
+}
+
+// rtl8029Source generates the RTL8029 NE2000-clone NDIS miniport. The five
+// Table 2 bugs are planted when v == Buggy; the Fixed variant is the
+// minimal correct version of the same code.
+func rtl8029Source(v Variant) string {
+	buggy := v == Buggy
+	return fmt.Sprintf(`
+; RTL8029 NE2000-compatible NDIS miniport (corpus reimplementation)
+.name rtl8029
+.device vendor=0x10EC device=0x8029 class=network bar=32 ports=32 irq=9 rev=0
+.import NdisMRegisterMiniport
+.import NdisOpenConfiguration
+.import NdisReadConfiguration
+.import NdisCloseConfiguration
+.import NdisAllocateMemoryWithTag
+.import NdisFreeMemory
+.import NdisMAllocateSharedMemory
+.import NdisMFreeSharedMemory
+.import NdisAllocateSpinLock
+.import NdisFreeSpinLock
+.import NdisDprAcquireSpinLock
+.import NdisDprReleaseSpinLock
+.import NdisMMapIoSpace
+.import NdisMRegisterInterrupt
+.import NdisMDeregisterInterrupt
+.import NdisMInitializeTimer
+.import NdisMSetTimer
+.import NdisMCancelTimer
+.import NdisStallExecution
+.import NdisWriteErrorLogEntry
+.entry DriverEntry
+
+.text
+DriverEntry:
+    push lr
+    movi r0, chars
+    call NdisMRegisterMiniport
+    call rtl_selftest            ; power-on diagnostics
+    pop  lr
+    movi r0, 0
+    ret
+
+; ---------------------------------------------------------------
+; Initialize(adapter) -> status
+; ---------------------------------------------------------------
+Initialize:
+    push lr
+    mov  r11, r0                 ; adapter handle
+    addi sp, sp, -16             ; [0]=status [4]=cfg [8]=param [12]=tmp
+    ; open the registry configuration
+    mov  r0, sp
+    addi r1, sp, 4
+    call NdisOpenConfiguration
+    ldw  r12, [sp+0]
+    movi r10, 0
+    beq  r12, r10, init_cfg_ok
+    jmp  init_fail_bare
+init_cfg_ok:
+    ; read MaximumMulticastList
+    mov  r0, sp
+    addi r1, sp, 8
+    ldw  r2, [sp+4]
+    movi r3, cfg_mcast_name
+    call NdisReadConfiguration
+    ldw  r12, [sp+0]
+    beq  r12, r10, init_rd_ok
+    jmp  init_fail_close
+init_rd_ok:
+    ldw  r4, [sp+8]
+    ldw  r4, [r4+4]              ; IntegerData (symbolic with annotations)
+    movi r5, g_mcast_count
+    stw  [r5+0], r4
+    ; allocate the 8-entry multicast array
+    addi r0, sp, 12
+    movi r1, 32
+    movi r2, 0x38323930
+    call NdisAllocateMemoryWithTag
+    beq  r0, r10, init_alloc_ok
+%s
+init_alloc_ok:
+    ldw  r6, [sp+12]
+    movi r5, g_mcast_buf
+    stw  [r5+0], r6
+%s
+    ; clear multicast entries:  for i < MaximumMulticastList
+    movi r7, 0
+mcast_loop:
+    bgeu r7, r4, mcast_done
+    shli r8, r7, 2
+    add  r8, r6, r8
+    stw  [r8+0], r10             ; no bounds check against the 8-entry array
+    addi r7, r7, 1
+    jmp  mcast_loop
+mcast_done:
+    ; DMA ring for receive
+    mov  r0, r11
+    movi r1, 512
+    movi r2, 1
+    addi r3, sp, 12
+    push r10                     ; arg4: paPtr (reuse tmp slot via stack)
+    addi r12, sp, 16             ; address of [sp+12] before push
+    stw  [sp+0], r12             ; arg4 = &tmp  (paPtr)
+    call NdisMAllocateSharedMemory
+    pop  r12
+    beq  r0, r10, init_dma_ok
+    jmp  init_fail_free_mcast
+init_dma_ok:
+    ldw  r5, [sp+12]
+    movi r12, g_rxring
+    stw  [r12+0], r5
+    ; map device registers
+    addi r0, sp, 12
+    mov  r1, r11
+    movi r2, 0
+    movi r3, 32
+    call NdisMMapIoSpace
+    ldw  r5, [sp+12]
+    movi r12, g_mmio
+    stw  [r12+0], r5
+    ; transmit lock
+    movi r0, g_txlock
+    call NdisAllocateSpinLock
+    ; hook the interrupt: from here the device may fire
+    movi r0, g_intr
+    mov  r1, r11
+    movi r2, 9
+    movi r3, 5
+    call NdisMRegisterInterrupt
+    ; program the chip (writes are absorbed by symbolic hardware)
+    movi r1, 0x00
+    movi r2, 0x21                ; CR: stop, page 0
+    out  r1, r2
+    movi r0, 2
+    call NdisStallExecution      ; settle time -- an interrupt window
+    ; timer for link watchdog
+    movi r0, g_timer
+    mov  r1, r11
+    movi r2, TimerFunc
+    movi r3, 0
+    call NdisMInitializeTimer
+    movi r12, g_timer_inited
+    movi r5, 1
+    stw  [r12+0], r5
+    ; done: close configuration and report success
+    ldw  r0, [sp+4]
+    call NdisCloseConfiguration
+    addi sp, sp, 16
+    pop  lr
+    movi r0, 0
+    ret
+
+init_fail_free_mcast:
+    movi r12, g_mcast_buf
+    ldw  r0, [r12+0]
+    movi r1, 32
+    movi r2, 0
+    call NdisFreeMemory
+init_fail_close:
+    ldw  r0, [sp+4]
+    call NdisCloseConfiguration
+init_fail_bare:
+    addi sp, sp, 16
+    pop  lr
+    movi r0, 0xC0000001
+    ret
+
+; buggy variant only: failure path that forgets NdisCloseConfiguration
+init_fail_leak:
+    addi sp, sp, 16
+    pop  lr
+    movi r0, 0xC0000001
+    ret
+
+; ---------------------------------------------------------------
+; Send(adapter, packet) -> status
+; ---------------------------------------------------------------
+Send:
+    push lr
+    ldw  r2, [r1+0]              ; data pointer
+    ldw  r3, [r1+4]              ; length (symbolic, <= 64)
+    movi r12, 14
+    bgeu r3, r12, send_len_ok
+    pop  lr
+    movi r0, 0xC0000001          ; runt frame
+    ret
+send_len_ok:
+    ; copy header bytes into the staging buffer
+    movi r4, g_txbuf
+    movi r5, 0
+send_copy:
+    movi r12, 16
+    bgeu r5, r12, send_copied
+    bgeu r5, r3, send_copied
+    add  r6, r2, r5
+    ldb  r7, [r6+0]
+    add  r8, r4, r5
+    stb  [r8+0], r7
+    addi r5, r5, 1
+    jmp  send_copy
+send_copied:
+    ; kick the transmitter: length then TX start
+    movi r1, 0x05
+    out  r1, r3
+    movi r1, 0x04
+    movi r2, 0x26
+    out  r1, r2
+    pop  lr
+    movi r0, 0
+    ret
+
+; ---------------------------------------------------------------
+; QueryInformation(adapter, oid, buf, len) -> status
+; ---------------------------------------------------------------
+Query:
+    push lr
+    movi r12, 0x00010101         ; OID_GEN_SUPPORTED_LIST
+    beq  r1, r12, q_supported
+    movi r12, 0x00010102         ; OID_GEN_HARDWARE_STATUS
+    beq  r1, r12, q_hwstatus
+    movi r12, 0x00010107         ; OID_GEN_LINK_SPEED
+    beq  r1, r12, q_speed
+    movi r12, 0x01010101         ; OID_802_3_PERMANENT_ADDRESS
+    beq  r1, r12, q_mac
+    movi r12, 0x01010103         ; OID_802_3_MULTICAST_LIST
+    beq  r1, r12, q_mcast
+%s
+q_supported:
+    movi r4, 0x00010101
+    stw  [r2+0], r4
+    movi r4, 0x00010102
+    stw  [r2+4], r4
+    movi r4, 0x00010107
+    stw  [r2+8], r4
+    movi r4, 0x01010101
+    stw  [r2+12], r4
+    pop  lr
+    movi r0, 0
+    ret
+q_hwstatus:
+    movi r4, 0
+    stw  [r2+0], r4
+    pop  lr
+    movi r0, 0
+    ret
+q_speed:
+    movi r4, 100000
+    stw  [r2+0], r4
+    pop  lr
+    movi r0, 0
+    ret
+q_mac:
+    movi r4, g_macaddr
+    ldw  r5, [r4+0]
+    stw  [r2+0], r5
+    ldh  r5, [r4+4]
+    sth  [r2+4], r5
+    pop  lr
+    movi r0, 0
+    ret
+q_mcast:
+    movi r4, g_mcast_count
+    ldw  r5, [r4+0]
+    stw  [r2+0], r5
+    pop  lr
+    movi r0, 0
+    ret
+
+; ---------------------------------------------------------------
+; SetInformation(adapter, oid, buf, len) -> status
+; ---------------------------------------------------------------
+Set:
+    push lr
+    movi r12, 0x0001010E         ; OID_GEN_CURRENT_PACKET_FILTER
+    beq  r1, r12, s_filter
+    movi r12, 0x0001010F         ; OID_GEN_CURRENT_LOOKAHEAD
+    beq  r1, r12, s_lookahead
+    movi r12, 0x01010103         ; OID_802_3_MULTICAST_LIST
+    beq  r1, r12, s_mcast
+%s
+s_filter:
+    ldw  r4, [r2+0]
+    movi r5, g_filter
+    stw  [r5+0], r4
+    pop  lr
+    movi r0, 0
+    ret
+s_lookahead:
+    ldw  r4, [r2+0]
+    movi r5, g_lookahead
+    stw  [r5+0], r4
+    pop  lr
+    movi r0, 0
+    ret
+s_mcast:
+    ; copy at most 8 entries from buf
+    movi r5, 0
+    movi r6, g_mcast_buf
+    ldw  r6, [r6+0]
+    shri r7, r3, 2               ; entries = len/4
+    movi r12, 8
+    bltu r7, r12, s_mc_loop
+    movi r7, 8
+s_mc_loop:
+    bgeu r5, r7, s_mc_done
+    shli r8, r5, 2
+    add  r9, r2, r8
+    ldw  r9, [r9+0]
+    add  r8, r6, r8
+    stw  [r8+0], r9
+    addi r5, r5, 1
+    jmp  s_mc_loop
+s_mc_done:
+    pop  lr
+    movi r0, 0
+    ret
+
+; ---------------------------------------------------------------
+; Halt(adapter)
+; ---------------------------------------------------------------
+Halt:
+    push lr
+    mov  r11, r0
+    movi r0, g_intr
+    call NdisMDeregisterInterrupt
+    ; cancel watchdog
+    addi sp, sp, -4
+    movi r0, g_timer
+    mov  r1, sp
+    call NdisMCancelTimer
+    addi sp, sp, 4
+    ; release DMA ring
+    mov  r0, r11
+    movi r1, 512
+    movi r2, 1
+    movi r12, g_rxring
+    ldw  r3, [r12+0]
+    push r3                      ; arg4 = va (pa == va in this kernel)
+    call NdisMFreeSharedMemory
+    pop  r3
+    ; free multicast array
+    movi r12, g_mcast_buf
+    ldw  r0, [r12+0]
+    movi r1, 32
+    movi r2, 0
+    call NdisFreeMemory
+    movi r0, g_txlock
+    call NdisFreeSpinLock
+    pop  lr
+    movi r0, 0
+    ret
+
+; ---------------------------------------------------------------
+; ISR(adapter): read ISR register, ack, kick the watchdog
+; ---------------------------------------------------------------
+Isr:
+    push lr
+    movi r1, 0x07                ; interrupt status port
+    in   r2, r1
+    andi r3, r2, 1               ; RX bit
+    movi r12, 0
+    beq  r3, r12, isr_no_rx
+    out  r1, r3                  ; ack
+isr_no_rx:
+    andi r3, r2, 2               ; link-change bit
+    beq  r3, r12, isr_done
+%s
+    movi r0, g_timer
+    movi r1, 10
+    call NdisMSetTimer           ; (re)arm the watchdog
+isr_done:
+    pop  lr
+    movi r0, 0
+    ret
+isr_skip_timer:
+    pop  lr
+    movi r0, 0
+    ret
+
+HandleInt:
+    push lr
+    pop  lr
+    movi r0, 0
+    ret
+
+; ---------------------------------------------------------------
+; TimerFunc(ctx): watchdog at DISPATCH_LEVEL
+; ---------------------------------------------------------------
+TimerFunc:
+    push lr
+    movi r0, g_txlock
+    call NdisDprAcquireSpinLock
+    movi r1, 0x07
+    in   r2, r1                  ; poll the status register
+    movi r12, g_linkstate
+    stw  [r12+0], r2
+    movi r0, g_txlock
+    call NdisDprReleaseSpinLock
+    pop  lr
+    movi r0, 0
+    ret
+
+%s
+
+.data
+chars:          .word Initialize, Send, Query, Set, Halt, Isr, HandleInt
+cfg_mcast_name: .asciz "MaximumMulticastList"
+g_macaddr:      .word 0x33221100, 0x00005544
+q_table:        .word q_supported, q_hwstatus, q_speed, q_mac, q_mcast, q_supported, q_hwstatus, q_speed
+g_mcast_buf:    .word 0
+g_mcast_count:  .word 0
+g_timer_inited: .word 0
+g_mmio:         .word 0
+g_rxring:       .word 0
+g_filter:       .word 0
+g_lookahead:    .word 0
+g_linkstate:    .word 0
+g_txbuf:        .space 64
+g_txlock:       .space 8
+g_timer:        .space 16
+g_intr:         .space 16
+`,
+		// Bug 1 (resource leak): the alloc-failure path skips
+		// NdisCloseConfiguration in the buggy build.
+		pick(buggy, "    jmp  init_fail_leak", "    jmp  init_fail_close"),
+		// Bug 2 (memory corruption): the fixed build clamps the registry
+		// value to the array capacity before the loop.
+		pick(buggy, "", `    movi r12, 8
+    bltu r4, r12, mcast_clamped
+    movi r4, 8
+mcast_clamped:`),
+		// Bug 4 (segfault): unknown OID falls into an unchecked jump-table
+		// lookup in the buggy build; the fixed build fails cleanly.
+		pick(buggy, `    andi r4, r1, 0xFFF
+    shli r4, r4, 2
+    movi r5, q_table
+    add  r5, r5, r4
+    ldw  r6, [r5+0]
+    jr   r6`, `    pop  lr
+    movi r0, 0xC0010017
+    ret`),
+		// Bug 5 (segfault): same defect in SetInformation.
+		pick(buggy, `    andi r4, r1, 0xFFF
+    shli r4, r4, 2
+    movi r5, q_table
+    add  r5, r5, r4
+    ldw  r6, [r5+0]
+    jr   r6`, `    pop  lr
+    movi r0, 0xC0010017
+    ret`),
+		// Bug 3 (race): the buggy ISR arms the watchdog without checking
+		// that the timer was initialized.
+		pick(buggy, "", `    movi r4, g_timer_inited
+    ldw  r4, [r4+0]
+    beq  r4, r12, isr_skip_timer`),
+		filler("rtl", 38, 7),
+	)
+}
+
+// pick returns a when cond, else b.
+func pick(c bool, a, b string) string {
+	if c {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,487 @@
+package corpus
+
+import (
+	"fmt"
+
+	"repro/internal/binimg"
+)
+
+func init() {
+	register(&Spec{
+		Name:  "ddk-sample",
+		Class: binimg.ClassNetwork,
+		ExpectedBugs: []string{
+			"segmentation fault", // alloc result used without NULL check
+			"resource leak",      // first allocation leaked when second fails
+			"kernel crash",       // NdisMSetTimer on never-initialized timer
+			"kernel crash",       // release of spinlock never acquired
+			"kernel crash",       // paged pool allocation while holding a lock
+			"kernel crash",       // double free
+			"segmentation fault", // unvalidated OID table index
+			"kernel crash",       // NdisMSleep while holding a spinlock
+		},
+		FillerFuncs: 20,
+		Source: func(v Variant) string {
+			return sampleSource(v, false)
+		},
+	})
+	register(&Spec{
+		Name:  "ddk-sample-synthetic",
+		Class: binimg.ClassNetwork,
+		ExpectedBugs: []string{
+			"deadlock",     // cross-function double acquire
+			"kernel crash", // out-of-order spinlock release
+			"kernel crash", // extra release of a non-acquired lock
+			"kernel crash", // forgotten unreleased spinlock
+			"kernel crash", // kernel call at wrong IRQL
+		},
+		FillerFuncs: 20,
+		Source: func(v Variant) string {
+			return sampleSource(v, true)
+		},
+	})
+}
+
+// sampleSource generates the DDK-style sample miniport used for the §5.1
+// SDV comparison. With synthetic=false, the Buggy variant carries the 8
+// "sample bugs"; with synthetic=true it instead carries the 5 injected
+// synthetic concurrency/IRQL bugs (deadlock, out-of-order release, extra
+// release, forgotten release, wrong-IRQL call) plus the pattern that makes
+// a path-insensitive static checker produce its one false positive.
+func sampleSource(v Variant, synthetic bool) string {
+	buggy := v == Buggy
+	name := "ddk-sample"
+	if synthetic {
+		name = "ddk-sample-synthetic"
+	}
+
+	// The 8 sample bugs live on distinct OID / length paths so one DDT run
+	// reaches all of them.
+	b1 := pick(buggy && !synthetic, `
+    ; BUG S1: result stored through without a NULL check
+    stw  [r0+0], r11`, `
+    movi r10, 0
+    beq  r0, r10, smp_alloc1_fail
+    stw  [r0+0], r11`)
+	b2 := pick(buggy && !synthetic, `
+    ; BUG S2: first allocation leaked on this failure path
+    addi sp, sp, 8
+    pop  lr
+    movi r0, 0xC0000001
+    ret`, `
+    movi r12, g_ctx
+    ldw  r0, [r12+0]
+    movi r1, 0x4B4444
+    call ExFreePoolWithTag
+    addi sp, sp, 8
+    pop  lr
+    movi r0, 0xC0000001
+    ret`)
+	b3 := pick(buggy && !synthetic, `
+    movi r0, g_timer
+    movi r1, 50
+    call NdisMSetTimer          ; BUG S3: timer never initialized`, `
+    movi r0, 0`)
+	b4 := pick(buggy && !synthetic, `
+    movi r0, g_lock_x
+    call NdisReleaseSpinLock    ; BUG S4: lock never acquired`, `
+    movi r0, g_lock_x
+    call NdisAcquireSpinLock
+    movi r0, g_lock_x
+    call NdisReleaseSpinLock`)
+	b5 := pick(buggy && !synthetic, `
+    movi r0, 1                  ; BUG S5: PagedPool while at DISPATCH
+    movi r1, 64
+    movi r2, 0x50474442
+    call ExAllocatePoolWithTag
+    movi r10, 0
+    beq  r0, r10, sq_302_unlock
+    movi r1, 0x50474442
+    call ExFreePoolWithTag`, `
+    movi r0, 0                  ; NonPagedPool is legal under a lock
+    movi r1, 64
+    movi r2, 0x50474442
+    call ExAllocatePoolWithTag
+    movi r10, 0
+    beq  r0, r10, sq_302_unlock
+    movi r1, 0x50474442
+    call ExFreePoolWithTag`)
+	b6 := pick(buggy && !synthetic, `
+    movi r12, g_scratch
+    ldw  r0, [r12+0]
+    movi r1, 0x534352
+    call ExFreePoolWithTag
+    movi r12, g_scratch
+    ldw  r0, [r12+0]
+    movi r1, 0x534352
+    call ExFreePoolWithTag      ; BUG S6: double free`, `
+    movi r12, g_scratch
+    ldw  r0, [r12+0]
+    movi r10, 0
+    beq  r0, r10, ss_free_done
+    stw  [r12+0], r10
+    movi r1, 0x534352
+    call ExFreePoolWithTag
+ss_free_done:`)
+	b7 := pick(buggy && !synthetic, `
+    andi r4, r1, 0xFFF          ; BUG S7: unvalidated table index
+    shli r4, r4, 2
+    movi r5, sq_table
+    add  r5, r5, r4
+    ldw  r6, [r5+0]
+    jr   r6`, `
+    pop  lr
+    movi r0, 0xC0010017
+    ret`)
+	b8 := pick(buggy && !synthetic, `
+    movi r0, 10
+    call NdisMSleep             ; BUG S8: sleeping at DISPATCH_LEVEL`, `
+    movi r0, 0`)
+
+	// The 5 synthetic bugs (synthetic variant only).
+	y1 := pick(buggy && synthetic, `
+    movi r0, g_lock_a
+    call NdisAcquireSpinLock
+    call smp_helper_lock_a      ; SYN1: deadlock through a helper
+    movi r0, g_lock_a
+    call NdisReleaseSpinLock`, `
+    movi r0, g_lock_a
+    call NdisAcquireSpinLock
+    movi r0, g_lock_a
+    call NdisReleaseSpinLock`)
+	y2 := pick(buggy && synthetic, `
+    movi r0, g_lock_a
+    call NdisAcquireSpinLock
+    movi r0, g_lock_b
+    call NdisAcquireSpinLock
+    movi r0, g_lock_a
+    call NdisReleaseSpinLock    ; SYN2: out-of-order release
+    movi r0, g_lock_b
+    call NdisReleaseSpinLock`, `
+    movi r0, g_lock_a
+    call NdisAcquireSpinLock
+    movi r0, g_lock_b
+    call NdisAcquireSpinLock
+    movi r0, g_lock_b
+    call NdisReleaseSpinLock
+    movi r0, g_lock_a
+    call NdisReleaseSpinLock`)
+	y3 := pick(buggy && synthetic, `
+    movi r0, g_lock_c
+    call NdisReleaseSpinLock    ; SYN3: extra release (never acquired here)`, `
+    movi r0, g_lock_c
+    call NdisAcquireSpinLock
+    movi r0, g_lock_c
+    call NdisReleaseSpinLock`)
+	y4 := pick(buggy && synthetic, `
+    movi r0, g_lock_d
+    call NdisAcquireSpinLock    ; SYN4: forgotten release`, `
+    movi r0, g_lock_d
+    call NdisAcquireSpinLock
+    movi r0, g_lock_d
+    call NdisReleaseSpinLock`)
+	y5 := pick(buggy && synthetic, `
+    movi r0, g_lock_e
+    call NdisAcquireSpinLock
+    movi r0, 10
+    call NdisMSleep             ; SYN5: kernel call at wrong IRQL
+    movi r0, g_lock_e
+    call NdisReleaseSpinLock`, `
+    movi r0, g_lock_e
+    call NdisAcquireSpinLock
+    movi r0, g_lock_e
+    call NdisReleaseSpinLock`)
+
+	// The false-positive bait: a function that acquires a lock and releases
+	// it in a callee. Dynamically correct; a path/function-insensitive
+	// static rule flags the "missing" release. Present only in the
+	// synthetic comparison, matching §5.1's one false positive.
+	fpBait := pick(synthetic, `
+smp_flush:
+    push lr
+    movi r0, g_lock_f
+    call NdisAcquireSpinLock
+    call smp_flush_done
+    pop  lr
+    ret
+smp_flush_done:
+    push lr
+    movi r0, g_lock_f
+    call NdisReleaseSpinLock
+    pop  lr
+    ret`, "")
+	fpCall := pick(synthetic, "    call smp_flush", "")
+
+	return fmt.Sprintf(`
+; DDK-style sample NDIS miniport (%s)
+.name %s
+.device vendor=0x5344 device=0x0001 class=network bar=64 ports=16 irq=7 rev=1
+.import NdisMRegisterMiniport
+.import NdisOpenConfiguration
+.import NdisCloseConfiguration
+.import NdisAllocateMemoryWithTag
+.import NdisFreeMemory
+.import NdisAcquireSpinLock
+.import NdisReleaseSpinLock
+.import NdisAllocateSpinLock
+.import NdisFreeSpinLock
+.import NdisMInitializeTimer
+.import NdisMSetTimer
+.import NdisMSleep
+.import NdisMRegisterInterrupt
+.import NdisMDeregisterInterrupt
+.import ExAllocatePoolWithTag
+.import ExFreePoolWithTag
+.entry DriverEntry
+
+.text
+DriverEntry:
+    push lr
+    movi r0, chars
+    call NdisMRegisterMiniport
+    call smp_selftest
+%s
+    pop  lr
+    movi r0, 0
+    ret
+
+; ---------------------------------------------------------------
+; Initialize(adapter) -> status
+; ---------------------------------------------------------------
+Initialize:
+    push lr
+    mov  r11, r0
+    addi sp, sp, -8
+    ; context block
+    movi r0, 0
+    movi r1, 96
+    movi r2, 0x4B4444
+    call ExAllocatePoolWithTag
+%s
+    movi r12, g_ctx
+    stw  [r12+0], r0
+    ; scratch block (second allocation; its failure path is bug S2)
+    movi r0, 0
+    movi r1, 64
+    movi r2, 0x534352
+    call ExAllocatePoolWithTag
+    movi r10, 0
+    bne  r0, r10, smp_scratch_ok
+%s
+smp_scratch_ok:
+    movi r12, g_scratch
+    stw  [r12+0], r0
+    movi r0, g_mainlock
+    call NdisAllocateSpinLock
+    addi sp, sp, 8
+    pop  lr
+    movi r0, 0
+    ret
+smp_alloc1_fail:
+    addi sp, sp, 8
+    pop  lr
+    movi r0, 0xC0000001
+    ret
+
+; helper used by the synthetic deadlock
+smp_helper_lock_a:
+    push lr
+    movi r0, g_lock_a
+    call NdisAcquireSpinLock
+    movi r0, g_lock_a
+    call NdisReleaseSpinLock
+    pop  lr
+    ret
+
+; ---------------------------------------------------------------
+; Send(adapter, packet) -> status
+; ---------------------------------------------------------------
+Send:
+    push lr
+    ldw  r2, [r1+0]
+    ldw  r3, [r1+4]
+    movi r12, 20
+    bltu r3, r12, ss_short
+    movi r12, 60
+    bgeu r3, r12, ss_long
+    pop  lr
+    movi r0, 0
+    ret
+ss_short:
+    ; short frames take the "diagnostic" path
+    movi r0, g_mainlock
+    call NdisAcquireSpinLock
+%s
+    movi r0, g_mainlock
+    call NdisReleaseSpinLock
+    pop  lr
+    movi r0, 0
+    ret
+ss_long:
+    ; oversized frames release the staging buffer
+%s
+    pop  lr
+    movi r0, 0xC0000001
+    ret
+
+; ---------------------------------------------------------------
+; QueryInformation(adapter, oid, buf, len) -> status
+; ---------------------------------------------------------------
+Query:
+    push lr
+    movi r12, 0x00010101
+    beq  r1, r12, sq_supported
+    movi r12, 0x301
+    beq  r1, r12, sq_301
+    movi r12, 0x302
+    beq  r1, r12, sq_302
+%s
+sq_supported:
+    movi r4, 0x00010101
+    stw  [r2+0], r4
+    pop  lr
+    movi r0, 0
+    ret
+sq_301:
+%s
+    pop  lr
+    movi r0, 0
+    ret
+sq_302:
+    movi r0, g_mainlock
+    call NdisAcquireSpinLock
+%s
+sq_302_unlock:
+    movi r0, g_mainlock
+    call NdisReleaseSpinLock
+    pop  lr
+    movi r0, 0
+    ret
+
+; ---------------------------------------------------------------
+; SetInformation(adapter, oid, buf, len) -> status
+; ---------------------------------------------------------------
+Set:
+    push lr
+    movi r12, 0x201
+    beq  r1, r12, st_201
+    movi r12, 0x202
+    beq  r1, r12, st_202
+    movi r12, 0x203
+    beq  r1, r12, st_203
+    movi r12, 0x204
+    beq  r1, r12, st_204
+    movi r12, 0x205
+    beq  r1, r12, st_205
+    movi r12, 0x206
+    beq  r1, r12, st_206
+    movi r12, 0x401
+    beq  r1, r12, st_401
+    pop  lr
+    movi r0, 0xC0010017
+    ret
+st_201:
+%s
+    pop  lr
+    movi r0, 0
+    ret
+st_202:
+%s
+    pop  lr
+    movi r0, 0
+    ret
+st_203:
+%s
+    pop  lr
+    movi r0, 0
+    ret
+st_204:
+%s
+    pop  lr
+    movi r0, 0
+    ret
+st_205:
+%s
+    pop  lr
+    movi r0, 0
+    ret
+st_206:
+    ; a correct acquire/release pair of lock C (this is what blinds the
+    ; path-insensitive extra-release rule)
+    movi r0, g_lock_c
+    call NdisAcquireSpinLock
+    movi r0, g_lock_c
+    call NdisReleaseSpinLock
+    pop  lr
+    movi r0, 0
+    ret
+st_401:
+%s
+    pop  lr
+    movi r0, 0
+    ret
+
+; ---------------------------------------------------------------
+; Halt(adapter)
+; ---------------------------------------------------------------
+Halt:
+    push lr
+    movi r10, 0
+    movi r12, g_scratch
+    ldw  r4, [r12+0]
+    beq  r4, r10, smp_halt_ctx
+    stw  [r12+0], r10
+    mov  r0, r4
+    movi r1, 0x534352
+    call ExFreePoolWithTag
+smp_halt_ctx:
+    movi r12, g_ctx
+    ldw  r4, [r12+0]
+    beq  r4, r10, smp_halt_done
+    stw  [r12+0], r10
+    mov  r0, r4
+    movi r1, 0x4B4444
+    call ExFreePoolWithTag
+smp_halt_done:
+    movi r0, g_mainlock
+    call NdisFreeSpinLock
+    pop  lr
+    movi r0, 0
+    ret
+
+Isr:
+    movi r0, 0
+    ret
+HandleInt:
+    movi r0, 0
+    ret
+
+%s
+%s
+
+.data
+chars:     .word Initialize, Send, Query, Set, Halt, Isr, HandleInt
+sq_table:  .word sq_supported, sq_301, sq_302, sq_supported
+g_ctx:     .word 0
+g_scratch: .word 0
+g_mainlock: .space 8
+g_lock_a:  .space 8
+g_lock_b:  .space 8
+g_lock_c:  .space 8
+g_lock_d:  .space 8
+g_lock_e:  .space 8
+g_lock_f:  .space 8
+g_lock_x:  .space 8
+g_timer:   .space 16
+`,
+		name, name,
+		fpCall,
+		b1, b2,
+		b8, b6,
+		b7, b3, b5,
+		y1, y2, y3, y4, y5,
+		b4,
+		fpBait,
+		filler("smp", 20, 3),
+	)
+}

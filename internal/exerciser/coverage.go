@@ -1,0 +1,79 @@
+package exerciser
+
+import "sort"
+
+// CoveragePoint is one sample of the coverage-versus-time curves of
+// Figures 2 and 3. Time is deterministic simulated time: total executed
+// instructions across the test session, convertible to "minutes" by a
+// fixed calibration constant.
+type CoveragePoint struct {
+	Instructions uint64
+	Blocks       int
+}
+
+// Coverage tracks the set of distinct basic blocks executed and the
+// time series of their discovery.
+type Coverage struct {
+	seen   map[uint32]bool
+	series []CoveragePoint
+	// TotalStatic is the denominator for relative coverage (the statically
+	// discovered block count of the image).
+	TotalStatic int
+}
+
+// NewCoverage returns an empty recorder with the given static denominator.
+func NewCoverage(totalStatic int) *Coverage {
+	return &Coverage{seen: make(map[uint32]bool), TotalStatic: totalStatic}
+}
+
+// Visit records a block execution at the given global instruction count,
+// sampling the series only when a new block is discovered.
+func (c *Coverage) Visit(pc uint32, instructions uint64) {
+	if c.seen[pc] {
+		return
+	}
+	c.seen[pc] = true
+	c.series = append(c.series, CoveragePoint{Instructions: instructions, Blocks: len(c.seen)})
+}
+
+// Blocks returns the number of distinct blocks covered.
+func (c *Coverage) Blocks() int { return len(c.seen) }
+
+// Relative returns covered blocks as a fraction of the static total.
+func (c *Coverage) Relative() float64 {
+	if c.TotalStatic == 0 {
+		return 0
+	}
+	return float64(len(c.seen)) / float64(c.TotalStatic)
+}
+
+// Series returns the discovery time series (ascending in time).
+func (c *Coverage) Series() []CoveragePoint {
+	return append([]CoveragePoint(nil), c.series...)
+}
+
+// Covered reports whether a specific block leader was executed.
+func (c *Coverage) Covered(pc uint32) bool { return c.seen[pc] }
+
+// CoveredBlocks returns the sorted list of covered block leaders.
+func (c *Coverage) CoveredBlocks() []uint32 {
+	out := make([]uint32, 0, len(c.seen))
+	for pc := range c.seen {
+		out = append(out, pc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SampleAt returns the covered-block count at or before the given
+// instruction count (stair-step interpolation of the series).
+func (c *Coverage) SampleAt(instructions uint64) int {
+	n := 0
+	for _, p := range c.series {
+		if p.Instructions > instructions {
+			break
+		}
+		n = p.Blocks
+	}
+	return n
+}

@@ -1,0 +1,165 @@
+package exerciser
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vm"
+)
+
+func runnable(id uint64, pc uint32) *vm.State {
+	s := vm.NewState(id)
+	s.PC = pc
+	return s
+}
+
+func TestSchedulerFIFOAndLIFO(t *testing.T) {
+	for _, h := range []Heuristic{FIFO{}, LIFO{}} {
+		s := NewScheduler(10)
+		s.SetHeuristic(h)
+		s.Push(runnable(1, 0x100))
+		s.Push(runnable(2, 0x200))
+		s.Push(runnable(3, 0x300))
+		got := s.Pop().ID
+		switch h.(type) {
+		case FIFO:
+			if got != 1 {
+				t.Errorf("fifo popped %d", got)
+			}
+		case LIFO:
+			if got != 3 {
+				t.Errorf("lifo popped %d", got)
+			}
+		}
+	}
+}
+
+func TestSchedulerMinBlockCount(t *testing.T) {
+	s := NewScheduler(10)
+	s.Record(0x100) // block 0x100 executed once
+	s.Record(0x100)
+	s.Record(0x200) // block 0x200 executed once
+	s.Push(runnable(1, 0x100))
+	s.Push(runnable(2, 0x200))
+	s.Push(runnable(3, 0x300)) // never executed: most interesting
+	if got := s.Pop().ID; got != 3 {
+		t.Errorf("min-count popped %d, want 3 (unexecuted block)", got)
+	}
+	if got := s.Pop().ID; got != 2 {
+		t.Errorf("second pop %d, want 2", got)
+	}
+	if s.HeuristicName() != "min-block-count" {
+		t.Errorf("heuristic name %q", s.HeuristicName())
+	}
+}
+
+func TestSchedulerCapDropsStates(t *testing.T) {
+	s := NewScheduler(2)
+	s.Push(runnable(1, 0))
+	s.Push(runnable(2, 0))
+	s.Push(runnable(3, 0))
+	if s.Len() != 2 || s.Dropped != 1 {
+		t.Errorf("len=%d dropped=%d", s.Len(), s.Dropped)
+	}
+}
+
+func TestSchedulerIgnoresNonRunnable(t *testing.T) {
+	s := NewScheduler(10)
+	st := runnable(1, 0)
+	st.Status = vm.StatusExited
+	s.Push(st)
+	s.Push(nil)
+	if s.Len() != 0 {
+		t.Errorf("len = %d", s.Len())
+	}
+	if s.Pop() != nil {
+		t.Error("pop of empty queue")
+	}
+}
+
+func TestCoverageSeries(t *testing.T) {
+	c := NewCoverage(10)
+	c.Visit(0x100, 5)
+	c.Visit(0x100, 6) // revisit: no new point
+	c.Visit(0x200, 9)
+	if c.Blocks() != 2 {
+		t.Errorf("blocks = %d", c.Blocks())
+	}
+	series := c.Series()
+	if len(series) != 2 || series[0].Instructions != 5 || series[1].Blocks != 2 {
+		t.Errorf("series = %v", series)
+	}
+	if c.Relative() != 0.2 {
+		t.Errorf("relative = %v", c.Relative())
+	}
+	if !c.Covered(0x100) || c.Covered(0x300) {
+		t.Error("covered-set wrong")
+	}
+	if got := c.CoveredBlocks(); len(got) != 2 || got[0] != 0x100 {
+		t.Errorf("covered blocks = %v", got)
+	}
+}
+
+func TestCoverageSampleAt(t *testing.T) {
+	c := NewCoverage(0)
+	c.Visit(1, 10)
+	c.Visit(2, 20)
+	c.Visit(3, 30)
+	cases := []struct {
+		at   uint64
+		want int
+	}{{5, 0}, {10, 1}, {25, 2}, {100, 3}}
+	for _, tc := range cases {
+		if got := c.SampleAt(tc.at); got != tc.want {
+			t.Errorf("SampleAt(%d) = %d, want %d", tc.at, got, tc.want)
+		}
+	}
+	if c.Relative() != 0 {
+		t.Error("relative with zero denominator must be 0")
+	}
+}
+
+// TestQuickCoverageMonotone: the discovery series is nondecreasing in both
+// time and block count, whatever the visit order.
+func TestQuickCoverageMonotone(t *testing.T) {
+	f := func(pcs []uint32) bool {
+		c := NewCoverage(len(pcs) + 1)
+		for i, pc := range pcs {
+			c.Visit(pc, uint64(i))
+		}
+		s := c.Series()
+		for i := 1; i < len(s); i++ {
+			if s[i].Instructions < s[i-1].Instructions || s[i].Blocks != s[i-1].Blocks+1 {
+				return false
+			}
+		}
+		return c.Blocks() <= len(pcs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSchedulerNeverLoses: every pushed runnable state is eventually
+// popped exactly once (cap disabled).
+func TestQuickSchedulerNeverLoses(t *testing.T) {
+	f := func(n uint8) bool {
+		s := NewScheduler(0)
+		want := int(n%64) + 1
+		for i := 0; i < want; i++ {
+			s.Push(runnable(uint64(i+1), uint32(i)*8))
+		}
+		seen := map[uint64]bool{}
+		for s.Len() > 0 {
+			st := s.Pop()
+			if seen[st.ID] {
+				return false
+			}
+			seen[st.ID] = true
+		}
+		return len(seen) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

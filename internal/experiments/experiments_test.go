@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1ShapeMatchesPaper(t *testing.T) {
+	infos, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 6 {
+		t.Fatalf("drivers = %d", len(infos))
+	}
+	// Paper ordering: descending code size from Pro/1000 down to RTL8029
+	// with the audio drivers mid-pack.
+	if infos[0].Name != "intel-pro1000" || infos[5].Name != "rtl8029" {
+		t.Errorf("order: %v ... %v", infos[0].Name, infos[5].Name)
+	}
+	if infos[0].CodeSize <= infos[5].CodeSize*5 {
+		t.Errorf("size spread too small: %d vs %d", infos[0].CodeSize, infos[5].CodeSize)
+	}
+	out := FormatTable1(infos)
+	if !strings.Contains(out, "rtl8029") || !strings.Contains(out, "Functions") {
+		t.Errorf("format:\n%s", out)
+	}
+}
+
+func TestTable2AllMatch(t *testing.T) {
+	rows, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, r := range rows {
+		if !r.Matches() {
+			t.Errorf("%s does not match Table 2", r.Driver)
+		}
+		total += len(r.Report.Bugs)
+	}
+	if total != 14 {
+		t.Errorf("total = %d", total)
+	}
+	if !strings.Contains(FormatTable2(rows), "total: 14 bugs") {
+		t.Error("format missing total")
+	}
+}
+
+func TestCoverageBand(t *testing.T) {
+	runs, err := Coverage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range runs {
+		if r.Relative < 0.6 || r.Relative > 0.95 {
+			t.Errorf("%s coverage %.0f%% outside the paper's 60-90%% band", r.Driver, 100*r.Relative)
+		}
+		if len(r.Series) < 10 {
+			t.Errorf("%s series too short: %d", r.Driver, len(r.Series))
+		}
+		// Series must be a proper staircase: strictly increasing blocks.
+		for i := 1; i < len(r.Series); i++ {
+			if r.Series[i].Blocks <= r.Series[i-1].Blocks {
+				t.Errorf("%s series not increasing at %d", r.Driver, i)
+				break
+			}
+		}
+	}
+	rel := FormatCoverage(runs, true)
+	abs := FormatCoverage(runs, false)
+	if !strings.Contains(rel, "%") || !strings.Contains(abs, "blocks") {
+		t.Error("format broken")
+	}
+}
+
+func TestDriverVerifierZero(t *testing.T) {
+	res, err := DriverVerifier()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.BugsSeen != 0 {
+			t.Errorf("%s: DV found %d", r.Driver, r.BugsSeen)
+		}
+	}
+}
+
+func TestSDVComparisonProfile(t *testing.T) {
+	cmp, err := RunSDVComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.SampleSDVFindings != 8 || cmp.SampleDDTBugs != 8 {
+		t.Errorf("sample: %d/%d", cmp.SampleSDVFindings, cmp.SampleDDTBugs)
+	}
+	if cmp.SynSDVReal != 2 || cmp.SynSDVFalse != 1 || cmp.SynDDTBugs != 5 || cmp.SynDDTFalse != 0 {
+		t.Errorf("synthetic: sdv %d+%dfp ddt %d+%dfp", cmp.SynSDVReal, cmp.SynSDVFalse, cmp.SynDDTBugs, cmp.SynDDTFalse)
+	}
+	if !strings.Contains(cmp.Format(), "paper: 2 + 1") {
+		t.Error("format missing paper reference")
+	}
+}
+
+func TestAblationSplit(t *testing.T) {
+	rows, err := Ablation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	racesWithout := 0
+	for _, r := range rows {
+		racesWithout += r.NoAnnot["race condition"] + r.NoAnnot["kernel crash"]
+		if r.NoAnnot["resource leak"] != 0 || r.NoAnnot["segmentation fault"] != 0 {
+			t.Errorf("%s: annotation-dependent class survived ablation: %v", r.Driver, r.NoAnnot)
+		}
+	}
+	if racesWithout < 5 {
+		t.Errorf("interrupt-timing bugs without annotations = %d, want >= 5", racesWithout)
+	}
+	if !strings.Contains(FormatAblation(rows), "without") {
+		t.Error("format broken")
+	}
+}

@@ -1,0 +1,168 @@
+package expr
+
+// Assignment maps symbols to concrete values; unmapped symbols evaluate
+// to zero (the solver always produces total assignments for the symbols it
+// was asked about, so the zero default only matters for don't-care inputs).
+type Assignment map[SymID]uint32
+
+// Eval computes the concrete value of e under the assignment a.
+func Eval(e *Expr, a Assignment) uint32 {
+	switch e.Op {
+	case OpConst:
+		return e.C
+	case OpSym:
+		return a[e.Sym]
+	case OpAdd:
+		return Eval(e.X, a) + Eval(e.Y, a)
+	case OpSub:
+		return Eval(e.X, a) - Eval(e.Y, a)
+	case OpMul:
+		return Eval(e.X, a) * Eval(e.Y, a)
+	case OpUDiv:
+		d := Eval(e.Y, a)
+		if d == 0 {
+			return 0xFFFFFFFF
+		}
+		return Eval(e.X, a) / d
+	case OpURem:
+		d := Eval(e.Y, a)
+		if d == 0 {
+			return Eval(e.X, a)
+		}
+		return Eval(e.X, a) % d
+	case OpAnd:
+		return Eval(e.X, a) & Eval(e.Y, a)
+	case OpOr:
+		return Eval(e.X, a) | Eval(e.Y, a)
+	case OpXor:
+		return Eval(e.X, a) ^ Eval(e.Y, a)
+	case OpShl:
+		return Eval(e.X, a) << (Eval(e.Y, a) & 31)
+	case OpLshr:
+		return Eval(e.X, a) >> (Eval(e.Y, a) & 31)
+	case OpAshr:
+		return uint32(int32(Eval(e.X, a)) >> (Eval(e.Y, a) & 31))
+	case OpEq:
+		if Eval(e.X, a) == Eval(e.Y, a) {
+			return 1
+		}
+		return 0
+	case OpULt:
+		if Eval(e.X, a) < Eval(e.Y, a) {
+			return 1
+		}
+		return 0
+	case OpSLt:
+		if int32(Eval(e.X, a)) < int32(Eval(e.Y, a)) {
+			return 1
+		}
+		return 0
+	case OpIte:
+		if Eval(e.X, a) != 0 {
+			return Eval(e.Y, a)
+		}
+		return Eval(e.Z, a)
+	case OpNot:
+		return ^Eval(e.X, a)
+	}
+	panic("expr: eval of unknown op " + e.Op.String())
+}
+
+// CollectSyms appends every symbol referenced by e to set (a scratch map
+// owned by the caller).
+func CollectSyms(e *Expr, set map[SymID]bool) {
+	if e == nil {
+		return
+	}
+	if e.Op == OpSym {
+		set[e.Sym] = true
+		return
+	}
+	CollectSyms(e.X, set)
+	CollectSyms(e.Y, set)
+	CollectSyms(e.Z, set)
+}
+
+// Syms returns the set of symbols referenced by e, as a slice in
+// ascending SymID order.
+func Syms(e *Expr) []SymID {
+	set := make(map[SymID]bool)
+	CollectSyms(e, set)
+	out := make([]SymID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	// insertion sort; symbol counts per expression are small
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Substitute replaces every symbol present in a with its concrete value and
+// re-simplifies. Symbols absent from a are left symbolic.
+func Substitute(e *Expr, a Assignment) *Expr {
+	switch e.Op {
+	case OpConst:
+		return e
+	case OpSym:
+		if v, ok := a[e.Sym]; ok {
+			return Const(v)
+		}
+		return e
+	}
+	x := e.X
+	if x != nil {
+		x = Substitute(x, a)
+	}
+	y := e.Y
+	if y != nil {
+		y = Substitute(y, a)
+	}
+	z := e.Z
+	if z != nil {
+		z = Substitute(z, a)
+	}
+	return rebuild(e.Op, x, y, z)
+}
+
+// rebuild re-invokes the smart constructor for op over new operands.
+func rebuild(op Op, x, y, z *Expr) *Expr {
+	switch op {
+	case OpAdd:
+		return Add(x, y)
+	case OpSub:
+		return Sub(x, y)
+	case OpMul:
+		return Mul(x, y)
+	case OpUDiv:
+		return UDiv(x, y)
+	case OpURem:
+		return URem(x, y)
+	case OpAnd:
+		return And(x, y)
+	case OpOr:
+		return Or(x, y)
+	case OpXor:
+		return Xor(x, y)
+	case OpShl:
+		return Shl(x, y)
+	case OpLshr:
+		return Lshr(x, y)
+	case OpAshr:
+		return Ashr(x, y)
+	case OpEq:
+		return Eq(x, y)
+	case OpULt:
+		return ULt(x, y)
+	case OpSLt:
+		return SLt(x, y)
+	case OpIte:
+		return Ite(x, y, z)
+	case OpNot:
+		return Not(x)
+	}
+	panic("expr: rebuild of unknown op " + op.String())
+}

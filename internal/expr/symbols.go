@@ -1,0 +1,74 @@
+package expr
+
+import "fmt"
+
+// Origin classifies where a symbolic value was injected, mirroring DDT's
+// provenance tracking (§3.5–3.6 of the paper): traces record the creation
+// point of every symbol so bug reports can explain what concrete input or
+// hardware behaviour triggers a path.
+type Origin uint8
+
+// Symbol origins.
+const (
+	OriginUnknown    Origin = iota
+	OriginHardware          // read from a symbolic device register (MMIO or port)
+	OriginInterrupt         // symbolic interrupt arrival choice
+	OriginRegistry          // configuration value from the simulated registry
+	OriginPacket            // network packet contents handed to the driver
+	OriginAPIReturn         // return value of an annotated kernel API
+	OriginArgument          // driver entry-point argument made symbolic
+	OriginAnnotation        // created explicitly by an annotation
+)
+
+var originNames = [...]string{
+	OriginUnknown: "unknown", OriginHardware: "hardware", OriginInterrupt: "interrupt",
+	OriginRegistry: "registry", OriginPacket: "packet", OriginAPIReturn: "api-return",
+	OriginArgument: "argument", OriginAnnotation: "annotation",
+}
+
+func (o Origin) String() string {
+	if int(o) < len(originNames) {
+		return originNames[o]
+	}
+	return fmt.Sprintf("origin(%d)", uint8(o))
+}
+
+// SymbolInfo describes one symbolic variable.
+type SymbolInfo struct {
+	ID     SymID
+	Name   string // human-readable, e.g. "hw_read_mmio_0x10" or "registry:MaximumMulticastList"
+	Origin Origin
+	PC     uint32 // driver program counter at creation, 0 if not applicable
+	Seq    uint64 // machine instruction count at creation (creation time)
+}
+
+// SymbolTable allocates and describes symbolic variables for one DDT run.
+// It is not safe for concurrent use; each execution session owns one.
+type SymbolTable struct {
+	syms []SymbolInfo
+}
+
+// NewSymbolTable returns an empty symbol table.
+func NewSymbolTable() *SymbolTable {
+	return &SymbolTable{}
+}
+
+// Fresh allocates a new symbolic variable and returns an expression
+// referring to it.
+func (t *SymbolTable) Fresh(name string, origin Origin, pc uint32, seq uint64) *Expr {
+	id := SymID(len(t.syms))
+	t.syms = append(t.syms, SymbolInfo{ID: id, Name: name, Origin: origin, PC: pc, Seq: seq})
+	return Sym(id)
+}
+
+// Info returns the metadata for symbol id. It panics on out-of-range ids.
+func (t *SymbolTable) Info(id SymID) SymbolInfo {
+	return t.syms[id]
+}
+
+// Len returns the number of allocated symbols.
+func (t *SymbolTable) Len() int { return len(t.syms) }
+
+// All returns metadata for every allocated symbol, in creation order.
+// The returned slice is owned by the table; callers must not modify it.
+func (t *SymbolTable) All() []SymbolInfo { return t.syms }

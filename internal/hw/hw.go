@@ -1,0 +1,142 @@
+// Package hw implements DDT's fully symbolic hardware (§3.3, §4.1.4): a
+// fake PCI device whose descriptor tricks the PnP manager into loading the
+// driver under test, whose register reads (memory-mapped or port I/O)
+// return fresh unconstrained symbolic values, and whose register writes are
+// discarded. No real device and no device model is needed — symbolic reads
+// make the driver explore every path its hardware could ever (or could
+// never, for buggy silicon) take.
+package hw
+
+import (
+	"fmt"
+
+	"repro/internal/binimg"
+	"repro/internal/expr"
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// DeviceState is the tiny per-path device state (vm.Forkable). A symbolic
+// device is almost stateless — writes are discarded — but we track the
+// counts for traces and the interrupt line for the injection policy.
+type DeviceState struct {
+	RegReads   uint64
+	RegWrites  uint64
+	PortReads  uint64
+	PortWrites uint64
+	// LastWrites keeps the most recent few register writes for bug-report
+	// post-mortems ("the trace contained no writes to the interrupt
+	// control register", §5.1).
+	LastWrites []RegWrite
+}
+
+// RegWrite records one discarded device-register write.
+type RegWrite struct {
+	Addr uint32
+	Port bool
+	Seq  uint64
+}
+
+// Fork implements vm.Forkable.
+func (d *DeviceState) Fork() vm.Forkable {
+	n := *d
+	n.LastWrites = append([]RegWrite(nil), d.LastWrites...)
+	return &n
+}
+
+// Of extracts the device state attached to a vm state, creating it lazily.
+func Of(s *vm.State) *DeviceState {
+	if s.HW == nil {
+		s.HW = &DeviceState{}
+	}
+	return s.HW.(*DeviceState)
+}
+
+// SymbolicDevice is the session-wide fake device bound to one driver image.
+type SymbolicDevice struct {
+	Desc binimg.PCIDescriptor
+	// FreshSymbol mints provenance-tracked symbols; wired by the engine.
+	FreshSymbol func(s *vm.State, name string, origin expr.Origin) *expr.Expr
+}
+
+// New builds a symbolic device from the image's PCI descriptor.
+func New(desc binimg.PCIDescriptor) *SymbolicDevice {
+	return &SymbolicDevice{Desc: desc}
+}
+
+// Attach installs the device's MMIO and port hooks on the machine.
+func (d *SymbolicDevice) Attach(m *vm.Machine) {
+	if d.FreshSymbol == nil {
+		d.FreshSymbol = func(s *vm.State, name string, origin expr.Origin) *expr.Expr {
+			return m.Syms.Fresh(name, origin, s.PC, s.ICount)
+		}
+	}
+	m.ReadDevice = d.readMMIO
+	m.WriteDevice = d.writeMMIO
+	m.ReadPort = d.readPort
+	m.WritePort = d.writePort
+}
+
+func (d *SymbolicDevice) readMMIO(s *vm.State, addr, size uint32) *expr.Expr {
+	ds := Of(s)
+	ds.RegReads++
+	sym := d.FreshSymbol(s, fmt.Sprintf("hw_mmio_%#x", addr-isa.MMIOBase), expr.OriginHardware)
+	return maskForSize(sym, size)
+}
+
+func (d *SymbolicDevice) writeMMIO(s *vm.State, addr, size uint32, v *expr.Expr) {
+	ds := Of(s)
+	ds.RegWrites++
+	ds.recordWrite(RegWrite{Addr: addr - isa.MMIOBase, Seq: s.ICount})
+	s.Trace.Append(vm.Event{
+		Kind: vm.EvDevice, Seq: s.ICount, PC: s.PC, Addr: addr - isa.MMIOBase,
+		Write: true, Name: fmt.Sprintf("hw_mmio_%#x", addr-isa.MMIOBase),
+	})
+}
+
+func (d *SymbolicDevice) readPort(s *vm.State, port uint32) *expr.Expr {
+	ds := Of(s)
+	ds.PortReads++
+	return expr.ZeroExt16(d.FreshSymbol(s, fmt.Sprintf("hw_port_%#x", port), expr.OriginHardware))
+}
+
+func (d *SymbolicDevice) writePort(s *vm.State, port uint32, v *expr.Expr) {
+	ds := Of(s)
+	ds.PortWrites++
+	ds.recordWrite(RegWrite{Addr: port, Port: true, Seq: s.ICount})
+	s.Trace.Append(vm.Event{
+		Kind: vm.EvDevice, Seq: s.ICount, PC: s.PC, Addr: port,
+		Write: true, Name: fmt.Sprintf("hw_port_%#x", port),
+	})
+}
+
+func (ds *DeviceState) recordWrite(w RegWrite) {
+	const keep = 32
+	ds.LastWrites = append(ds.LastWrites, w)
+	if len(ds.LastWrites) > keep {
+		ds.LastWrites = ds.LastWrites[len(ds.LastWrites)-keep:]
+	}
+}
+
+// WroteRegister reports whether the path ever wrote the given device
+// register (used by bug analysis: "no writes to the interrupt control
+// register ⇒ interrupts were never enabled").
+func (ds *DeviceState) WroteRegister(off uint32) bool {
+	for _, w := range ds.LastWrites {
+		if !w.Port && w.Addr == off {
+			return true
+		}
+	}
+	return false
+}
+
+func maskForSize(e *expr.Expr, size uint32) *expr.Expr {
+	switch size {
+	case 1:
+		return expr.ZeroExt8(e)
+	case 2:
+		return expr.ZeroExt16(e)
+	default:
+		return e
+	}
+}

@@ -1,0 +1,128 @@
+package hw
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/binimg"
+	"repro/internal/expr"
+	"repro/internal/isa"
+	"repro/internal/solver"
+	"repro/internal/vm"
+)
+
+func testMachine(t *testing.T) (*vm.Machine, *SymbolicDevice) {
+	t.Helper()
+	img, err := asm.Assemble(".entry e\n.text\ne: ret\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img.Device = binimg.PCIDescriptor{VendorID: 1, DeviceID: 2, BARSize: 64, IOPorts: 8, IRQLine: 9}
+	m := vm.NewMachine(img, expr.NewSymbolTable(), solver.New())
+	dev := New(img.Device)
+	dev.Attach(m)
+	return m, dev
+}
+
+func TestReadsAreFreshSymbols(t *testing.T) {
+	m, _ := testMachine(t)
+	s := m.NewRootState()
+	a := m.ReadDevice(s, isa.MMIOBase+0x10, 4)
+	b := m.ReadDevice(s, isa.MMIOBase+0x10, 4)
+	if a.IsConst() || b.IsConst() {
+		t.Fatal("device reads must be symbolic")
+	}
+	if expr.Equal(a, b) {
+		t.Error("two reads of the same register must be distinct symbols (hardware may change)")
+	}
+	if Of(s).RegReads != 2 {
+		t.Errorf("read count = %d", Of(s).RegReads)
+	}
+}
+
+func TestNarrowReadsAreMasked(t *testing.T) {
+	m, _ := testMachine(t)
+	s := m.NewRootState()
+	b := m.ReadDevice(s, isa.MMIOBase, 1)
+	// A byte-wide register read can never exceed 0xFF.
+	model := expr.Assignment{}
+	for _, id := range expr.Syms(b) {
+		model[id] = 0xFFFFFFFF
+	}
+	if v := expr.Eval(b, model); v > 0xFF {
+		t.Errorf("byte read evaluates to %#x", v)
+	}
+	p := m.ReadPort(s, 0x10)
+	for _, id := range expr.Syms(p) {
+		model[id] = 0xFFFFFFFF
+	}
+	if v := expr.Eval(p, model); v > 0xFFFF {
+		t.Errorf("port read evaluates to %#x", v)
+	}
+}
+
+func TestWritesAreDiscardedButRecorded(t *testing.T) {
+	m, _ := testMachine(t)
+	s := m.NewRootState()
+	m.WriteDevice(s, isa.MMIOBase+0x20, 4, expr.Const(0xFF))
+	m.WritePort(s, 0x07, expr.Const(1))
+	ds := Of(s)
+	if ds.RegWrites != 1 || ds.PortWrites != 1 {
+		t.Errorf("write counts: %+v", ds)
+	}
+	if !ds.WroteRegister(0x20) {
+		t.Error("register write not recorded")
+	}
+	if ds.WroteRegister(0x24) {
+		t.Error("phantom register write")
+	}
+	// Reading back a written register still yields a fresh symbol: writes
+	// are discarded (§3.3).
+	v := m.ReadDevice(s, isa.MMIOBase+0x20, 4)
+	if v.IsConst() {
+		t.Error("write leaked into a read")
+	}
+}
+
+func TestDeviceStateForks(t *testing.T) {
+	m, _ := testMachine(t)
+	s := m.NewRootState()
+	m.WriteDevice(s, isa.MMIOBase, 4, expr.Const(1))
+	child := Of(s).Fork().(*DeviceState)
+	child.RegWrites++
+	child.LastWrites = append(child.LastWrites, RegWrite{Addr: 0x99})
+	if Of(s).RegWrites != 1 {
+		t.Error("fork shares counters")
+	}
+	if Of(s).WroteRegister(0x99) {
+		t.Error("fork shares write log")
+	}
+}
+
+func TestWriteLogBounded(t *testing.T) {
+	ds := &DeviceState{}
+	for i := 0; i < 100; i++ {
+		ds.recordWrite(RegWrite{Addr: uint32(i)})
+	}
+	if len(ds.LastWrites) > 32 {
+		t.Errorf("write log grew to %d", len(ds.LastWrites))
+	}
+	// The most recent writes are retained.
+	if !ds.WroteRegister(99) {
+		t.Error("latest write evicted")
+	}
+}
+
+func TestSymbolProvenance(t *testing.T) {
+	m, _ := testMachine(t)
+	s := m.NewRootState()
+	e := m.ReadDevice(s, isa.MMIOBase+4, 4)
+	ids := expr.Syms(e)
+	if len(ids) != 1 {
+		t.Fatalf("symbols = %v", ids)
+	}
+	info := m.Syms.Info(ids[0])
+	if info.Origin != expr.OriginHardware {
+		t.Errorf("origin = %v", info.Origin)
+	}
+}

@@ -1,0 +1,297 @@
+// Package isa defines d32, the 32-bit instruction set architecture that
+// stands in for x86 in this reproduction. Device drivers are distributed as
+// closed d32 binary images; DDT interprets them symbolically without ever
+// seeing assembly source.
+//
+// d32 is deliberately conventional: a load/store RISC with sixteen 32-bit
+// registers, fixed 8-byte instructions, absolute branch targets, port I/O
+// instructions (IN/OUT) and memory-mapped I/O through ordinary loads and
+// stores. Kernel API calls are CALLs into the import trap window (see
+// TrapBase); the VM intercepts them and dispatches to the simulated kernel,
+// which is the selective-symbolic-execution boundary of the paper (§3.2).
+package isa
+
+import "fmt"
+
+// Register indices. R0-R3 carry arguments and R0 the return value; R4-R11
+// are callee-saved; R12 is the assembler scratch register; SP and LR are
+// the stack pointer and link register.
+const (
+	R0 = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	SP      // R13
+	LR      // R14
+	NumRegs = 15
+)
+
+// RegName returns the assembler name of register r.
+func RegName(r uint8) string {
+	switch r {
+	case SP:
+		return "sp"
+	case LR:
+		return "lr"
+	default:
+		return fmt.Sprintf("r%d", r)
+	}
+}
+
+// Memory layout constants. The driver image is loaded at ImageBase; the
+// driver stack occupies [StackBase-StackSize, StackBase); kernel pool
+// allocations are granted out of the heap window; device BARs live in the
+// MMIO window; CALLs landing in [TrapBase, TrapBase+4*MaxImports) invoke
+// kernel API functions.
+const (
+	ImageBase  uint32 = 0x0010_0000
+	StackBase  uint32 = 0x0040_0000 // initial SP; stack grows down
+	StackSize  uint32 = 0x0001_0000 // 64 KiB
+	HeapBase   uint32 = 0x0080_0000
+	HeapLimit  uint32 = 0x00C0_0000
+	KGlobals   uint32 = 0x0000_1000 // kernel global variables visible to drivers
+	KGlobalsSz uint32 = 0x0000_1000
+	MMIOBase   uint32 = 0xE000_0000
+	MMIOLimit  uint32 = 0xE100_0000
+	TrapBase   uint32 = 0xF000_0000
+	MaxImports        = 4096
+)
+
+// InstrSize is the fixed instruction encoding width in bytes.
+const InstrSize = 4 * 2
+
+// Opcode identifies a d32 instruction.
+type Opcode uint8
+
+// d32 opcodes.
+const (
+	NOP  Opcode = iota
+	MOVI        // rd = imm
+	MOV         // rd = rs1
+	ADD         // rd = rs1 + rs2
+	SUB
+	MUL
+	DIVU // rd = rs1 / rs2 (unsigned; /0 -> 0xFFFFFFFF)
+	REMU // rd = rs1 % rs2 (unsigned; %0 -> rs1)
+	AND
+	OR
+	XOR
+	SHL
+	SHR // logical
+	SAR // arithmetic
+	ADDI
+	ANDI
+	ORI
+	XORI
+	SHLI
+	SHRI
+	SARI
+	MULI
+	LDW // rd = mem32[rs1+imm]
+	LDH // rd = zext16(mem16[rs1+imm])
+	LDB // rd = zext8(mem8[rs1+imm])
+	STW // mem32[rs1+imm] = rd
+	STH
+	STB
+	PUSH // sp -= 4; mem32[sp] = rd
+	POP  // rd = mem32[sp]; sp += 4
+	BEQ  // if rs1 == rs2 goto imm
+	BNE
+	BLTU
+	BGEU
+	BLT   // signed
+	BGE   // signed
+	JMP   // goto imm
+	JR    // goto rs1
+	CALL  // lr = pc+8; goto imm
+	CALLR // lr = pc+8; goto rs1
+	RET   // goto lr
+	IN    // rd = port[rs1]  (device register read)
+	OUT   // port[rs1] = rd  (device register write)
+	HLT   // halt the machine
+	NumOpcodes
+)
+
+var opInfo = [NumOpcodes]struct {
+	name   string
+	hasRd  bool
+	hasRs1 bool
+	hasRs2 bool
+	hasImm bool
+}{
+	NOP:   {"nop", false, false, false, false},
+	MOVI:  {"movi", true, false, false, true},
+	MOV:   {"mov", true, true, false, false},
+	ADD:   {"add", true, true, true, false},
+	SUB:   {"sub", true, true, true, false},
+	MUL:   {"mul", true, true, true, false},
+	DIVU:  {"divu", true, true, true, false},
+	REMU:  {"remu", true, true, true, false},
+	AND:   {"and", true, true, true, false},
+	OR:    {"or", true, true, true, false},
+	XOR:   {"xor", true, true, true, false},
+	SHL:   {"shl", true, true, true, false},
+	SHR:   {"shr", true, true, true, false},
+	SAR:   {"sar", true, true, true, false},
+	ADDI:  {"addi", true, true, false, true},
+	ANDI:  {"andi", true, true, false, true},
+	ORI:   {"ori", true, true, false, true},
+	XORI:  {"xori", true, true, false, true},
+	SHLI:  {"shli", true, true, false, true},
+	SHRI:  {"shri", true, true, false, true},
+	SARI:  {"sari", true, true, false, true},
+	MULI:  {"muli", true, true, false, true},
+	LDW:   {"ldw", true, true, false, true},
+	LDH:   {"ldh", true, true, false, true},
+	LDB:   {"ldb", true, true, false, true},
+	STW:   {"stw", true, true, false, true},
+	STH:   {"sth", true, true, false, true},
+	STB:   {"stb", true, true, false, true},
+	PUSH:  {"push", true, false, false, false},
+	POP:   {"pop", true, false, false, false},
+	BEQ:   {"beq", false, true, true, true},
+	BNE:   {"bne", false, true, true, true},
+	BLTU:  {"bltu", false, true, true, true},
+	BGEU:  {"bgeu", false, true, true, true},
+	BLT:   {"blt", false, true, true, true},
+	BGE:   {"bge", false, true, true, true},
+	JMP:   {"jmp", false, false, false, true},
+	JR:    {"jr", false, true, false, false},
+	CALL:  {"call", false, false, false, true},
+	CALLR: {"callr", false, true, false, false},
+	RET:   {"ret", false, false, false, false},
+	IN:    {"in", true, true, false, false},
+	OUT:   {"out", true, true, false, false},
+	HLT:   {"hlt", false, false, false, false},
+}
+
+// Name returns the assembler mnemonic for op.
+func (op Opcode) Name() string {
+	if op < NumOpcodes {
+		return opInfo[op].name
+	}
+	return fmt.Sprintf("op%d", uint8(op))
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Opcode) Valid() bool { return op < NumOpcodes }
+
+// IsBranch reports whether op is a conditional branch.
+func (op Opcode) IsBranch() bool { return op >= BEQ && op <= BGE }
+
+// IsControlFlow reports whether op can change the program counter.
+func (op Opcode) IsControlFlow() bool {
+	return op.IsBranch() || op == JMP || op == JR || op == CALL || op == CALLR || op == RET || op == HLT
+}
+
+// Instr is one decoded d32 instruction.
+type Instr struct {
+	Op  Opcode
+	Rd  uint8
+	Rs1 uint8
+	Rs2 uint8
+	Imm uint32
+}
+
+// Encode writes the 8-byte encoding of in to buf.
+func (in Instr) Encode(buf []byte) {
+	buf[0] = uint8(in.Op)
+	buf[1] = in.Rd
+	buf[2] = in.Rs1
+	buf[3] = in.Rs2
+	buf[4] = byte(in.Imm)
+	buf[5] = byte(in.Imm >> 8)
+	buf[6] = byte(in.Imm >> 16)
+	buf[7] = byte(in.Imm >> 24)
+}
+
+// Decode parses the 8-byte instruction at buf. It returns an error for
+// undefined opcodes or register fields, which the VM reports as an
+// invalid-instruction fault (a real machine would trap similarly).
+func Decode(buf []byte) (Instr, error) {
+	if len(buf) < InstrSize {
+		return Instr{}, fmt.Errorf("isa: truncated instruction (%d bytes)", len(buf))
+	}
+	in := Instr{
+		Op:  Opcode(buf[0]),
+		Rd:  buf[1],
+		Rs1: buf[2],
+		Rs2: buf[3],
+		Imm: uint32(buf[4]) | uint32(buf[5])<<8 | uint32(buf[6])<<16 | uint32(buf[7])<<24,
+	}
+	if !in.Op.Valid() {
+		return in, fmt.Errorf("isa: undefined opcode %#x", buf[0])
+	}
+	if in.Rd >= NumRegs || in.Rs1 >= NumRegs || in.Rs2 >= NumRegs {
+		return in, fmt.Errorf("isa: register field out of range in %s", in.Op.Name())
+	}
+	return in, nil
+}
+
+// String renders in as assembler text.
+func (in Instr) String() string {
+	info := opInfo[in.Op]
+	switch in.Op {
+	case NOP, RET, HLT:
+		return info.name
+	case MOVI:
+		return fmt.Sprintf("%s %s, %#x", info.name, RegName(in.Rd), in.Imm)
+	case MOV:
+		return fmt.Sprintf("%s %s, %s", info.name, RegName(in.Rd), RegName(in.Rs1))
+	case LDW, LDH, LDB:
+		return fmt.Sprintf("%s %s, [%s%+d]", info.name, RegName(in.Rd), RegName(in.Rs1), int32(in.Imm))
+	case STW, STH, STB:
+		return fmt.Sprintf("%s [%s%+d], %s", info.name, RegName(in.Rs1), int32(in.Imm), RegName(in.Rd))
+	case PUSH, POP:
+		return fmt.Sprintf("%s %s", info.name, RegName(in.Rd))
+	case BEQ, BNE, BLTU, BGEU, BLT, BGE:
+		return fmt.Sprintf("%s %s, %s, %#x", info.name, RegName(in.Rs1), RegName(in.Rs2), in.Imm)
+	case JMP, CALL:
+		return fmt.Sprintf("%s %#x", info.name, in.Imm)
+	case JR, CALLR:
+		return fmt.Sprintf("%s %s", info.name, RegName(in.Rs1))
+	case IN:
+		return fmt.Sprintf("in %s, %s", RegName(in.Rd), RegName(in.Rs1))
+	case OUT:
+		return fmt.Sprintf("out %s, %s", RegName(in.Rs1), RegName(in.Rd))
+	}
+	// Three-operand ALU and reg-imm ALU forms.
+	if info.hasRs2 {
+		return fmt.Sprintf("%s %s, %s, %s", info.name, RegName(in.Rd), RegName(in.Rs1), RegName(in.Rs2))
+	}
+	if info.hasImm {
+		return fmt.Sprintf("%s %s, %s, %#x", info.name, RegName(in.Rd), RegName(in.Rs1), in.Imm)
+	}
+	return info.name
+}
+
+// OpcodeByName returns the opcode with the given mnemonic.
+func OpcodeByName(name string) (Opcode, bool) {
+	for op := Opcode(0); op < NumOpcodes; op++ {
+		if opInfo[op].name == name {
+			return op, true
+		}
+	}
+	return 0, false
+}
+
+// InTrapWindow reports whether addr is an import trap address and, if so,
+// which import slot it denotes.
+func InTrapWindow(addr uint32) (slot int, ok bool) {
+	if addr < TrapBase || addr >= TrapBase+4*MaxImports {
+		return 0, false
+	}
+	return int(addr-TrapBase) / 4, true
+}
+
+// TrapAddr returns the trap address for import slot i.
+func TrapAddr(slot int) uint32 { return TrapBase + uint32(slot)*4 }

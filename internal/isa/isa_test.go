@@ -1,0 +1,142 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	ins := []Instr{
+		{Op: NOP},
+		{Op: MOVI, Rd: 3, Imm: 0xDEADBEEF},
+		{Op: ADD, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: LDW, Rd: 4, Rs1: SP, Imm: 0xFFFFFFF8}, // [sp-8]
+		{Op: STB, Rd: 5, Rs1: 6, Imm: 12},
+		{Op: BEQ, Rs1: 0, Rs2: 12, Imm: ImageBase + 0x40},
+		{Op: CALL, Imm: TrapAddr(7)},
+		{Op: RET},
+		{Op: IN, Rd: 0, Rs1: 1},
+		{Op: OUT, Rd: 2, Rs1: 3},
+		{Op: HLT},
+	}
+	var buf [InstrSize]byte
+	for _, in := range ins {
+		in.Encode(buf[:])
+		got, err := Decode(buf[:])
+		if err != nil {
+			t.Fatalf("decode %v: %v", in, err)
+		}
+		if got != in {
+			t.Errorf("round trip: got %+v, want %+v", got, in)
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(op uint8, rd, rs1, rs2 uint8, imm uint32) bool {
+		in := Instr{
+			Op:  Opcode(op % uint8(NumOpcodes)),
+			Rd:  rd % NumRegs,
+			Rs1: rs1 % NumRegs,
+			Rs2: rs2 % NumRegs,
+			Imm: imm,
+		}
+		var buf [InstrSize]byte
+		in.Encode(buf[:])
+		got, err := Decode(buf[:])
+		return err == nil && got == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsBadInput(t *testing.T) {
+	if _, err := Decode([]byte{1, 2, 3}); err == nil {
+		t.Error("short buffer accepted")
+	}
+	var buf [InstrSize]byte
+	Instr{Op: NumOpcodes, Rd: 0}.Encode(buf[:])
+	if _, err := Decode(buf[:]); err == nil {
+		t.Error("undefined opcode accepted")
+	}
+	Instr{Op: ADD, Rd: 15}.Encode(buf[:])
+	if _, err := Decode(buf[:]); err == nil {
+		t.Error("register out of range accepted")
+	}
+}
+
+func TestOpcodeByName(t *testing.T) {
+	for op := Opcode(0); op < NumOpcodes; op++ {
+		got, ok := OpcodeByName(op.Name())
+		if !ok || got != op {
+			t.Errorf("OpcodeByName(%q) = %v, %v", op.Name(), got, ok)
+		}
+	}
+	if _, ok := OpcodeByName("bogus"); ok {
+		t.Error("bogus mnemonic resolved")
+	}
+}
+
+func TestClassPredicates(t *testing.T) {
+	for _, op := range []Opcode{BEQ, BNE, BLTU, BGEU, BLT, BGE} {
+		if !op.IsBranch() || !op.IsControlFlow() {
+			t.Errorf("%s should be a branch", op.Name())
+		}
+	}
+	for _, op := range []Opcode{JMP, JR, CALL, CALLR, RET, HLT} {
+		if op.IsBranch() {
+			t.Errorf("%s should not be a conditional branch", op.Name())
+		}
+		if !op.IsControlFlow() {
+			t.Errorf("%s should be control flow", op.Name())
+		}
+	}
+	for _, op := range []Opcode{ADD, MOVI, LDW, STW, IN, OUT} {
+		if op.IsControlFlow() {
+			t.Errorf("%s should not be control flow", op.Name())
+		}
+	}
+}
+
+func TestTrapWindow(t *testing.T) {
+	for _, slot := range []int{0, 1, 99, MaxImports - 1} {
+		addr := TrapAddr(slot)
+		got, ok := InTrapWindow(addr)
+		if !ok || got != slot {
+			t.Errorf("InTrapWindow(TrapAddr(%d)) = %d, %v", slot, got, ok)
+		}
+	}
+	if _, ok := InTrapWindow(ImageBase); ok {
+		t.Error("image base misclassified as trap")
+	}
+	if _, ok := InTrapWindow(TrapBase + 4*MaxImports); ok {
+		t.Error("address past trap window accepted")
+	}
+}
+
+func TestRegNames(t *testing.T) {
+	if RegName(SP) != "sp" || RegName(LR) != "lr" || RegName(0) != "r0" {
+		t.Errorf("register naming broken: %q %q %q", RegName(SP), RegName(LR), RegName(0))
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: NOP}, "nop"},
+		{Instr{Op: MOVI, Rd: 2, Imm: 16}, "movi r2, 0x10"},
+		{Instr{Op: ADD, Rd: 0, Rs1: 1, Rs2: 2}, "add r0, r1, r2"},
+		{Instr{Op: ADDI, Rd: SP, Rs1: SP, Imm: 0xFFFFFFF8}, "addi sp, sp, 0xfffffff8"},
+		{Instr{Op: LDW, Rd: 1, Rs1: SP, Imm: 4}, "ldw r1, [sp+4]"},
+		{Instr{Op: STW, Rd: 1, Rs1: SP, Imm: 0xFFFFFFFC}, "stw [sp-4], r1"},
+		{Instr{Op: RET}, "ret"},
+	}
+	for _, tc := range cases {
+		if got := tc.in.String(); got != tc.want {
+			t.Errorf("String: got %q, want %q", got, tc.want)
+		}
+	}
+}

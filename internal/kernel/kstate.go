@@ -1,0 +1,377 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// RegionKind classifies a memory grant, mirroring §3.1.1's list of regions
+// a driver may legally touch.
+type RegionKind uint8
+
+// Memory grant kinds.
+const (
+	RegionImage    RegionKind = iota // loadable sections of the driver binary
+	RegionStack                      // current driver stack
+	RegionKGlobals                   // kernel globals explicitly imported
+	RegionAlloc                      // dynamically allocated pool memory
+	RegionPacket                     // packet descriptors/buffers passed to the driver
+	RegionShared                     // DMA shared memory
+	RegionMMIO                       // mapped device registers
+	RegionParam                      // kernel-owned parameter blocks passed to entry points
+)
+
+func (k RegionKind) String() string {
+	switch k {
+	case RegionImage:
+		return "image"
+	case RegionStack:
+		return "stack"
+	case RegionKGlobals:
+		return "kglobals"
+	case RegionAlloc:
+		return "alloc"
+	case RegionPacket:
+		return "packet"
+	case RegionShared:
+		return "shared"
+	case RegionMMIO:
+		return "mmio"
+	case RegionParam:
+		return "param"
+	default:
+		return "region?"
+	}
+}
+
+// Region is one granted address range [Lo, Hi).
+type Region struct {
+	Lo, Hi   uint32
+	Kind     RegionKind
+	Tag      string
+	Writable bool
+	Pageable bool // pageable memory: touching it at >= DispatchLevel is a bug
+}
+
+// Alloc records one live dynamic allocation.
+type Alloc struct {
+	Addr uint32
+	Size uint32
+	Tag  string
+	Kind string // "pool", "shared", "packet", "buffer"
+	Seq  uint64 // allocation time (instruction count)
+	PC   uint32 // driver call site, for leak attribution
+}
+
+// Spin tracks one spinlock's concrete state.
+type Spin struct {
+	Held     bool
+	OldIrql  uint8 // IRQL to restore on release
+	DprOwned bool  // acquired with the Dpr (DISPATCH-level) variant
+	Inited   bool
+}
+
+// Timer tracks an NDIS timer object.
+type Timer struct {
+	Initialized bool
+	FuncPC      uint32
+	Ctx         uint32
+	Queued      bool
+}
+
+// Pool tracks a packet or buffer pool.
+type Pool struct {
+	Capacity uint32
+	Live     int
+	Freed    bool
+}
+
+// ConfigHandle records an open configuration handle and where it was
+// opened (for leak attribution).
+type ConfigHandle struct {
+	Label string
+	PC    uint32
+}
+
+// PacketInfo records a live packet's owning pool and allocation site.
+type PacketInfo struct {
+	Pool uint32
+	PC   uint32
+}
+
+// DPC is a queued deferred procedure call the exerciser will dispatch at
+// DispatchLevel.
+type DPC struct {
+	FuncPC uint32
+	Ctx    uint32
+	Label  string
+}
+
+// MiniportChars is the entry-point table a network driver registers via
+// NdisMRegisterMiniport (the driver's analogue of
+// NDIS_MINIPORT_CHARACTERISTICS).
+type MiniportChars struct {
+	InitializePC uint32
+	SendPC       uint32
+	QueryInfoPC  uint32
+	SetInfoPC    uint32
+	HaltPC       uint32
+	ISRPC        uint32
+	HandleIntPC  uint32
+}
+
+// AudioChars is the audio driver's registration table (PortCls-flavoured).
+type AudioChars struct {
+	InitializePC uint32
+	PlayPC       uint32
+	StopPC       uint32
+	ISRPC        uint32
+	HaltPC       uint32
+}
+
+// KState is the concrete kernel state attached to one execution state. It
+// forks with the machine state so each explored path sees its own kernel
+// world — handles, IRQL, lock ownership, live allocations.
+type KState struct {
+	IRQL uint8
+
+	// IRQLStack saves pre-interrupt IRQLs across injected interrupts.
+	IRQLStack []uint8
+
+	Regions []Region
+
+	NextHeap   uint32
+	NextHandle uint32
+
+	Allocs        map[uint32]*Alloc
+	Spinlocks     map[uint32]*Spin
+	ConfigHandles map[uint32]ConfigHandle
+	Timers        map[uint32]*Timer
+	PacketPools   map[uint32]*Pool
+	BufferPools   map[uint32]*Pool
+	Packets       map[uint32]PacketInfo
+
+	Registry map[string]uint32
+
+	Miniport *MiniportChars
+	Audio    *AudioChars
+
+	ISRRegistered bool
+	ISRPC         uint32
+	IntrSyncs     map[uint32]bool // PcNewInterruptSync objects
+
+	PendingDPCs []DPC
+
+	Crashed   bool
+	CrashCode uint32
+	CrashMsg  string
+
+	// InDpc is set while the exerciser dispatches a DPC or timer callback;
+	// DPC context forbids lowering the IRQL below DISPATCH_LEVEL.
+	InDpc bool
+
+	// Failure counters consumed by annotations to fork bounded
+	// allocation-failure alternatives.
+	AllocFailForks int
+}
+
+// NewKState builds the boot-time kernel state for a freshly loaded driver
+// image: image and stack grants, kernel globals, and registry defaults.
+func NewKState() *KState {
+	ks := &KState{
+		NextHeap:      isa.HeapBase,
+		NextHandle:    0x8000_0001,
+		Allocs:        make(map[uint32]*Alloc),
+		Spinlocks:     make(map[uint32]*Spin),
+		ConfigHandles: make(map[uint32]ConfigHandle),
+		Timers:        make(map[uint32]*Timer),
+		PacketPools:   make(map[uint32]*Pool),
+		BufferPools:   make(map[uint32]*Pool),
+		Packets:       make(map[uint32]PacketInfo),
+		Registry:      make(map[string]uint32),
+		IntrSyncs:     make(map[uint32]bool),
+	}
+	ks.Grant(Region{Lo: isa.KGlobals, Hi: isa.KGlobals + isa.KGlobalsSz, Kind: RegionKGlobals, Writable: false, Tag: "kernel globals"})
+	ks.Grant(Region{Lo: isa.StackBase - isa.StackSize, Hi: isa.StackBase, Kind: RegionStack, Writable: true, Tag: "driver stack"})
+	return ks
+}
+
+// Fork deep-copies the kernel state (vm.Forkable).
+func (ks *KState) Fork() vm.Forkable {
+	n := &KState{
+		IRQL:           ks.IRQL,
+		IRQLStack:      append([]uint8(nil), ks.IRQLStack...),
+		Regions:        append([]Region(nil), ks.Regions...),
+		NextHeap:       ks.NextHeap,
+		NextHandle:     ks.NextHandle,
+		Allocs:         make(map[uint32]*Alloc, len(ks.Allocs)),
+		Spinlocks:      make(map[uint32]*Spin, len(ks.Spinlocks)),
+		ConfigHandles:  make(map[uint32]ConfigHandle, len(ks.ConfigHandles)),
+		Timers:         make(map[uint32]*Timer, len(ks.Timers)),
+		PacketPools:    make(map[uint32]*Pool, len(ks.PacketPools)),
+		BufferPools:    make(map[uint32]*Pool, len(ks.BufferPools)),
+		Packets:        make(map[uint32]PacketInfo, len(ks.Packets)),
+		Registry:       make(map[string]uint32, len(ks.Registry)),
+		IntrSyncs:      make(map[uint32]bool, len(ks.IntrSyncs)),
+		ISRRegistered:  ks.ISRRegistered,
+		ISRPC:          ks.ISRPC,
+		PendingDPCs:    append([]DPC(nil), ks.PendingDPCs...),
+		Crashed:        ks.Crashed,
+		CrashCode:      ks.CrashCode,
+		CrashMsg:       ks.CrashMsg,
+		InDpc:          ks.InDpc,
+		AllocFailForks: ks.AllocFailForks,
+	}
+	for k, v := range ks.Allocs {
+		c := *v
+		n.Allocs[k] = &c
+	}
+	for k, v := range ks.Spinlocks {
+		c := *v
+		n.Spinlocks[k] = &c
+	}
+	for k, v := range ks.ConfigHandles {
+		n.ConfigHandles[k] = v
+	}
+	for k, v := range ks.Timers {
+		c := *v
+		n.Timers[k] = &c
+	}
+	for k, v := range ks.PacketPools {
+		c := *v
+		n.PacketPools[k] = &c
+	}
+	for k, v := range ks.BufferPools {
+		c := *v
+		n.BufferPools[k] = &c
+	}
+	for k, v := range ks.Packets {
+		n.Packets[k] = v
+	}
+	for k, v := range ks.Registry {
+		n.Registry[k] = v
+	}
+	for k, v := range ks.IntrSyncs {
+		n.IntrSyncs[k] = v
+	}
+	if ks.Miniport != nil {
+		c := *ks.Miniport
+		n.Miniport = &c
+	}
+	if ks.Audio != nil {
+		c := *ks.Audio
+		n.Audio = &c
+	}
+	return n
+}
+
+// Of extracts the kernel state attached to a vm state.
+func Of(s *vm.State) *KState { return s.Kernel.(*KState) }
+
+// Grant adds a memory grant.
+func (ks *KState) Grant(r Region) { ks.Regions = append(ks.Regions, r) }
+
+// Revoke removes grants exactly matching [lo,hi). It reports whether a
+// grant was found.
+func (ks *KState) Revoke(lo, hi uint32) bool {
+	for i, r := range ks.Regions {
+		if r.Lo == lo && r.Hi == hi {
+			ks.Regions = append(ks.Regions[:i], ks.Regions[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// FindRegion returns the grant containing [addr, addr+size), if any.
+func (ks *KState) FindRegion(addr, size uint32) (Region, bool) {
+	for _, r := range ks.Regions {
+		if addr >= r.Lo && addr+size <= r.Hi {
+			return r, true
+		}
+	}
+	return Region{}, false
+}
+
+// HeapAlloc carves size bytes out of the kernel heap window, records the
+// allocation (attributed to driver call site pc), and grants access.
+func (ks *KState) HeapAlloc(size uint32, tag, kind string, seq uint64, pc uint32) (uint32, error) {
+	sz := (size + 15) &^ 15
+	if ks.NextHeap+sz > isa.HeapLimit {
+		return 0, fmt.Errorf("kernel heap exhausted")
+	}
+	addr := ks.NextHeap
+	ks.NextHeap += sz
+	ks.Allocs[addr] = &Alloc{Addr: addr, Size: size, Tag: tag, Kind: kind, Seq: seq, PC: pc}
+	ks.Grant(Region{Lo: addr, Hi: addr + size, Kind: RegionAlloc, Writable: true, Tag: tag})
+	return addr, nil
+}
+
+// HeapFree releases an allocation; it reports false for an address that is
+// not a live allocation (double free / bad pointer).
+func (ks *KState) HeapFree(addr uint32) bool {
+	a, ok := ks.Allocs[addr]
+	if !ok {
+		return false
+	}
+	delete(ks.Allocs, addr)
+	ks.Revoke(addr, addr+a.Size)
+	return true
+}
+
+// NewHandle mints an opaque kernel handle.
+func (ks *KState) NewHandle() uint32 {
+	h := ks.NextHandle
+	ks.NextHandle++
+	return h
+}
+
+// LiveAllocs returns allocations that were never freed, ordered by
+// allocation time, for the resource leak checker.
+func (ks *KState) LiveAllocs() []*Alloc {
+	var out []*Alloc
+	for _, a := range ks.Allocs {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// LivePackets counts packets never freed back to their pool.
+func (ks *KState) LivePackets() int { return len(ks.Packets) }
+
+// OpenConfigHandles returns configuration handles never closed, ordered by
+// open site.
+func (ks *KState) OpenConfigHandles() []ConfigHandle {
+	var out []ConfigHandle
+	for _, h := range ks.ConfigHandles {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PC < out[j].PC })
+	return out
+}
+
+// HeldSpinlocks returns addresses of spinlocks still held, sorted.
+func (ks *KState) HeldSpinlocks() []uint32 {
+	var out []uint32
+	for addr, sp := range ks.Spinlocks {
+		if sp.Held {
+			out = append(out, addr)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LivePacketList returns live packets ordered by allocation site.
+func (ks *KState) LivePacketList() []PacketInfo {
+	var out []PacketInfo
+	for _, p := range ks.Packets {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PC < out[j].PC })
+	return out
+}

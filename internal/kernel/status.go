@@ -1,0 +1,75 @@
+package kernel
+
+// NDIS/NT status codes, matching the Windows numeric conventions so that
+// corpus drivers read naturally.
+const (
+	StatusSuccess      uint32 = 0x00000000
+	StatusPending      uint32 = 0x00000103
+	StatusFailure      uint32 = 0xC0000001
+	StatusResources    uint32 = 0xC000009A
+	StatusNotSupported uint32 = 0xC00000BB
+	StatusInvalidOID   uint32 = 0xC0010017 // NDIS_STATUS_INVALID_OID
+	StatusBadValue     uint32 = 0xC0010010
+)
+
+// IRQL levels. Spinlock acquisition raises to DispatchLevel; DPC and timer
+// callbacks run at DispatchLevel; interrupt service routines run at
+// DeviceLevel. Pageable memory must only be touched at PassiveLevel.
+const (
+	PassiveLevel  uint8 = 0
+	APCLevel      uint8 = 1
+	DispatchLevel uint8 = 2
+	DeviceLevel   uint8 = 5
+	HighLevel     uint8 = 15
+)
+
+// IrqlName returns the conventional name of an IRQL.
+func IrqlName(irql uint8) string {
+	switch irql {
+	case PassiveLevel:
+		return "PASSIVE_LEVEL"
+	case APCLevel:
+		return "APC_LEVEL"
+	case DispatchLevel:
+		return "DISPATCH_LEVEL"
+	case DeviceLevel:
+		return "DEVICE_LEVEL"
+	case HighLevel:
+		return "HIGH_LEVEL"
+	default:
+		return "IRQL?"
+	}
+}
+
+// BugCheck codes used by the simulated kernel's own consistency checks
+// (the "guest OS-level checks" of §3.1.2 — our Driver Verifier analogue).
+const (
+	BugCheckIrqlNotLessOrEqual  uint32 = 0x0000000A
+	BugCheckBadPoolCaller       uint32 = 0x000000C2
+	BugCheckSpinlockNotOwned    uint32 = 0x00000010
+	BugCheckTimerNotInitialized uint32 = 0x000000DE
+	BugCheckDriverFault         uint32 = 0x000000D1 // DRIVER_IRQL_NOT_LESS_OR_EQUAL
+	BugCheckManual              uint32 = 0x000000E2
+)
+
+// NDIS parameter types for NdisReadConfiguration.
+const (
+	ParamInteger    uint32 = 1
+	ParamHexInteger uint32 = 2
+	ParamString     uint32 = 3
+)
+
+// Well-known OIDs (a small subset of the NDIS object identifiers) used by
+// the corpus network drivers' QueryInformation/SetInformation handlers.
+const (
+	OIDGenSupportedList    uint32 = 0x00010101
+	OIDGenHardwareStatus   uint32 = 0x00010102
+	OIDGenMediaSupported   uint32 = 0x00010103
+	OIDGenMaxFrameSize     uint32 = 0x00010106
+	OIDGenLinkSpeed        uint32 = 0x00010107
+	OIDGenCurrentPacketFil uint32 = 0x0001010E
+	OIDGenCurrentLookahead uint32 = 0x0001010F
+	OID802_3PermanentAddr  uint32 = 0x01010101
+	OID802_3CurrentAddr    uint32 = 0x01010102
+	OID802_3MulticastList  uint32 = 0x01010103
+)

@@ -1,0 +1,52 @@
+package solver
+
+// interval is an inclusive unsigned 32-bit range [lo, hi]. The empty
+// interval is represented by lo > hi.
+type interval struct {
+	lo, hi uint32
+}
+
+func fullInterval() interval { return interval{0, 0xFFFFFFFF} }
+
+func (iv interval) empty() bool { return iv.lo > iv.hi }
+
+func (iv interval) contains(v uint32) bool { return v >= iv.lo && v <= iv.hi }
+
+// clampMax intersects iv with [0, max].
+func (iv interval) clampMax(max uint32) interval {
+	if max < iv.hi {
+		iv.hi = max
+	}
+	return iv
+}
+
+// clampMin intersects iv with [min, 0xFFFFFFFF].
+func (iv interval) clampMin(min uint32) interval {
+	if min > iv.lo {
+		iv.lo = min
+	}
+	return iv
+}
+
+// point intersects iv with the single value v.
+func (iv interval) point(v uint32) interval {
+	if !iv.contains(v) {
+		return interval{1, 0}
+	}
+	return interval{v, v}
+}
+
+// exclude removes v from iv when v is an endpoint; interior exclusions are
+// not representable and are left to probing (sound: the interval only ever
+// over-approximates the feasible set).
+func (iv interval) exclude(v uint32) interval {
+	if iv.lo == v && iv.hi == v {
+		return interval{1, 0}
+	}
+	if iv.lo == v {
+		iv.lo++
+	} else if iv.hi == v {
+		iv.hi--
+	}
+	return iv
+}

@@ -1,0 +1,226 @@
+package solver
+
+import "repro/internal/expr"
+
+// propagate narrows the per-symbol intervals in ivs assuming constraint e
+// evaluates to truth. It returns ok=false when the intervals become
+// contradictory (sound Unsat) and changed=true when any interval narrowed.
+//
+// The recognized shapes cover the comparisons the d32 ISA's conditional
+// branches generate (see internal/vm): equality and unsigned ordering
+// against constants, possibly through a constant additive offset, plus
+// boolean and/or/not combinations. Everything else is left to probing —
+// skipping a constraint here is always sound because intervals only
+// over-approximate.
+func propagate(e *expr.Expr, truth bool, ivs map[expr.SymID]interval) (ok, changed bool) {
+	switch e.Op {
+	case expr.OpConst:
+		if (e.C != 0) == truth {
+			return true, false
+		}
+		return false, false
+
+	case expr.OpSym:
+		// "x" as a condition means x != 0 (truth) or x == 0 (!truth).
+		iv := ivs[e.Sym]
+		var niv interval
+		if truth {
+			niv = iv.exclude(0)
+		} else {
+			niv = iv.point(0)
+		}
+		return applyNarrowing(e.Sym, niv, ivs)
+
+	case expr.OpEq:
+		// Smart constructors canonicalize constants into X.
+		if e.X.IsConst() {
+			c, y := e.X.C, e.Y
+			// Eq(0, bool-expr) is LogicalNot; Eq(1, bool-expr) asserts it.
+			if c == 0 && isBoolShape(y) {
+				return propagate(y, !truth, ivs)
+			}
+			if c == 1 && isBoolShape(y) {
+				return propagate(y, truth, ivs)
+			}
+			if sym, k, isSym := addOffset(y); isSym {
+				// (k + x) == c  <=>  x == c-k  (exact in modular arithmetic)
+				iv := ivs[sym]
+				var niv interval
+				if truth {
+					niv = iv.point(c - k)
+				} else {
+					niv = iv.exclude(c - k)
+				}
+				return applyNarrowing(sym, niv, ivs)
+			}
+		}
+		return true, false
+
+	case expr.OpULt:
+		// x < y with one side a constant.
+		if e.Y.IsConst() {
+			c := e.Y.C
+			if sym, k, isSym := addOffset(e.X); isSym && k == 0 {
+				iv := ivs[sym]
+				var niv interval
+				if truth {
+					if c == 0 {
+						return false, false
+					}
+					niv = iv.clampMax(c - 1)
+				} else {
+					niv = iv.clampMin(c)
+				}
+				return applyNarrowing(sym, niv, ivs)
+			}
+		}
+		if e.X.IsConst() {
+			c := e.X.C
+			if sym, k, isSym := addOffset(e.Y); isSym && k == 0 {
+				iv := ivs[sym]
+				var niv interval
+				if truth {
+					if c == 0xFFFFFFFF {
+						return false, false
+					}
+					niv = iv.clampMin(c + 1)
+				} else {
+					niv = iv.clampMax(c)
+				}
+				return applyNarrowing(sym, niv, ivs)
+			}
+		}
+		return true, false
+
+	case expr.OpAnd:
+		// Boolean conjunction under truth: both sides hold.
+		if truth && isBoolShapePair(e) {
+			ok1, ch1 := propagate(e.X, true, ivs)
+			if !ok1 {
+				return false, false
+			}
+			ok2, ch2 := propagate(e.Y, true, ivs)
+			return ok2, ch1 || ch2
+		}
+		return true, false
+
+	case expr.OpOr:
+		// Boolean disjunction under falsity: both sides fail.
+		if !truth && isBoolShapePair(e) {
+			ok1, ch1 := propagate(e.X, false, ivs)
+			if !ok1 {
+				return false, false
+			}
+			ok2, ch2 := propagate(e.Y, false, ivs)
+			return ok2, ch1 || ch2
+		}
+		return true, false
+	}
+	return true, false
+}
+
+func applyNarrowing(id expr.SymID, niv interval, ivs map[expr.SymID]interval) (ok, changed bool) {
+	if niv.empty() {
+		return false, false
+	}
+	old := ivs[id]
+	if niv == old {
+		return true, false
+	}
+	ivs[id] = niv
+	return true, true
+}
+
+func isComparison(e *expr.Expr) bool {
+	switch e.Op {
+	case expr.OpEq, expr.OpULt, expr.OpSLt:
+		return true
+	}
+	return false
+}
+
+// isBoolShape reports whether e always evaluates to 0 or 1 and participates
+// in boolean propagation: comparisons and and/or compositions of them.
+func isBoolShape(e *expr.Expr) bool {
+	switch e.Op {
+	case expr.OpEq, expr.OpULt, expr.OpSLt:
+		return true
+	case expr.OpAnd, expr.OpOr:
+		return isBoolShape(e.X) && isBoolShape(e.Y)
+	}
+	return false
+}
+
+func isBoolShapePair(e *expr.Expr) bool {
+	return isBoolShape(e.X) && isBoolShape(e.Y)
+}
+
+// addOffset matches e against the pattern (k + sym) — including the bare
+// symbol, where k == 0 — and returns the symbol and offset.
+func addOffset(e *expr.Expr) (expr.SymID, uint32, bool) {
+	if e.Op == expr.OpSym {
+		return e.Sym, 0, true
+	}
+	if e.Op == expr.OpAdd && e.X.IsConst() && e.Y.Op == expr.OpSym {
+		return e.Y.Sym, e.X.C, true
+	}
+	return 0, 0, false
+}
+
+// allRecognized reports whether every constraint is in the fragment for
+// which the boundary-candidate sets are exhaustive: comparisons (possibly
+// negated or conjoined) of symbols/offset-symbols against constants, and
+// masked-byte comparisons. For this fragment, exhaustive search failure over
+// the candidate sets implies Unsat.
+func allRecognized(cs []*expr.Expr) bool {
+	for _, c := range cs {
+		if !recognized(c, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func recognized(e *expr.Expr, depth int) bool {
+	if depth > 12 {
+		return false
+	}
+	switch e.Op {
+	case expr.OpConst, expr.OpSym:
+		return true
+	case expr.OpEq, expr.OpULt, expr.OpSLt:
+		if e.Op == expr.OpEq && e.X.IsConst() && e.X.C <= 1 && isBoolShape(e.Y) {
+			return recognized(e.Y, depth+1)
+		}
+		return simpleOperand(e.X) && simpleOperand(e.Y)
+	case expr.OpAnd, expr.OpOr:
+		if isBoolShapePair(e) {
+			return recognized(e.X, depth+1) && recognized(e.Y, depth+1)
+		}
+		return false
+	case expr.OpIte:
+		return recognized(e.X, depth+1) && recognized(e.Y, depth+1) && recognized(e.Z, depth+1)
+	}
+	return false
+}
+
+// simpleOperand matches constants, symbols, constant-offset symbols, and
+// single-mask symbol patterns — operands whose comparison boundaries the
+// candidate generator enumerates completely.
+func simpleOperand(e *expr.Expr) bool {
+	if e.IsConst() || e.Op == expr.OpSym {
+		return true
+	}
+	if _, _, ok := addOffset(e); ok {
+		return true
+	}
+	// (mask & sym): candidate sets include the mask constants.
+	if e.Op == expr.OpAnd && e.X.IsConst() && e.Y.Op == expr.OpSym {
+		// Only claim completeness for contiguous low masks, where boundary
+		// candidates (mask value, 0, 1, c±1) cover the reachable set's
+		// comparison outcomes.
+		m := e.X.C
+		return m != 0 && (m&(m+1)) == 0
+	}
+	return false
+}

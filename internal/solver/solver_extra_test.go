@@ -1,0 +1,118 @@
+package solver
+
+import (
+	"testing"
+
+	"repro/internal/expr"
+)
+
+// Driver-shaped constraint regressions: the exact forms the corpus
+// generates, pinned so solver changes cannot silently lose them.
+
+func TestOIDTableIndexShape(t *testing.T) {
+	// The unexpected-OID bug: oid excluded from the supported set, and the
+	// masked index must escape the table (adversarial pinning shape).
+	s := New()
+	oid := expr.Sym(0)
+	table := uint32(0x103A00)
+	addr := expr.Add(expr.Const(table), expr.Shl(expr.And(oid, expr.Const(0xFFF)), expr.Const(2)))
+	cs := []*expr.Expr{
+		expr.Ne(oid, expr.Const(0x00010101)),
+		expr.Ne(oid, expr.Const(0x00010107)),
+		expr.UGe(addr, expr.Const(0x105000)), // beyond image limit
+		expr.ULt(addr, expr.Const(0x3F0000)), // below stack
+	}
+	m := checkSat(t, s, cs)
+	a := table + (m[0]&0xFFF)<<2
+	if a < 0x105000 || a >= 0x3F0000 {
+		t.Errorf("model address %#x not in the probe window", a)
+	}
+}
+
+func TestInterruptStatusBitsShape(t *testing.T) {
+	// The Pro/100 arming condition: bit 0 set AND the low byte equals the
+	// event code 0x33.
+	s := New()
+	v := expr.Sym(0)
+	cs := []*expr.Expr{
+		expr.Ne(expr.And(v, expr.Const(1)), expr.Const(0)),
+		expr.Eq(expr.And(v, expr.Const(0xFF)), expr.Const(0x33)),
+	}
+	m := checkSat(t, s, cs)
+	if m[0]&0xFF != 0x33 {
+		t.Errorf("model = %#x", m[0])
+	}
+	// The contradictory sibling path (bit 0 clear) must be unsat.
+	cs2 := []*expr.Expr{
+		expr.Eq(expr.And(v, expr.Const(1)), expr.Const(0)),
+		expr.Eq(expr.And(v, expr.Const(0xFF)), expr.Const(0x33)),
+	}
+	if res, _ := s.Check(cs2); res == Sat {
+		t.Error("contradictory status bits reported satisfiable")
+	}
+}
+
+func TestMulticastCountChainShape(t *testing.T) {
+	// The RTL8029 loop: count signed-nonnegative, count > 0..7, then the
+	// OOB iteration needs count > 8 — all satisfiable together.
+	s := New()
+	count := expr.Sym(0)
+	cs := []*expr.Expr{expr.SGe(count, expr.Const(0))}
+	for i := uint32(0); i < 8; i++ {
+		cs = append(cs, expr.UGt(count, expr.Const(i)))
+	}
+	m := checkSat(t, s, cs)
+	if m[0] <= 7 {
+		t.Errorf("count = %d", m[0])
+	}
+	// And the exact-exit path: count == 3 alongside the first three
+	// iteration constraints.
+	cs2 := []*expr.Expr{
+		expr.SGe(count, expr.Const(0)),
+		expr.UGt(count, expr.Const(0)),
+		expr.UGt(count, expr.Const(1)),
+		expr.UGt(count, expr.Const(2)),
+		expr.ULe(count, expr.Const(3)),
+	}
+	m2 := checkSat(t, s, cs2)
+	if m2[0] != 3 {
+		t.Errorf("exact exit count = %d, want 3", m2[0])
+	}
+}
+
+func TestPacketLengthShape(t *testing.T) {
+	// Send workload: 14 <= len <= 64, plus the driver's runt check both ways.
+	s := New()
+	l := expr.Sym(0)
+	base := []*expr.Expr{
+		expr.UGe(l, expr.Const(14)),
+		expr.ULe(l, expr.Const(64)),
+	}
+	ok := append(append([]*expr.Expr{}, base...), expr.UGe(l, expr.Const(14)))
+	checkSat(t, s, ok)
+	runt := append(append([]*expr.Expr{}, base...), expr.ULt(l, expr.Const(14)))
+	if res, _ := s.Check(runt); res == Sat {
+		t.Error("runt branch satisfiable despite the workload bound")
+	}
+}
+
+func TestManyConstraintsPerformance(t *testing.T) {
+	// A long path: 60 accumulated comparisons over 6 symbols must still
+	// solve (the solver is invoked at every branch with the full set).
+	s := New()
+	var cs []*expr.Expr
+	for i := 0; i < 60; i++ {
+		x := expr.Sym(expr.SymID(i % 6))
+		cs = append(cs, expr.ULt(x, expr.Const(uint32(1000-i))))
+	}
+	checkSat(t, s, cs)
+	if s.Stats.UnknownAns != 0 {
+		t.Errorf("unknown answers = %d", s.Stats.UnknownAns)
+	}
+}
+
+func TestResultStrings(t *testing.T) {
+	if Sat.String() != "sat" || Unsat.String() != "unsat" || Unknown.String() != "unknown" {
+		t.Error("result names")
+	}
+}

@@ -1,0 +1,249 @@
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/binimg"
+	"repro/internal/expr"
+	"repro/internal/isa"
+	"repro/internal/solver"
+)
+
+// Fault is a bug condition raised on an execution path, either by the VM
+// itself (wild jumps, invalid instructions) or by a registered checker
+// vetoing an access. The engine converts faults into bug reports carrying
+// the path trace.
+type Fault struct {
+	Class string // e.g. "memory", "spinlock", "irql", "crash", "leak", "loop"
+	Msg   string
+	PC    uint32
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("%s fault at pc=%#x: %s", f.Class, f.PC, f.Msg)
+}
+
+// Faultf builds a Fault.
+func Faultf(class string, pc uint32, format string, args ...any) *Fault {
+	return &Fault{Class: class, PC: pc, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Machine interprets d32 driver code symbolically. The driver text runs in
+// the symbolic domain; CALLs into the import trap window cross to the
+// concrete domain (the simulated kernel) via the APICall hook — the
+// selective-symbolic-execution boundary.
+//
+// All hooks are optional except APICall (required once the driver calls an
+// import).
+type Machine struct {
+	Img    *binimg.Image
+	Syms   *expr.SymbolTable
+	Solver *solver.Solver
+
+	// APICall dispatches an import-table call. It may modify s, fork it
+	// (returning extra runnable states), or raise a Fault.
+	APICall func(s *State, slot int) ([]*State, error)
+
+	// Symbolic-hardware hooks: MMIO window and port I/O.
+	ReadDevice  func(s *State, addr uint32, size uint32) *expr.Expr
+	WriteDevice func(s *State, addr uint32, size uint32, v *expr.Expr)
+	ReadPort    func(s *State, port uint32) *expr.Expr
+	WritePort   func(s *State, port uint32, v *expr.Expr)
+
+	// OnMemAccess is consulted for every driver load/store outside the MMIO
+	// window. A non-nil error fails the path with a bug.
+	OnMemAccess func(s *State, pc, addr, size uint32, write bool, v *expr.Expr) error
+
+	// PinAddress chooses the concrete value for a symbolic effective
+	// address. DDT's memory checker installs an adversarial pinner that
+	// prefers values proving an out-of-bounds access feasible (the Klee
+	// behaviour of checking a symbolic pointer against all objects). When
+	// nil, addresses concretize like any other value.
+	PinAddress func(s *State, addr *expr.Expr, size uint32, write bool) (uint32, bool)
+
+	// OnBlock is invoked when execution enters a basic block (coverage).
+	OnBlock func(s *State, pc uint32)
+
+	// OnFork is invoked after a branch fork with both children.
+	OnFork func(parent *State, children []*State, cond *expr.Expr)
+
+	// OnInterruptReturn is invoked after an injected interrupt context is
+	// popped (the kernel restores the pre-interrupt IRQL here).
+	OnInterruptReturn func(s *State)
+
+	instrs    []isa.Instr
+	decodeErr []error
+	nextID    uint64
+
+	// Stats
+	Steps    uint64
+	Forks    uint64
+	SymReads uint64
+	APICalls uint64
+}
+
+// NewMachine decodes the image and prepares an interpreter.
+func NewMachine(img *binimg.Image, syms *expr.SymbolTable, sol *solver.Solver) *Machine {
+	n := len(img.Text) / isa.InstrSize
+	m := &Machine{
+		Img:       img,
+		Syms:      syms,
+		Solver:    sol,
+		instrs:    make([]isa.Instr, n),
+		decodeErr: make([]error, n),
+		nextID:    1,
+	}
+	for i := 0; i < n; i++ {
+		m.instrs[i], m.decodeErr[i] = isa.Decode(img.Text[i*isa.InstrSize:])
+	}
+	return m
+}
+
+// NewRootState allocates the initial state with the image loaded.
+func (m *Machine) NewRootState() *State {
+	s := NewState(m.newID())
+	s.Mem.WriteBytes(isa.ImageBase, m.Img.Text)
+	s.Mem.WriteBytes(m.Img.DataBase(), m.Img.Data)
+	// bss is implicitly zero.
+	return s
+}
+
+func (m *Machine) newID() uint64 {
+	id := m.nextID
+	m.nextID++
+	return id
+}
+
+// ForkState clones s with a fresh ID (used by kernel annotations that fork
+// over alternative API results).
+func (m *Machine) ForkState(s *State) *State {
+	m.Forks++
+	return s.Fork(m.newID())
+}
+
+// inText reports whether pc addresses a decoded instruction.
+func (m *Machine) inText(pc uint32) bool {
+	return pc >= isa.ImageBase && pc < isa.ImageBase+uint32(len(m.instrs))*isa.InstrSize &&
+		(pc-isa.ImageBase)%isa.InstrSize == 0
+}
+
+// Concretize pins a symbolic expression to a concrete value consistent with
+// the path constraints, records the concretization (so traces can explain
+// it and replays reproduce it), and adds the equality constraint. This is
+// the paper's on-demand concretization at the symbolic/concrete boundary.
+func (m *Machine) Concretize(s *State, e *expr.Expr, what string) (uint32, error) {
+	if e.IsConst() {
+		return e.ConstVal(), nil
+	}
+	model := m.Solver.Model(s.Constraints)
+	if model == nil && len(s.Constraints) > 0 {
+		return 0, Faultf("engine", s.PC, "cannot concretize %s: path constraints unsolvable", what)
+	}
+	val := expr.Eval(e, model)
+	s.AddConstraint(expr.Eq(e, expr.Const(val)))
+	s.Trace.Append(Event{
+		Kind: EvConcretize, Seq: s.ICount, PC: s.PC,
+		Val: expr.Const(val), Name: what,
+	})
+	return val, nil
+}
+
+// blockStart is kept per state in Meta to know when to emit block events.
+const metaBlockStart = "block_start"
+
+// MarkBlockStart flags that the next step of s begins a basic block
+// (entry-point invocation, branch target, post-call resumption).
+func (m *Machine) MarkBlockStart(s *State) {
+	if s.Meta == nil {
+		s.Meta = make(map[string]uint64)
+	}
+	s.Meta[metaBlockStart] = 1
+}
+
+func (m *Machine) enterBlock(s *State) {
+	s.Trace.Append(Event{Kind: EvBlock, Seq: s.ICount, PC: s.PC})
+	if m.OnBlock != nil {
+		m.OnBlock(s, s.PC)
+	}
+	if s.Meta != nil {
+		delete(s.Meta, metaBlockStart)
+	}
+}
+
+// Step executes one instruction of s and returns the runnable successor
+// states. Usually that is s itself; a symbolic branch returns two forked
+// children (s is retired); termination returns none, with s.Status and, for
+// bugs, the returned Fault explaining why.
+func (m *Machine) Step(s *State) ([]*State, error) {
+	if s.Status != StatusRunning {
+		return nil, nil
+	}
+	m.Steps++
+
+	// Magic return addresses.
+	switch s.PC {
+	case ExitAddr:
+		s.Status = StatusExited
+		s.Trace.Append(Event{Kind: EvEntryDone, Seq: s.ICount, Name: s.EntryName})
+		return nil, nil
+	case IntrRetAddr:
+		if !s.PopInterrupt() {
+			s.Status = StatusBug
+			return nil, Faultf("memory", s.PC, "return to interrupt context with no active interrupt")
+		}
+		s.Trace.Append(Event{Kind: EvInterruptEnd, Seq: s.ICount})
+		if m.OnInterruptReturn != nil {
+			m.OnInterruptReturn(s)
+		}
+		m.MarkBlockStart(s)
+		return []*State{s}, nil
+	}
+
+	if !m.inText(s.PC) {
+		s.Status = StatusBug
+		return nil, Faultf("memory", s.PC, "execution outside driver text (wild jump)")
+	}
+	idx := (s.PC - isa.ImageBase) / isa.InstrSize
+	if err := m.decodeErr[idx]; err != nil {
+		s.Status = StatusBug
+		return nil, Faultf("memory", s.PC, "invalid instruction: %v", err)
+	}
+
+	if s.Meta != nil && s.Meta[metaBlockStart] == 1 {
+		m.enterBlock(s)
+	}
+
+	in := m.instrs[idx]
+	s.ICount++
+	return m.exec(s, in)
+}
+
+// Run steps s until the path stops or maxSteps instructions execute,
+// following the first successor at every fork. It returns the state the
+// path ended on (which may differ from s after forks), the sibling states
+// produced by forks (for a scheduler to explore), and the Fault if the path
+// ended in a bug.
+func (m *Machine) Run(s *State, maxSteps uint64) (final *State, forked []*State, fault error) {
+	start := s.ICount
+	cur := s
+	for cur.Status == StatusRunning {
+		if cur.ICount-start >= maxSteps {
+			cur.Status = StatusKilled
+			return cur, forked, nil
+		}
+		next, err := m.Step(cur)
+		if err != nil {
+			return cur, forked, err
+		}
+		switch len(next) {
+		case 0:
+			return cur, forked, nil
+		case 1:
+			cur = next[0]
+		default:
+			forked = append(forked, next[1:]...)
+			cur = next[0]
+		}
+	}
+	return cur, forked, nil
+}

@@ -1,0 +1,208 @@
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/isa"
+)
+
+// Magic control-transfer addresses. Returning to ExitAddr completes the
+// current entry-point invocation; returning to IntrRetAddr completes an
+// injected interrupt and restores the interrupted context.
+const (
+	ExitAddr    uint32 = 0xFFFF_0000
+	IntrRetAddr uint32 = 0xFFFF_0010
+)
+
+// Forkable is implemented by concrete environment state (the simulated
+// kernel, the symbolic hardware) that must be snapshotted when an execution
+// state forks. Each execution state conceptually is "a complete system
+// snapshot" (paper §4.1.2); guest memory forks by COW, and Forkable covers
+// the host-side concrete structures.
+type Forkable interface {
+	Fork() Forkable
+}
+
+// Status describes why a state is no longer runnable.
+type Status uint8
+
+// State statuses.
+const (
+	StatusRunning Status = iota
+	StatusExited         // returned from its entry point
+	StatusKilled         // terminated by policy (e.g. failure return pruning)
+	StatusBug            // a checker flagged a bug on this path
+	StatusHalted         // executed HLT
+	StatusInfeasible
+)
+
+func (st Status) String() string {
+	switch st {
+	case StatusRunning:
+		return "running"
+	case StatusExited:
+		return "exited"
+	case StatusKilled:
+		return "killed"
+	case StatusBug:
+		return "bug"
+	case StatusHalted:
+		return "halted"
+	case StatusInfeasible:
+		return "infeasible"
+	default:
+		return "unknown"
+	}
+}
+
+// intrFrame saves the full register context across an injected interrupt.
+type intrFrame struct {
+	regs [isa.NumRegs]*expr.Expr
+	pc   uint32
+}
+
+// State is one execution state: registers, PC, COW memory, path
+// constraints, and forked concrete environment. States form a tree; Fork
+// produces children and the parent is never stepped again.
+type State struct {
+	ID     uint64
+	Parent uint64 // parent state ID, 0 for the root
+	Status Status
+
+	Regs [isa.NumRegs]*expr.Expr
+	PC   uint32
+	Mem  *Memory
+
+	// Constraints is the path condition: the conjunction of branch
+	// conditions and concretization equalities accumulated on this path.
+	Constraints []*expr.Expr
+
+	// Kernel and HW are the forked concrete environments.
+	Kernel Forkable
+	HW     Forkable
+
+	// ICount is the number of instructions executed on this path — the
+	// deterministic "time" axis for the coverage figures.
+	ICount uint64
+
+	// Depth counts forks since the root.
+	Depth int
+
+	// intrStack holds saved contexts of interrupted execution.
+	intrStack []intrFrame
+
+	// InInterrupt reports how many interrupt contexts are active.
+	InInterrupt int
+
+	// EntryName names the driver entry point this state is executing,
+	// for reports ("QueryInformation", "ISR", ...).
+	EntryName string
+
+	// Trace accumulates per-path events as a persistent chain.
+	Trace *TraceNode
+
+	// Meta carries engine-specific scratch (e.g. scheduling priority).
+	Meta map[string]uint64
+}
+
+// NewState returns a root state with zeroed registers and empty memory.
+func NewState(id uint64) *State {
+	s := &State{ID: id, Mem: NewMemory(), Trace: &TraceNode{}}
+	for i := range s.Regs {
+		s.Regs[i] = expr.Const(0)
+	}
+	s.Regs[isa.SP] = expr.Const(isa.StackBase)
+	return s
+}
+
+// Fork clones s into a child with the given ID. The shared memory and
+// trace snapshots are frozen: both the child AND the (possibly still
+// running) parent continue on fresh copy-on-write overlays, so neither can
+// observe the other's subsequent writes. This matters for annotation and
+// interrupt-injection forks, where the parent keeps executing.
+func (s *State) Fork(id uint64) *State {
+	frozenMem := s.Mem
+	s.Mem = frozenMem.Fork()
+	frozenTrace := s.Trace
+	s.Trace = &TraceNode{parent: frozenTrace}
+	c := &State{
+		ID:          id,
+		Parent:      s.ID,
+		Regs:        s.Regs, // array copy
+		PC:          s.PC,
+		Mem:         frozenMem.Fork(),
+		Constraints: s.Constraints[:len(s.Constraints):len(s.Constraints)],
+		ICount:      s.ICount,
+		Depth:       s.Depth + 1,
+		InInterrupt: s.InInterrupt,
+		EntryName:   s.EntryName,
+		Trace:       &TraceNode{parent: frozenTrace},
+	}
+	if s.Kernel != nil {
+		c.Kernel = s.Kernel.Fork()
+	}
+	if s.HW != nil {
+		c.HW = s.HW.Fork()
+	}
+	if len(s.intrStack) > 0 {
+		c.intrStack = append([]intrFrame(nil), s.intrStack...)
+	}
+	if len(s.Meta) > 0 {
+		c.Meta = make(map[string]uint64, len(s.Meta))
+		for k, v := range s.Meta {
+			c.Meta[k] = v
+		}
+	}
+	return c
+}
+
+// AddConstraint appends a path constraint.
+func (s *State) AddConstraint(e *expr.Expr) {
+	s.Constraints = append(s.Constraints, e)
+}
+
+// Reg returns register r.
+func (s *State) Reg(r uint8) *expr.Expr { return s.Regs[r] }
+
+// SetReg stores e into register r.
+func (s *State) SetReg(r uint8, e *expr.Expr) { s.Regs[r] = e }
+
+// RegConcrete returns the value of register r when it is concrete.
+func (s *State) RegConcrete(r uint8) (uint32, bool) {
+	e := s.Regs[r]
+	if e.IsConst() {
+		return e.ConstVal(), true
+	}
+	return 0, false
+}
+
+// PushInterrupt saves the current context and transfers control to the
+// interrupt service routine at isrPC. The saved context is restored when
+// the ISR returns to IntrRetAddr.
+func (s *State) PushInterrupt(isrPC uint32) {
+	s.intrStack = append(s.intrStack, intrFrame{regs: s.Regs, pc: s.PC})
+	s.Regs[isa.LR] = expr.Const(IntrRetAddr)
+	s.PC = isrPC
+	s.InInterrupt++
+}
+
+// PopInterrupt restores the interrupted context. It reports false if no
+// interrupt frame is active (a driver returning to IntrRetAddr without an
+// injected interrupt — a wild jump).
+func (s *State) PopInterrupt() bool {
+	if len(s.intrStack) == 0 {
+		return false
+	}
+	f := s.intrStack[len(s.intrStack)-1]
+	s.intrStack = s.intrStack[:len(s.intrStack)-1]
+	s.Regs = f.regs
+	s.PC = f.pc
+	s.InInterrupt--
+	return true
+}
+
+func (s *State) String() string {
+	return fmt.Sprintf("state %d (pc=%#x, %s, %d constraints, depth %d)",
+		s.ID, s.PC, s.Status, len(s.Constraints), s.Depth)
+}

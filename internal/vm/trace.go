@@ -1,0 +1,122 @@
+package vm
+
+import "repro/internal/expr"
+
+// EventKind tags a trace event.
+type EventKind uint8
+
+// Trace event kinds. A DDT trace (§3.5) contains the executed path —
+// block entries, memory accesses, branch decisions with fork flags —
+// plus the provenance of every symbolic value and the injection points of
+// symbolic interrupts, which together make the trace executable: replaying
+// it substitutes solved concrete inputs at the recorded injection points.
+const (
+	EvBlock        EventKind = iota // entered basic block at PC
+	EvMem                           // memory access
+	EvBranch                        // conditional branch resolved
+	EvNewSym                        // symbolic value created
+	EvAPICall                       // driver called kernel API
+	EvAPIReturn                     // kernel API returned to driver
+	EvEntry                         // entry-point invocation began
+	EvEntryDone                     // entry-point invocation returned
+	EvInterrupt                     // symbolic interrupt injected (ISR begins)
+	EvInterruptEnd                  // ISR returned
+	EvConcretize                    // symbolic value concretized at the boundary
+	EvBug                           // checker flagged a bug here
+	EvAltFork                       // this path is the forked alternative of an annotation (e.g. the allocation-failure outcome)
+	EvDevice                        // device register write (discarded by symbolic hardware, recorded as evidence)
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvBlock:
+		return "block"
+	case EvMem:
+		return "mem"
+	case EvBranch:
+		return "branch"
+	case EvNewSym:
+		return "newsym"
+	case EvAPICall:
+		return "apicall"
+	case EvAPIReturn:
+		return "apireturn"
+	case EvEntry:
+		return "entry"
+	case EvEntryDone:
+		return "entrydone"
+	case EvInterrupt:
+		return "interrupt"
+	case EvInterruptEnd:
+		return "interruptend"
+	case EvConcretize:
+		return "concretize"
+	case EvBug:
+		return "bug"
+	case EvAltFork:
+		return "altfork"
+	case EvDevice:
+		return "device"
+	default:
+		return "event"
+	}
+}
+
+// Event is one trace record. Fields are used according to Kind.
+type Event struct {
+	Kind   EventKind
+	Seq    uint64 // instruction count at the event
+	PC     uint32
+	Addr   uint32     // EvMem: accessed address
+	Size   uint8      // EvMem: access width
+	Write  bool       // EvMem
+	Val    *expr.Expr // EvMem value, EvConcretize chosen value
+	Sym    expr.SymID // EvNewSym, EvConcretize
+	Cond   *expr.Expr // EvBranch condition (in taken form)
+	Taken  bool       // EvBranch
+	Forked bool       // EvBranch: did execution fork here
+	Name   string     // EvAPICall/EvEntry/EvBug identifier
+}
+
+// TraceNode is one segment of a path trace. Nodes form a tree mirroring the
+// execution-state tree: forking a state starts a new node whose parent is
+// the fork point, so common prefixes are stored once (the same chained
+// structure the paper uses to reconstruct the execution tree, §3.5).
+type TraceNode struct {
+	parent *TraceNode
+	events []Event
+}
+
+// Append records an event in this node.
+func (t *TraceNode) Append(ev Event) {
+	t.events = append(t.events, ev)
+}
+
+// Parent returns the fork-parent node, or nil at the root.
+func (t *TraceNode) Parent() *TraceNode { return t.parent }
+
+// Local returns the events recorded in this node only.
+func (t *TraceNode) Local() []Event { return t.events }
+
+// Path returns the full event sequence from the root to this node,
+// unwinding the chain (the paper's trace reconstruction).
+func (t *TraceNode) Path() []Event {
+	var chain []*TraceNode
+	for n := t; n != nil; n = n.parent {
+		chain = append(chain, n)
+	}
+	var out []Event
+	for i := len(chain) - 1; i >= 0; i-- {
+		out = append(out, chain[i].events...)
+	}
+	return out
+}
+
+// Len returns the total number of events on the path to this node.
+func (t *TraceNode) Len() int {
+	n := 0
+	for node := t; node != nil; node = node.parent {
+		n += len(node.events)
+	}
+	return n
+}

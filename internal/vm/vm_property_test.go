@@ -1,0 +1,196 @@
+package vm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/expr"
+)
+
+// TestQuickMemoryReadWriteConsistency: for any sequence of concrete writes,
+// a read observes the most recent write to each byte, across arbitrary
+// sizes and overlaps.
+func TestQuickMemoryReadWriteConsistency(t *testing.T) {
+	type op struct {
+		addr uint32
+		size uint32
+		val  uint32
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mem := NewMemory()
+		shadow := map[uint32]byte{}
+		base := uint32(0x10000)
+		for i := 0; i < 64; i++ {
+			o := op{
+				addr: base + uint32(r.Intn(256)),
+				size: []uint32{1, 2, 4}[r.Intn(3)],
+				val:  r.Uint32(),
+			}
+			mem.Write(o.addr, o.size, expr.Const(o.val))
+			for b := uint32(0); b < o.size; b++ {
+				shadow[o.addr+b] = byte(o.val >> (8 * b))
+			}
+			// Random read-back check.
+			ra := base + uint32(r.Intn(256))
+			rs := []uint32{1, 2, 4}[r.Intn(3)]
+			got := mem.Read(ra, rs)
+			if !got.IsConst() {
+				return false
+			}
+			var want uint32
+			for b := uint32(0); b < rs; b++ {
+				want |= uint32(shadow[ra+b]) << (8 * b)
+			}
+			if got.ConstVal() != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickForkIsolationProperty: after forking, writes to any of the
+// sibling overlays never become visible to the others or the parent.
+func TestQuickForkIsolationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		parent := NewMemory()
+		addrs := make([]uint32, 0, 16)
+		seen := map[uint32]bool{}
+		for len(addrs) < 16 {
+			a := 0x20000 + uint32(r.Intn(8))*PageSize + uint32(r.Intn(64))*4
+			if seen[a] {
+				continue
+			}
+			seen[a] = true
+			addrs = append(addrs, a)
+		}
+		for i, a := range addrs {
+			parent.Write(a, 4, expr.Const(uint32(i)+1))
+		}
+		a := parent.Fork()
+		b := parent.Fork()
+		for i, addr := range addrs {
+			if i%2 == 0 {
+				a.Write(addr, 4, expr.Const(0xAAAAAAAA))
+			} else {
+				b.Write(addr, 4, expr.Const(0xBBBBBBBB))
+			}
+		}
+		for i, addr := range addrs {
+			pv := parent.Read(addr, 4).ConstVal()
+			av := a.Read(addr, 4).ConstVal()
+			bv := b.Read(addr, 4).ConstVal()
+			if pv != uint32(i)+1 {
+				return false
+			}
+			if i%2 == 0 {
+				if av != 0xAAAAAAAA || bv != uint32(i)+1 {
+					return false
+				}
+			} else {
+				if bv != 0xBBBBBBBB || av != uint32(i)+1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSymbolicStoreLoad: storing any expression and loading it back is
+// value-preserving under every assignment (byte-splitting round trip).
+func TestQuickSymbolicStoreLoad(t *testing.T) {
+	tab := expr.NewSymbolTable()
+	x := tab.Fresh("x", expr.OriginHardware, 0, 0)
+	y := tab.Fresh("y", expr.OriginPacket, 0, 0)
+	exprs := []*expr.Expr{
+		x,
+		expr.Add(x, y),
+		expr.Xor(expr.Shl(x, expr.Const(3)), y),
+		expr.Ite(expr.ULt(x, y), x, y),
+	}
+	f := func(xv, yv uint32, which uint8, size uint8) bool {
+		e := exprs[int(which)%len(exprs)]
+		sz := []uint32{1, 2, 4}[int(size)%3]
+		mem := NewMemory()
+		mem.Write(0x30000, sz, e)
+		back := mem.Read(0x30000, sz)
+		a := expr.Assignment{x.Sym: xv, y.Sym: yv}
+		mask := uint32(0xFFFFFFFF)
+		if sz < 4 {
+			mask = 1<<(8*sz) - 1
+		}
+		return expr.Eval(back, a) == expr.Eval(e, a)&mask
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickStateForkRegisterIsolation: register mutations after a fork stay
+// local to the mutating state.
+func TestQuickStateForkRegisterIsolation(t *testing.T) {
+	f := func(vals [8]uint32) bool {
+		s := NewState(1)
+		for i, v := range vals {
+			s.SetReg(uint8(i), expr.Const(v))
+		}
+		c := s.Fork(2)
+		c.SetReg(0, expr.Const(0xDEAD))
+		s.SetReg(1, expr.Const(0xBEEF))
+		pv, _ := s.RegConcrete(0)
+		cv, _ := c.RegConcrete(1)
+		return pv == vals[0] && cv == vals[1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestForkConstraintIsolation: constraints appended after a fork never leak
+// into siblings (the slice three-index trick).
+func TestForkConstraintIsolation(t *testing.T) {
+	tab := expr.NewSymbolTable()
+	x := tab.Fresh("x", expr.OriginArgument, 0, 0)
+	s := NewState(1)
+	s.AddConstraint(expr.ULt(x, expr.Const(100)))
+	a := s.Fork(2)
+	b := s.Fork(3)
+	a.AddConstraint(expr.Eq(x, expr.Const(1)))
+	b.AddConstraint(expr.Eq(x, expr.Const(2)))
+	if len(a.Constraints) != 2 || len(b.Constraints) != 2 {
+		t.Fatalf("lens: %d %d", len(a.Constraints), len(b.Constraints))
+	}
+	if expr.Equal(a.Constraints[1], b.Constraints[1]) {
+		t.Error("constraint leaked between siblings")
+	}
+}
+
+// TestTraceForkIsolationAfterParentContinues: the COW regression that once
+// leaked parent writes into annotation-forked children (the fixed-variant
+// false positive) — pinned as a property.
+func TestTraceForkIsolationAfterParentContinues(t *testing.T) {
+	s := NewState(1)
+	s.Mem.Write(0x5000, 4, expr.Const(0))
+	child := s.Fork(2)
+	// Parent RESUMES and writes after the fork.
+	s.Mem.Write(0x5000, 4, expr.Const(1))
+	s.Trace.Append(Event{Kind: EvBlock, PC: 0x999})
+	if v := child.Mem.Read(0x5000, 4).ConstVal(); v != 0 {
+		t.Errorf("parent write leaked into child: %d", v)
+	}
+	for _, ev := range child.Trace.Path() {
+		if ev.PC == 0x999 {
+			t.Error("parent trace event leaked into child")
+		}
+	}
+}
