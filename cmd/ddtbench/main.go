@@ -11,6 +11,7 @@
 //	ddtbench -dv        Driver Verifier baseline (§5.1)
 //	ddtbench -sdv       SDV comparison (§5.1)
 //	ddtbench -ablation  annotation ablation (§5.1)
+//	ddtbench -fuzz      fuzzer throughput + fuzz/symbolic/hybrid coverage
 package main
 
 import (
@@ -18,7 +19,10 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/core"
+	"repro/internal/corpus"
 	"repro/internal/experiments"
+	"repro/internal/fuzz"
 )
 
 func main() {
@@ -29,9 +33,10 @@ func main() {
 	dv := flag.Bool("dv", false, "Driver Verifier baseline")
 	sdvF := flag.Bool("sdv", false, "SDV comparison")
 	abl := flag.Bool("ablation", false, "annotation ablation")
+	fz := flag.Bool("fuzz", false, "fuzzer throughput and mode comparison")
 	flag.Parse()
 
-	all := !*t1 && !*t2 && !*f2 && !*f3 && !*dv && !*sdvF && !*abl
+	all := !*t1 && !*t2 && !*f2 && !*f3 && !*dv && !*sdvF && !*abl && !*fz
 
 	if all || *t1 {
 		infos, err := experiments.Table1()
@@ -92,7 +97,58 @@ func main() {
 		check(err)
 		fmt.Println("== Annotation ablation (§5.1) ==")
 		fmt.Print(experiments.FormatAblation(rows))
+		fmt.Println()
 	}
+	if all || *fz {
+		check(fuzzSection())
+	}
+}
+
+// fuzzSection reports the concolic fuzzing subsystem's two headline
+// numbers: concrete execution throughput (vs one symbolic session) and the
+// coverage of fuzz / symbolic / hybrid exploration under equal budgets.
+func fuzzSection() error {
+	fmt.Println("== Concolic fuzzing: throughput and mode comparison ==")
+	img, err := corpus.Build("rtl8029", corpus.Buggy)
+	if err != nil {
+		return err
+	}
+	fcfg := fuzz.DefaultConfig()
+	fcfg.Workers = 4
+	fcfg.MaxExecs = 10_000
+	frep, err := fuzz.New(img, fcfg).Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  rtl8029: %d execs at %.0f execs/sec (%d workers), %d/%d blocks, %d deduped crash(es)\n",
+		frep.Execs, frep.ExecsPerSec, frep.Workers,
+		frep.BlocksCovered, frep.BlocksStatic, len(frep.Crashes))
+
+	pcnet, err := corpus.Build("amd-pcnet", corpus.Buggy)
+	if err != nil {
+		return err
+	}
+	hcfg := fuzz.DefaultConfig()
+	hcfg.Workers = 2
+	hcfg.MaxExecs = 2_000
+	pf, err := fuzz.New(pcnet, hcfg).Run()
+	if err != nil {
+		return err
+	}
+	eng := core.NewEngine(pcnet, core.DefaultOptions())
+	ps, err := eng.TestDriver()
+	if err != nil {
+		return err
+	}
+	ph, err := fuzz.Hybrid(pcnet, hcfg, core.DefaultOptions(), 1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  amd-pcnet coverage (of %d static blocks): fuzz %d, symbolic %d, hybrid %d\n",
+		pf.BlocksStatic, pf.BlocksCovered, ps.BlocksCovered, ph.Fuzz.BlocksCovered)
+	fmt.Printf("  amd-pcnet bug keys: fuzz %d, symbolic %d, hybrid %d\n",
+		len(pf.Crashes), len(ps.Bugs), ph.TotalBugKeys())
+	return nil
 }
 
 func check(err error) {

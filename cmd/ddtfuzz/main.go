@@ -1,0 +1,159 @@
+// Command ddtfuzz runs the coverage-guided concolic fuzzer against a d32
+// driver binary: the same driver images and workload phases as ddt, but
+// fully concrete — device reads, registry values, packet bytes, fork
+// decisions, and interrupt timings come from mutated replayable feeds, at
+// orders of magnitude more executions per second than symbolic exploration.
+//
+// Usage:
+//
+//	ddtfuzz -driver rtl8029 -workers 4 -execs 20000
+//	ddtfuzz [flags] driver.dxe
+//
+// Flags:
+//
+//	-driver name   fuzz an in-tree evaluation driver instead of a file
+//	-fixed         use the corrected corpus variant
+//	-workers n     parallel fuzzing workers (default 4)
+//	-execs n       execution budget (default 20000; 0 = unbounded, needs -time)
+//	-time d        wall-clock budget, e.g. 30s (0 = none)
+//	-seed n        base RNG seed (deterministic per worker)
+//	-corpus dir    load/persist corpus seeds and crash reproducers here
+//	-hybrid        run the two-way concolic loop (engine seeds fuzzer,
+//	               top feeds are lifted back into symbolic states)
+//	-json file     write the report as JSON ("-" for stdout)
+//	-expect        compare found classes against the driver's Table 2 set
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/binimg"
+	"repro/internal/core"
+	"repro/internal/fuzz"
+)
+
+func main() {
+	driver := flag.String("driver", "", "fuzz an in-tree evaluation driver")
+	fixed := flag.Bool("fixed", false, "use the corrected corpus variant")
+	workers := flag.Int("workers", 4, "parallel fuzzing workers")
+	execs := flag.Uint64("execs", 20_000, "execution budget (0 = unbounded, needs -time)")
+	timeBudget := flag.Duration("time", 0, "wall-clock budget (0 = none)")
+	seed := flag.Int64("seed", 1, "base RNG seed")
+	corpusDir := flag.String("corpus", "", "corpus directory (seeds in, corpus+crashes out)")
+	hybrid := flag.Bool("hybrid", false, "run the hybrid concolic loop")
+	jsonOut := flag.String("json", "", "write JSON report to file (\"-\" for stdout)")
+	expect := flag.Bool("expect", false, "compare against the driver's expected Table 2 bug classes")
+	flag.Parse()
+
+	if *execs == 0 && *timeBudget == 0 {
+		fatal(fmt.Errorf("-execs 0 (unbounded) requires a -time budget"))
+	}
+
+	img, err := loadImage(*driver, *fixed, flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := fuzz.DefaultConfig()
+	cfg.Workers = *workers
+	cfg.MaxExecs = *execs
+	cfg.Duration = *timeBudget
+	cfg.Seed = *seed
+	cfg.CorpusDir = *corpusDir
+
+	var rep *fuzz.Report
+	foundClasses := make(map[string]int) // union across modes, for -expect
+	if *hybrid {
+		h, err := fuzz.Hybrid(img, cfg, core.DefaultOptions(), 2)
+		if err != nil && h == nil {
+			fatal(err)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ddtfuzz: warning:", err)
+		}
+		fmt.Printf("hybrid: symbolic pass found %d bug(s); %d feed(s) lifted back, %d extra bug(s)\n",
+			len(h.Symbolic.Bugs), h.Lifted, len(h.LiftedBugs))
+		rep = h.Fuzz
+		for _, b := range h.Symbolic.Bugs {
+			foundClasses[b.Class]++
+		}
+		for _, b := range h.LiftedBugs {
+			foundClasses[b.Class]++
+		}
+	} else {
+		f := fuzz.New(img, cfg)
+		rep, err = f.Run()
+		if err != nil && rep == nil {
+			fatal(err)
+		}
+		if err != nil {
+			// A post-campaign failure (e.g. corpus dir unwritable) must not
+			// discard the completed report and its crash reproducers.
+			fmt.Fprintln(os.Stderr, "ddtfuzz: warning:", err)
+		}
+	}
+	fmt.Print(rep)
+
+	if *expect && *driver != "" {
+		want, err := ddt.ExpectedBugs(*driver)
+		if err != nil {
+			fatal(err)
+		}
+		found := foundClasses
+		for c, n := range rep.CountByClass() {
+			found[c] += n
+		}
+		wantSet := make(map[string]int)
+		for _, c := range want {
+			wantSet[c]++
+		}
+		fmt.Printf("expected Table 2 classes for %s:\n", *driver)
+		hits := 0
+		for c, n := range wantSet {
+			got := found[c]
+			mark := "MISS"
+			if got > 0 {
+				mark = "hit"
+				hits++
+			}
+			fmt.Printf("  %-20s want %d  found %d  [%s]\n", c, n, got, mark)
+		}
+		fmt.Printf("  %d/%d expected classes reproduced\n", hits, len(wantSet))
+	}
+
+	if *jsonOut != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut == "-" {
+			fmt.Println(string(b))
+		} else if err := os.WriteFile(*jsonOut, append(b, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func loadImage(driver string, fixed bool, args []string) (*binimg.Image, error) {
+	switch {
+	case driver != "":
+		return ddt.CorpusDriver(driver, fixed)
+	case len(args) == 1:
+		b, err := os.ReadFile(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return ddt.LoadDriver(b)
+	default:
+		return nil, fmt.Errorf("pass -driver name or one driver binary path (see ddt -list)")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ddtfuzz:", err)
+	os.Exit(2)
+}

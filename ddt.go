@@ -29,6 +29,26 @@
 // Drivers are d32 machine-code images (see internal/isa for the ISA and
 // internal/asm for the assembler used to build the evaluation corpus); DDT
 // itself never sees source or symbols.
+//
+// # Coverage-guided concolic fuzzing
+//
+// Symbolic exploration is exhaustive per path but bounded by path
+// explosion. The fuzzing subsystem (internal/fuzz, command ddtfuzz) runs
+// the same driver images and workload phases fully concretely: device
+// register reads, registry values, packet bytes, allocation-failure
+// decisions and interrupt timings are answered from replayable byte feeds,
+// mutated under coverage guidance by a parallel worker pool — orders of
+// magnitude more executions per second, one concrete path each. A two-way
+// concolic bridge connects the modes: solved inputs from symbolic bug
+// traces seed the fuzz corpus, and high-novelty fuzz feeds are lifted back
+// into symbolic boot states the engine forks from (Config/engine option
+// SymbolSeed). Fuzz and Replay-style feed re-execution are exposed here:
+//
+//	rep, err := ddt.Fuzz(img, ddt.DefaultFuzzConfig())
+//	for _, c := range rep.Crashes {
+//	    res := ddt.ReplayFeed(img, c.Feed)     // deterministic reproducer
+//	    fmt.Println(c, res.Crash != nil)
+//	}
 package ddt
 
 import (
@@ -38,6 +58,7 @@ import (
 	"repro/internal/binimg"
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/fuzz"
 	"repro/internal/trace"
 )
 
@@ -175,6 +196,61 @@ func AnalyzeBug(b *Bug, spec *DeviceSpec) *Verdict { return analysis.Analyze(b, 
 // BuildExecTree merges bug traces into the execution tree of explored
 // paths: shared prefixes appear once; each leaf is one failure (§3.5).
 func BuildExecTree(traces []*Trace) *ExecTree { return trace.BuildTree(traces) }
+
+// Coverage-guided fuzzing re-exports (internal/fuzz).
+type (
+	// FuzzConfig configures a fuzzing campaign.
+	FuzzConfig = fuzz.Config
+	// FuzzReport summarizes a fuzzing campaign.
+	FuzzReport = fuzz.Report
+	// FuzzCrash is one deduplicated concrete crash with a replayable feed.
+	FuzzCrash = fuzz.Crash
+	// Feed is a replayable concrete input stream (the fuzzer's genome).
+	Feed = fuzz.Feed
+	// FeedResult is the outcome of re-executing one feed.
+	FeedResult = fuzz.ExecResult
+	// FuzzOptions configure the concrete executor (annotation injection,
+	// step/interrupt bounds, registry overrides).
+	FuzzOptions = fuzz.Options
+	// HybridReport is the outcome of a two-way concolic campaign.
+	HybridReport = fuzz.HybridReport
+)
+
+// DefaultFuzzConfig returns the stock fuzzing campaign configuration.
+func DefaultFuzzConfig() FuzzConfig { return fuzz.DefaultConfig() }
+
+// Fuzz runs a coverage-guided concrete fuzzing campaign against the driver
+// image: the same workload phases as Test, driven by mutated feeds instead
+// of symbolic values.
+func Fuzz(img *Image, cfg FuzzConfig) (*FuzzReport, error) {
+	return fuzz.New(img, cfg).Run()
+}
+
+// ReplayFeed deterministically re-executes one feed under the default
+// executor options. A feed from a campaign with non-default FuzzConfig.Exec
+// must be replayed with ReplayFeedWith and the report's Exec options —
+// annotation sites consume feed words, so mismatched options shift the
+// whole stream.
+func ReplayFeed(img *Image, f *Feed) *FeedResult {
+	return ReplayFeedWith(img, f, fuzz.DefaultOptions())
+}
+
+// ReplayFeedWith re-executes a feed under explicit executor options
+// (FuzzReport.Exec records the options a campaign ran with).
+func ReplayFeedWith(img *Image, f *Feed, opts FuzzOptions) *FeedResult {
+	return fuzz.NewExecutor(img, nil, opts).Run(f)
+}
+
+// UnmarshalFeed parses a serialized feed (the reproducer exchange format;
+// Feed.Marshal is the inverse).
+func UnmarshalFeed(b []byte) (*Feed, error) { return fuzz.UnmarshalFeed(b) }
+
+// HybridTest runs the two-way concolic loop: a symbolic pass seeds the
+// fuzzer with solved bug inputs, the fuzzer explores concretely, and its
+// most interesting feeds are lifted back into symbolic boot states.
+func HybridTest(img *Image, fcfg FuzzConfig, cfg Config) (*HybridReport, error) {
+	return fuzz.Hybrid(img, fcfg, cfg.options(), 2)
+}
 
 // CorpusDriver assembles one of the in-tree evaluation drivers (Table 1):
 // "rtl8029", "amd-pcnet", "intel-pro1000", "intel-pro100",

@@ -50,6 +50,15 @@ type Options struct {
 	// Verifier's crash-on-first-failure behaviour does (§5.1: "looking for
 	// the next bug would typically require first fixing the found bug").
 	StopAtFirstBug bool
+	// Coverage, when non-nil, replaces the engine's own coverage recorder.
+	// The concolic fuzzing loop passes a shared (thread-safe) recorder here
+	// so the fuzzer and the engine accumulate into one coverage map.
+	Coverage *exerciser.Coverage
+	// SymbolSeed, when non-nil, pins the first symbols minted on each path
+	// to a concrete input prefix (see kernel.Kernel.SymbolSeed). The hybrid
+	// loop uses it to make the engine fork outward from a high-novelty fuzz
+	// feed instead of from scratch.
+	SymbolSeed func(idx uint64, name string, origin expr.Origin) (uint32, bool)
 }
 
 // DefaultOptions mirror the paper's configuration: annotations on,
@@ -112,7 +121,11 @@ func NewEngine(img *binimg.Image, opts Options) *Engine {
 		Cov:     exerciser.NewCoverage(len(binimg.StaticBlocks(img))),
 		bugKeys: make(map[string]bool),
 	}
+	if opts.Coverage != nil {
+		e.Cov = opts.Coverage
+	}
 	e.K.VerifierChecks = opts.VerifierChecks
+	e.K.SymbolSeed = opts.SymbolSeed
 	e.Dev.FreshSymbol = e.K.FreshSymbol
 	e.Dev.Attach(m)
 	if opts.ConcreteHardware {
@@ -167,11 +180,10 @@ func (e *Engine) boundaryHook(s *vm.State, api, when string) []*vm.State {
 	return []*vm.State{alt}
 }
 
-// EffectiveRegistry returns the registry hive the run boots with: defaults
-// plus option overrides. Trace files embed it so replays see the same
-// configuration.
-func (e *Engine) EffectiveRegistry() map[string]uint32 {
-	reg := map[string]uint32{
+// DefaultRegistry returns the stock simulated registry hive shared by
+// engine runs, trace replays, and concrete fuzz executions.
+func DefaultRegistry() map[string]uint32 {
+	return map[string]uint32{
 		"MaximumMulticastList": 4,
 		"NetworkAddress":       0,
 		"Speed":                100,
@@ -181,6 +193,13 @@ func (e *Engine) EffectiveRegistry() map[string]uint32 {
 		"SampleRate":           44100,
 		"BufferMs":             10,
 	}
+}
+
+// EffectiveRegistry returns the registry hive the run boots with: defaults
+// plus option overrides. Trace files embed it so replays see the same
+// configuration.
+func (e *Engine) EffectiveRegistry() map[string]uint32 {
+	reg := DefaultRegistry()
 	for k, v := range e.Opts.Registry {
 		reg[k] = v
 	}

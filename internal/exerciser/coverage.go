@@ -1,6 +1,9 @@
 package exerciser
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // CoveragePoint is one sample of the coverage-versus-time curves of
 // Figures 2 and 3. Time is deterministic simulated time: total executed
@@ -12,8 +15,10 @@ type CoveragePoint struct {
 }
 
 // Coverage tracks the set of distinct basic blocks executed and the
-// time series of their discovery.
+// time series of their discovery. It is safe for concurrent use, so
+// parallel fuzz workers and a symbolic engine can share one coverage map.
 type Coverage struct {
+	mu     sync.Mutex
 	seen   map[uint32]bool
 	series []CoveragePoint
 	// TotalStatic is the denominator for relative coverage (the statically
@@ -27,40 +32,62 @@ func NewCoverage(totalStatic int) *Coverage {
 }
 
 // Visit records a block execution at the given global instruction count,
-// sampling the series only when a new block is discovered.
-func (c *Coverage) Visit(pc uint32, instructions uint64) {
+// sampling the series only when a new block is discovered. It reports
+// whether the block was new — the novelty signal coverage-guided corpus
+// admission keys on.
+func (c *Coverage) Visit(pc uint32, instructions uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.seen[pc] {
-		return
+		return false
 	}
 	c.seen[pc] = true
+	// Concurrent visitors may present slightly out-of-order instruction
+	// counts; clamp so the series stays ascending for SampleAt.
+	if n := len(c.series); n > 0 && instructions < c.series[n-1].Instructions {
+		instructions = c.series[n-1].Instructions
+	}
 	c.series = append(c.series, CoveragePoint{Instructions: instructions, Blocks: len(c.seen)})
+	return true
 }
 
 // Blocks returns the number of distinct blocks covered.
-func (c *Coverage) Blocks() int { return len(c.seen) }
+func (c *Coverage) Blocks() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.seen)
+}
 
 // Relative returns covered blocks as a fraction of the static total.
 func (c *Coverage) Relative() float64 {
 	if c.TotalStatic == 0 {
 		return 0
 	}
-	return float64(len(c.seen)) / float64(c.TotalStatic)
+	return float64(c.Blocks()) / float64(c.TotalStatic)
 }
 
 // Series returns the discovery time series (ascending in time).
 func (c *Coverage) Series() []CoveragePoint {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return append([]CoveragePoint(nil), c.series...)
 }
 
 // Covered reports whether a specific block leader was executed.
-func (c *Coverage) Covered(pc uint32) bool { return c.seen[pc] }
+func (c *Coverage) Covered(pc uint32) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.seen[pc]
+}
 
 // CoveredBlocks returns the sorted list of covered block leaders.
 func (c *Coverage) CoveredBlocks() []uint32 {
+	c.mu.Lock()
 	out := make([]uint32, 0, len(c.seen))
 	for pc := range c.seen {
 		out = append(out, pc)
 	}
+	c.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
@@ -68,6 +95,8 @@ func (c *Coverage) CoveredBlocks() []uint32 {
 // SampleAt returns the covered-block count at or before the given
 // instruction count (stair-step interpolation of the series).
 func (c *Coverage) SampleAt(instructions uint64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	n := 0
 	for _, p := range c.series {
 		if p.Instructions > instructions {

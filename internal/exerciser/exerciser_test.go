@@ -1,6 +1,7 @@
 package exerciser
 
 import (
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -161,5 +162,55 @@ func TestQuickSchedulerNeverLoses(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCoverageConcurrent: the shared coverage recorder must tolerate
+// parallel visitors (fuzz workers + engine) without losing blocks or
+// corrupting the series. Run under -race this is the data-race check.
+func TestCoverageConcurrent(t *testing.T) {
+	c := NewCoverage(1024)
+	const workers = 8
+	const perWorker = 512
+	var wg sync.WaitGroup
+	novel := make([]int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				// Overlapping pc ranges: every block contended by two workers.
+				pc := uint32((w%4)*perWorker + i)
+				if c.Visit(pc, uint64(w*perWorker+i)) {
+					novel[w]++
+				}
+				c.Covered(pc)
+				_ = c.Blocks()
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := 4 * perWorker
+	if c.Blocks() != want {
+		t.Fatalf("blocks = %d, want %d", c.Blocks(), want)
+	}
+	total := 0
+	for _, n := range novel {
+		total += n
+	}
+	if total != want {
+		t.Fatalf("novelty credited %d times, want exactly %d (each block once)", total, want)
+	}
+	series := c.Series()
+	if len(series) != want {
+		t.Fatalf("series has %d points, want %d", len(series), want)
+	}
+	for i := 1; i < len(series); i++ {
+		if series[i].Instructions < series[i-1].Instructions {
+			t.Fatalf("series not ascending at %d", i)
+		}
+		if series[i].Blocks != series[i-1].Blocks+1 {
+			t.Fatalf("series block counts not dense at %d", i)
+		}
 	}
 }

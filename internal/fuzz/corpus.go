@@ -1,0 +1,191 @@
+package fuzz
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Entry is one admitted corpus feed with its admission metadata.
+type Entry struct {
+	Feed *Feed
+	// Gain is the number of new coverage blocks the feed discovered when it
+	// was admitted — the weight for seed selection and the eviction score.
+	Gain int
+	// Chosen counts how often the entry seeded a mutation (energy decay).
+	Chosen uint64
+}
+
+// Corpus is the shared seed pool: coverage-novelty admission, bounded size
+// with lowest-value eviction, gain-weighted selection. Safe for concurrent
+// use by the worker pool.
+type Corpus struct {
+	mu      sync.Mutex
+	entries []*Entry
+	max     int
+}
+
+// NewCorpus returns a corpus bounded to max entries (0 means a default cap).
+func NewCorpus(max int) *Corpus {
+	if max <= 0 {
+		max = 256
+	}
+	return &Corpus{max: max}
+}
+
+// Add admits a feed that discovered gain new blocks. Feeds with no gain are
+// rejected — that is the coverage-guided admission rule. When the corpus is
+// full, the lowest-value entry (smallest gain, ties broken by longer feed)
+// is evicted.
+func (c *Corpus) Add(f *Feed, gain int) bool {
+	if gain <= 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = append(c.entries, &Entry{Feed: f, Gain: gain})
+	if len(c.entries) > c.max {
+		worst := 0
+		for i, e := range c.entries {
+			w := c.entries[worst]
+			if e.Gain < w.Gain || (e.Gain == w.Gain && e.Feed.Len() > w.Feed.Len()) {
+				worst = i
+			}
+		}
+		c.entries = append(c.entries[:worst], c.entries[worst+1:]...)
+	}
+	return true
+}
+
+// Len returns the number of entries.
+func (c *Corpus) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Choose picks a seed, weighted by admission gain and damped by how often
+// the entry was already chosen (energy decay). Returns nil on an empty
+// corpus. Randomness comes from the caller's deterministic source.
+func (c *Corpus) Choose(rng *rand.Rand) *Feed {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.entries) == 0 {
+		return nil
+	}
+	total := 0.0
+	weights := make([]float64, len(c.entries))
+	for i, e := range c.entries {
+		w := float64(e.Gain) / float64(1+e.Chosen/8)
+		if w < 1 {
+			w = 1
+		}
+		weights[i] = w
+		total += w
+	}
+	x := rng.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x <= 0 {
+			c.entries[i].Chosen++
+			return c.entries[i].Feed
+		}
+	}
+	last := c.entries[len(c.entries)-1]
+	last.Chosen++
+	return last.Feed
+}
+
+// RandomDonor returns a uniformly random corpus feed (nil when empty) —
+// the cheap splice-donor lookup for the mutation hot loop, which does not
+// need Snapshot's copy and sort.
+func (c *Corpus) RandomDonor(rng *rand.Rand) *Feed {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.entries) == 0 {
+		return nil
+	}
+	return c.entries[rng.Intn(len(c.entries))].Feed
+}
+
+// Snapshot returns the current feeds, highest admission gain first.
+func (c *Corpus) Snapshot() []*Feed {
+	c.mu.Lock()
+	es := append([]*Entry(nil), c.entries...)
+	c.mu.Unlock()
+	sort.SliceStable(es, func(i, j int) bool { return es[i].Gain > es[j].Gain })
+	out := make([]*Feed, len(es))
+	for i, e := range es {
+		out[i] = e.Feed
+	}
+	return out
+}
+
+// SaveDir persists the corpus as one JSON feed file per entry.
+func (c *Corpus) SaveDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, f := range c.Snapshot() {
+		if err := SaveFeed(f, filepath.Join(dir, fmt.Sprintf("seed-%04d.json", i))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadDir reads every feed file in dir (missing dir is an empty result).
+func LoadDir(dir string) ([]*Feed, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "seed-*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	var out []*Feed
+	for _, n := range names {
+		f, err := LoadFeed(n)
+		if err != nil {
+			return nil, fmt.Errorf("fuzz: corpus file %s: %w", n, err)
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// crashStore deduplicates crashes by fault site and checker class.
+type crashStore struct {
+	mu    sync.Mutex
+	byKey map[string]*Crash
+	order []string
+}
+
+func newCrashStore() *crashStore {
+	return &crashStore{byKey: make(map[string]*Crash)}
+}
+
+// add records a crash; it reports whether the key was new.
+func (cs *crashStore) add(c *Crash) bool {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	k := c.Key()
+	if _, ok := cs.byKey[k]; ok {
+		return false
+	}
+	cs.byKey[k] = c
+	cs.order = append(cs.order, k)
+	return true
+}
+
+// list returns the deduplicated crashes in discovery order.
+func (cs *crashStore) list() []*Crash {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	out := make([]*Crash, 0, len(cs.order))
+	for _, k := range cs.order {
+		out = append(out, cs.byKey[k])
+	}
+	return out
+}

@@ -1,0 +1,550 @@
+package fuzz
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/annot"
+	"repro/internal/binimg"
+	"repro/internal/checkers"
+	"repro/internal/core"
+	"repro/internal/exerciser"
+	"repro/internal/expr"
+	"repro/internal/hw"
+	"repro/internal/isa"
+	"repro/internal/kernel"
+	"repro/internal/solver"
+	"repro/internal/vm"
+)
+
+// Options configure one concrete executor.
+type Options struct {
+	// Annotations mirrors the engine's annotation switch: with it on, the
+	// same injection points (registry values, packet bytes, OIDs, alloc
+	// failures) exist, answered from the feed instead of fresh symbols.
+	Annotations bool
+	// MaxStepsPerEntry bounds one entry invocation; exceeding it abandons
+	// the execution (killed, not a bug).
+	MaxStepsPerEntry uint64
+	// MaxInterrupts bounds feed-scheduled interrupt injections per
+	// execution.
+	MaxInterrupts int
+	// LoopThreshold is the infinite-loop heuristic's per-block repeat bound.
+	LoopThreshold uint64
+	// MaxDPCs bounds the DPC-drain phase.
+	MaxDPCs int
+	// Registry overrides/extends the default registry hive.
+	Registry map[string]uint32
+}
+
+// DefaultOptions mirror the engine's workload configuration, with tighter
+// step bounds: a fuzz execution is one path, so the budget per entry can be
+// far below the symbolic exploration budget.
+func DefaultOptions() Options {
+	return Options{
+		Annotations:      true,
+		MaxStepsPerEntry: 30_000,
+		MaxInterrupts:    4,
+		LoopThreshold:    1_000,
+		MaxDPCs:          8,
+	}
+}
+
+// Crash is one concrete failing execution, deduplicated by fault site and
+// checker class, carrying its replayable feed.
+type Crash struct {
+	// Class is the Table 2 bug category (checkers.Classify).
+	Class string
+	// RawClass is the checker's fault class ("memory", "crash", "leak", ...).
+	RawClass string
+	// PC is the fault site.
+	PC uint32
+	// Msg is the fault message.
+	Msg string
+	// Site is the fault site used for deduplication: PC when it lies inside
+	// driver text, otherwise the last driver basic block executed (a wild
+	// jump faults at its garbage target; the bug lives at the jump).
+	Site uint32
+	// Entry names the workload entry being exercised when the fault fired.
+	Entry string
+	// InInterrupt reports whether the fault fired inside an injected ISR.
+	InInterrupt bool
+	// Feed replays the crash deterministically through an Executor.
+	Feed *Feed `json:"-"`
+	// Exec is the global execution index at discovery.
+	Exec uint64
+	// Reproduced is set once the fuzzer re-executed the feed and hit the
+	// same fault site again.
+	Reproduced bool
+}
+
+// Key is the deduplication identity: same checker class at the same fault
+// site is one crash, however many feeds reach it (mirrors core.Bug.Key,
+// with wild-jump targets normalized to the jump site).
+func (c *Crash) Key() string { return fmt.Sprintf("%s@%#x", c.Class, c.Site) }
+
+func (c *Crash) String() string {
+	return fmt.Sprintf("[%s] %s (entry %s, pc %#x)", c.Class, c.Msg, c.Entry, c.PC)
+}
+
+// ExecResult is the outcome of one feed execution.
+type ExecResult struct {
+	// Crash is non-nil when the execution ended in a fault.
+	Crash *Crash
+	// NewBlocks counts basic blocks this execution discovered in the shared
+	// coverage map — the corpus-admission novelty signal.
+	NewBlocks int
+	// Blocks counts distinct blocks entered during this execution.
+	Blocks int
+	// Steps is the instruction count of this execution.
+	Steps uint64
+	// Entries lists the workload entries that ran.
+	Entries []string
+	// ConsumedData/ConsumedForks/ConsumedIRQ report how much of the feed the
+	// execution actually read; trailing bytes beyond that are dead weight.
+	ConsumedData  int
+	ConsumedForks int
+	ConsumedIRQ   int
+}
+
+// Executor runs driver workloads fully concretely from feeds. It owns one
+// machine and kernel, reused across executions; it is not safe for
+// concurrent use — the worker pool gives each worker its own executor and
+// shares only the (thread-safe) coverage recorder.
+type Executor struct {
+	img  *binimg.Image
+	opts Options
+	cov  *exerciser.Coverage
+
+	// TimeBase supplies the global instruction-count offset for coverage
+	// series sampling (the fuzzer wires the fleet-wide step counter here).
+	TimeBase func() uint64
+
+	m    *vm.Machine
+	k    *kernel.Kernel
+	mem  *checkers.MemoryChecker
+	leak checkers.LeakChecker
+
+	reader    feedReader
+	loop      *checkers.LoopChecker
+	pendLoop  error
+	runBase   uint64 // m.Steps at execution start
+	curNew    int
+	curSeen   map[uint32]bool
+	intrUsed  int
+	lastBlock uint32
+}
+
+// NewExecutor builds an executor for the image. cov may be nil (coverage
+// still counted per execution, no global novelty).
+func NewExecutor(img *binimg.Image, cov *exerciser.Coverage, opts Options) *Executor {
+	e := &Executor{img: img, opts: opts, cov: cov}
+	e.m = vm.NewMachine(img, expr.NewSymbolTable(), solver.New())
+	e.k = kernel.New(e.m)
+	e.mem = checkers.NewMemoryChecker()
+	e.mem.Install(e.m)
+	dev := hw.NewConcrete(img.Device, e)
+	dev.Attach(e.m)
+	if opts.Annotations {
+		annot.InstallAll(e.k)
+	}
+	e.k.SymbolPolicy = e.symbolPolicy
+	e.k.ForkPolicy = e.forkPolicy
+	e.m.OnBlock = func(s *vm.State, pc uint32) {
+		e.lastBlock = pc
+		if !e.curSeen[pc] {
+			e.curSeen[pc] = true
+		}
+		if e.cov != nil && e.cov.Visit(pc, e.now()) {
+			e.curNew++
+		}
+		if err := e.loop.Visit(s, pc); err != nil {
+			e.pendLoop = err
+		}
+	}
+	return e
+}
+
+func (e *Executor) now() uint64 {
+	t := e.m.Steps - e.runBase
+	if e.TimeBase != nil {
+		t += e.TimeBase()
+	}
+	return t
+}
+
+// ReadRegister implements hw.FeedSource: device reads consume feed words.
+func (e *Executor) ReadRegister(port bool, addr, size uint32) uint32 {
+	return e.reader.word()
+}
+
+// clampWord maps a raw feed word to the value range the symbolic engine's
+// path constraints allow at the same injection site, so the fuzzer cannot
+// manufacture inputs the symbolic workload rules out (the soundness
+// requirement of §7 — e.g. a packet length beyond the allocated payload
+// would be a false positive). The bridge shares this function: LiftFeed
+// applies it before pinning engine symbols, and encodeWord is its inverse
+// for bridging solved values back into feeds. Keep the three in sync.
+func clampWord(name string, origin expr.Origin, v uint32) uint32 {
+	switch {
+	case strings.HasPrefix(name, "packet_len"):
+		return 14 + v%51 // engine constrains 14 <= len <= 64
+	case origin == expr.OriginRegistry:
+		return v & 0x7FFFFFFF // engine constrains symb >= 0 (signed)
+	case strings.HasPrefix(name, "packet_byte_") || strings.HasPrefix(name, "sample_"):
+		return v & 0xFF
+	}
+	return v
+}
+
+// encodeWord inverts clampWord where the clamp is not the identity on
+// solved engine values, so a bridged feed replays the exact witness input
+// (clampWord(encodeWord(v)) == v for every value a satisfying model can
+// assign: registry values are already non-negative, byte symbols are used
+// masked on both sides).
+func encodeWord(name string, v uint32) uint32 {
+	if strings.HasPrefix(name, "packet_len") && v >= 14 && v <= 64 {
+		return v - 14
+	}
+	return v
+}
+
+// symbolPolicy answers every would-be symbolic injection from the feed.
+func (e *Executor) symbolPolicy(s *vm.State, name string, origin expr.Origin) *expr.Expr {
+	return expr.Const(clampWord(name, origin, e.reader.word()))
+}
+
+// forkPolicy decides annotation forks (alternative API outcomes) from the
+// feed's fork stream.
+func (e *Executor) forkPolicy(s *vm.State, api string) bool {
+	return e.reader.forkBit()
+}
+
+// maybeInject delivers a scheduled interrupt at the first eligible instant
+// at or past its trigger. Eligibility mirrors the engine's injection rules:
+// an ISR must be registered and no interrupt context may be active.
+func (e *Executor) maybeInject(s *vm.State) {
+	if e.intrUsed >= e.opts.MaxInterrupts {
+		return
+	}
+	trig, ok := e.reader.nextIRQ()
+	if !ok || s.ICount < trig {
+		return
+	}
+	ks := kernel.Of(s)
+	if !ks.ISRRegistered || s.InInterrupt > 0 || ks.IRQL >= kernel.DeviceLevel {
+		return
+	}
+	e.reader.takeIRQ()
+	e.intrUsed++
+	e.k.InjectInterrupt(s)
+}
+
+// Run executes one feed through the full workload chain and reports the
+// outcome. Execution is deterministic in the feed.
+func (e *Executor) Run(feed *Feed) *ExecResult {
+	e.reader.reset(feed)
+	e.loop = checkers.NewLoopChecker(e.opts.LoopThreshold)
+	e.pendLoop = nil
+	e.runBase = e.m.Steps
+	e.curNew = 0
+	e.curSeen = make(map[uint32]bool)
+	e.intrUsed = 0
+	e.lastBlock = 0
+
+	res := &ExecResult{}
+	s := e.bootState()
+	e.runWorkload(s, res)
+
+	res.NewBlocks = e.curNew
+	res.Blocks = len(e.curSeen)
+	res.Steps = e.m.Steps - e.runBase
+	res.ConsumedData, res.ConsumedForks, res.ConsumedIRQ = e.reader.consumed()
+	return res
+}
+
+func (e *Executor) bootState() *vm.State {
+	s := e.m.NewRootState()
+	ks := kernel.NewKState()
+	ks.Grant(kernel.Region{
+		Lo: isa.ImageBase, Hi: e.img.LimitVA(),
+		Kind: kernel.RegionImage, Writable: true, Tag: "driver image",
+	})
+	for k, v := range core.DefaultRegistry() {
+		ks.Registry[k] = v
+	}
+	for k, v := range e.opts.Registry {
+		ks.Registry[k] = v
+	}
+	s.Kernel = ks
+	s.HW = &hw.DeviceState{}
+	return s
+}
+
+// runWorkload drives the workload chain: DriverEntry, then the class
+// workload the OS would run, concretely, one path.
+func (e *Executor) runWorkload(s *vm.State, res *ExecResult) {
+	s, ok := e.runEntry(s, "DriverEntry", e.img.Entry, nil, res)
+	if !ok {
+		return
+	}
+	switch e.img.Device.Class {
+	case binimg.ClassNetwork:
+		e.networkWorkload(s, res)
+	case binimg.ClassAudio:
+		e.audioWorkload(s, res)
+	}
+}
+
+// adapterHandle mirrors the workload generator's opaque per-adapter context.
+const adapterHandle uint32 = 0x7000_0001
+
+func (e *Executor) networkWorkload(s *vm.State, res *ExecResult) {
+	// Entry PCs and kernel state are re-read from the live state after
+	// every phase: runEntry may return a forked successor whose KState is a
+	// distinct object.
+	mp := func() *kernel.MiniportChars {
+		if m := kernel.Of(s).Miniport; m != nil {
+			return m
+		}
+		return &kernel.MiniportChars{}
+	}
+	adapter := expr.Const(adapterHandle)
+
+	s2, ok, status := e.runEntryStatus(s, "Initialize", mp().InitializePC, []*expr.Expr{adapter}, res)
+	s = s2
+	if !ok || status != kernel.StatusSuccess {
+		// The OS only exercises the data path — and eventually Halt — on an
+		// adapter that initialized successfully.
+		return
+	}
+	if pkt := e.makePacket(s); pkt != 0 {
+		if s, ok = e.runEntry(s, "Send", mp().SendPC, []*expr.Expr{adapter, expr.Const(pkt)}, res); !ok {
+			return
+		}
+	}
+	if s, ok = e.runEntry(s, "QueryInformation", mp().QueryInfoPC, e.infoArgs(s, adapter, kernel.OIDGenSupportedList), res); !ok {
+		return
+	}
+	if s, ok = e.runEntry(s, "SetInformation", mp().SetInfoPC, e.infoArgs(s, adapter, kernel.OIDGenCurrentPacketFil), res); !ok {
+		return
+	}
+	if s, ok = e.runISR(s, adapter, res); !ok {
+		return
+	}
+	if s, ok = e.drainDPCs(s, res); !ok {
+		return
+	}
+	e.runEntry(s, "Halt", mp().HaltPC, []*expr.Expr{adapter}, res)
+}
+
+func (e *Executor) audioWorkload(s *vm.State, res *ExecResult) {
+	au := func() *kernel.AudioChars {
+		if a := kernel.Of(s).Audio; a != nil {
+			return a
+		}
+		return &kernel.AudioChars{}
+	}
+	adapter := expr.Const(adapterHandle)
+
+	s2, ok, status := e.runEntryStatus(s, "Initialize", au().InitializePC, []*expr.Expr{adapter}, res)
+	s = s2
+	if !ok || status != kernel.StatusSuccess {
+		return
+	}
+	if buf := e.makeAudioBuffer(s); buf != 0 {
+		if s, ok = e.runEntry(s, "Play", au().PlayPC, []*expr.Expr{adapter, expr.Const(buf), expr.Const(256)}, res); !ok {
+			return
+		}
+	}
+	if s, ok = e.runISR(s, adapter, res); !ok {
+		return
+	}
+	if s, ok = e.drainDPCs(s, res); !ok {
+		return
+	}
+	if s, ok = e.runEntry(s, "Stop", au().StopPC, []*expr.Expr{adapter}, res); !ok {
+		return
+	}
+	e.runEntry(s, "Halt", au().HaltPC, []*expr.Expr{adapter}, res)
+}
+
+func (e *Executor) runISR(s *vm.State, adapter *expr.Expr, res *ExecResult) (*vm.State, bool) {
+	ks := kernel.Of(s)
+	if !ks.ISRRegistered || ks.ISRPC == 0 {
+		return s, true
+	}
+	ks.IRQL = kernel.DeviceLevel
+	return e.runEntry(s, "ISR", ks.ISRPC, []*expr.Expr{adapter}, res)
+}
+
+func (e *Executor) drainDPCs(s *vm.State, res *ExecResult) (*vm.State, bool) {
+	for n := 0; n < e.opts.MaxDPCs; n++ {
+		ks := kernel.Of(s)
+		if len(ks.PendingDPCs) == 0 {
+			break
+		}
+		dpc := ks.PendingDPCs[0]
+		ks.PendingDPCs = ks.PendingDPCs[1:]
+		ks.IRQL = kernel.DispatchLevel
+		ks.InDpc = true
+		var ok bool
+		if s, ok = e.runEntry(s, "DPC:"+dpc.Label, dpc.FuncPC, []*expr.Expr{expr.Const(dpc.Ctx)}, res); !ok {
+			return s, false
+		}
+	}
+	return s, true
+}
+
+// runEntry invokes one entry and steps it to completion. It returns the
+// state the path ended on (which may be a forked successor of s) and false
+// when the execution is over (crash, kill, or unresolvable entry).
+func (e *Executor) runEntry(s *vm.State, name string, pc uint32, args []*expr.Expr, res *ExecResult) (*vm.State, bool) {
+	fin, ok, _ := e.runEntryStatus(s, name, pc, args, res)
+	return fin, ok
+}
+
+func (e *Executor) runEntryStatus(s *vm.State, name string, pc uint32, args []*expr.Expr, res *ExecResult) (*vm.State, bool, uint32) {
+	if pc == 0 {
+		return s, true, kernel.StatusSuccess
+	}
+	res.Entries = append(res.Entries, name)
+	e.k.InvokeSym(s, name, pc, args...)
+	start := s.ICount
+	for s.Status == vm.StatusRunning {
+		if s.ICount-start >= e.opts.MaxStepsPerEntry {
+			s.Status = vm.StatusKilled
+			return s, false, 0
+		}
+		e.maybeInject(s)
+		next, err := e.m.Step(s)
+		if e.pendLoop != nil {
+			err = e.pendLoop
+			e.pendLoop = nil
+			s.Status = vm.StatusBug
+		}
+		if err != nil {
+			e.recordCrash(s, name, err, res)
+			return s, false, 0
+		}
+		switch len(next) {
+		case 0:
+			// terminal
+		case 1:
+			s = next[0]
+		default:
+			// Concrete execution cannot fork; if it ever does (a stray
+			// symbolic value), follow the first child and drop the rest.
+			for _, n := range next[1:] {
+				n.Status = vm.StatusKilled
+			}
+			s = next[0]
+		}
+	}
+	if s.Status != vm.StatusExited {
+		return s, false, 0
+	}
+	status, ok := s.RegConcrete(isa.R0)
+	if !ok {
+		status = 0
+	}
+	// Entry-exit checks: leaks fire here, exactly as in the engine.
+	if err := e.leak.CheckEntryExit(s, name, status); err != nil {
+		e.recordCrash(s, name, err, res)
+		return s, false, 0
+	}
+	// Normalize carried context between phases, as the workload does.
+	ks := kernel.Of(s)
+	ks.InDpc = false
+	ks.IRQL = kernel.PassiveLevel
+	s.Status = vm.StatusRunning
+	return s, true, status
+}
+
+func (e *Executor) recordCrash(s *vm.State, entry string, err error, res *ExecResult) {
+	f, ok := err.(*vm.Fault)
+	if !ok {
+		f = vm.Faultf("engine", s.PC, "%v", err)
+	}
+	site := f.PC
+	textLimit := isa.ImageBase + uint32(len(e.img.Text))
+	if site < isa.ImageBase || site >= textLimit {
+		site = e.lastBlock
+	}
+	res.Crash = &Crash{
+		Class:       checkers.Classify(f, s),
+		RawClass:    f.Class,
+		PC:          f.PC,
+		Site:        site,
+		Msg:         f.Msg,
+		Entry:       entry,
+		InInterrupt: s.InInterrupt > 0,
+	}
+}
+
+// makePacket mirrors the workload generator's one-packet Send payload
+// (core/workload.go makeSymbolicPacket), with feed-fed contents where the
+// engine would inject symbols. The injection sites must stay in the same
+// order as the engine's — the concolic bridge maps feed words to symbols
+// positionally (TestHybridLoop guards the alignment end-to-end).
+func (e *Executor) makePacket(s *vm.State) uint32 {
+	ks := kernel.Of(s)
+	const payload = 64
+	addr, err := ks.HeapAlloc(8+payload, "sendpkt", "packet", s.ICount, 0)
+	if err != nil {
+		return 0
+	}
+	delete(ks.Allocs, addr) // kernel-owned: the driver must not free it
+	data := addr + 8
+	s.Mem.Write(addr, 4, expr.Const(data))
+	if e.opts.Annotations {
+		s.Mem.Write(addr+4, 4, e.k.FreshSymbol(s, "packet_len", expr.OriginPacket))
+		for i := uint32(0); i < 16; i++ {
+			s.Mem.Write(data+i, 1, e.k.FreshSymbol(s, fmt.Sprintf("packet_byte_%d", i), expr.OriginPacket))
+		}
+	} else {
+		s.Mem.Write(addr+4, 4, expr.Const(42))
+		for i := uint32(0); i < 16; i++ {
+			s.Mem.Write(data+i, 1, expr.Const(uint32(0x40+i)))
+		}
+	}
+	for i := uint32(16); i < payload; i++ {
+		s.Mem.Write(data+i, 1, expr.Const(0))
+	}
+	return addr
+}
+
+func (e *Executor) infoArgs(s *vm.State, adapter *expr.Expr, concreteOID uint32) []*expr.Expr {
+	ks := kernel.Of(s)
+	buf, err := ks.HeapAlloc(64, "infobuf", "param", s.ICount, 0)
+	if err != nil {
+		return nil
+	}
+	delete(ks.Allocs, buf)
+	var oid *expr.Expr
+	if e.opts.Annotations {
+		oid = e.k.FreshSymbol(s, "oid", expr.OriginArgument)
+	} else {
+		oid = expr.Const(concreteOID)
+	}
+	return []*expr.Expr{adapter, oid, expr.Const(buf), expr.Const(64)}
+}
+
+func (e *Executor) makeAudioBuffer(s *vm.State) uint32 {
+	ks := kernel.Of(s)
+	addr, err := ks.HeapAlloc(256, "audiobuf", "param", s.ICount, 0)
+	if err != nil {
+		return 0
+	}
+	delete(ks.Allocs, addr)
+	if e.opts.Annotations {
+		for i := uint32(0); i < 8; i++ {
+			s.Mem.Write(addr+i, 1, e.k.FreshSymbol(s, fmt.Sprintf("sample_%d", i), expr.OriginPacket))
+		}
+	} else {
+		for i := uint32(0); i < 8; i++ {
+			s.Mem.Write(addr+i, 1, expr.Const(i*17&0xFF))
+		}
+	}
+	return addr
+}

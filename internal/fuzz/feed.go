@@ -1,0 +1,151 @@
+// Package fuzz implements a coverage-guided concolic fuzzing subsystem on
+// top of DDT's virtual machine and simulated kernel.
+//
+// DDT's selective symbolic execution (package core) is exhaustive per path
+// but pays for a constraint solver and forks at every symbolic branch; path
+// explosion is the paper's own scalability ceiling. This package runs the
+// same driver images and the same workload phases fully concretely: every
+// would-be symbolic injection point — device register reads, registry
+// values, packet bytes, entry arguments, allocation-failure decisions,
+// interrupt arrival times — is answered from a replayable byte Feed. One
+// execution explores one path at native interpreter speed, and a
+// syzkaller-style loop (mutation, coverage-novelty corpus admission, crash
+// triage and dedup, parallel workers with a work-stealing queue) searches
+// the feed space.
+//
+// The two modes meet in a concolic bridge (bridge.go): solved inputs from
+// symbolic bug traces seed the fuzz corpus, and high-novelty fuzz feeds are
+// lifted back into symbolic boot states — the engine pins its first symbols
+// to the feed prefix and forks outward from there.
+package fuzz
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Feed is one replayable concrete input: everything outside the driver's
+// control that the fuzzer decides. Executing the same feed against the same
+// image is deterministic, so a feed attached to a crash report is the
+// crash's reproducer.
+type Feed struct {
+	// Data answers value injections in consumption order: device MMIO/port
+	// register reads and symbolic-injection sites (registry values, packet
+	// bytes, OIDs, ...) each consume the next little-endian word. An
+	// exhausted stream answers zero, so every feed is total.
+	Data []byte `json:"data"`
+	// Forks answers annotation fork decisions (alternative API outcomes,
+	// e.g. allocation failure) one byte per decision: an odd byte takes the
+	// alternative. Exhausted means the primary outcome.
+	Forks []byte `json:"forks,omitempty"`
+	// IRQ lists absolute instruction counts at which to inject a device
+	// interrupt (ascending; injected only once the driver registered an
+	// ISR). This is the fuzzer's handle on interrupt-timing races.
+	IRQ []uint64 `json:"irq,omitempty"`
+}
+
+// Clone deep-copies the feed.
+func (f *Feed) Clone() *Feed {
+	return &Feed{
+		Data:  append([]byte(nil), f.Data...),
+		Forks: append([]byte(nil), f.Forks...),
+		IRQ:   append([]uint64(nil), f.IRQ...),
+	}
+}
+
+// Len returns the total decision payload in bytes (corpus accounting:
+// shorter feeds are preferred at equal coverage).
+func (f *Feed) Len() int { return len(f.Data) + len(f.Forks) + 8*len(f.IRQ) }
+
+// Equal reports feed identity (used by tests and dedup).
+func (f *Feed) Equal(o *Feed) bool {
+	if len(f.IRQ) != len(o.IRQ) {
+		return false
+	}
+	for i := range f.IRQ {
+		if f.IRQ[i] != o.IRQ[i] {
+			return false
+		}
+	}
+	return bytes.Equal(f.Data, o.Data) && bytes.Equal(f.Forks, o.Forks)
+}
+
+// Marshal serializes the feed as JSON (corpus-directory format).
+func (f *Feed) Marshal() ([]byte, error) { return json.Marshal(f) }
+
+// UnmarshalFeed parses a serialized feed.
+func UnmarshalFeed(b []byte) (*Feed, error) {
+	var f Feed
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil, fmt.Errorf("fuzz: bad feed: %w", err)
+	}
+	return &f, nil
+}
+
+// SaveFeed writes a feed to a file.
+func SaveFeed(f *Feed, path string) error {
+	b, err := f.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// LoadFeed reads a feed from a file.
+func LoadFeed(path string) (*Feed, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return UnmarshalFeed(b)
+}
+
+// feedReader is the per-execution cursor over an immutable feed.
+type feedReader struct {
+	feed *Feed
+	pos  int // next byte of Data
+	fork int // next byte of Forks
+	irq  int // next entry of IRQ
+}
+
+func (r *feedReader) reset(f *Feed) { *r = feedReader{feed: f} }
+
+// word consumes the next little-endian word; missing bytes read as zero.
+func (r *feedReader) word() uint32 {
+	var v uint32
+	for i := 0; i < 4; i++ {
+		if r.pos < len(r.feed.Data) {
+			v |= uint32(r.feed.Data[r.pos]) << (8 * uint(i))
+			r.pos++
+		}
+	}
+	return v
+}
+
+// forkBit consumes the next fork decision.
+func (r *feedReader) forkBit() bool {
+	if r.fork >= len(r.feed.Forks) {
+		return false
+	}
+	b := r.feed.Forks[r.fork]
+	r.fork++
+	return b&1 == 1
+}
+
+// nextIRQ returns the next pending interrupt trigger, if any.
+func (r *feedReader) nextIRQ() (uint64, bool) {
+	if r.irq >= len(r.feed.IRQ) {
+		return 0, false
+	}
+	return r.feed.IRQ[r.irq], true
+}
+
+func (r *feedReader) takeIRQ() { r.irq++ }
+
+// consumed reports how much of each stream an execution actually read —
+// the exact minimization trim for corpus entries.
+func (r *feedReader) consumed() (data, forks, irqs int) {
+	return r.pos, r.fork, r.irq
+}

@@ -1,0 +1,400 @@
+package fuzz
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/binimg"
+	"repro/internal/exerciser"
+)
+
+// Config configures one fuzzing campaign.
+type Config struct {
+	// Workers is the number of parallel fuzzing goroutines.
+	Workers int
+	// MaxExecs bounds total executions (0: no exec bound).
+	MaxExecs uint64
+	// Duration bounds wall-clock time (0: no time bound). With neither
+	// bound set, a default exec budget applies.
+	Duration time.Duration
+	// Seed makes the campaign's random streams deterministic (per worker:
+	// Seed+workerID). A single-worker run with a fixed seed is fully
+	// reproducible.
+	Seed int64
+	// CorpusDir, when set, is loaded as initial seeds and receives the
+	// final corpus plus every crash reproducer.
+	CorpusDir string
+	// CorpusMax bounds the in-memory corpus (0: default).
+	CorpusMax int
+	// Seeds are additional initial feeds (e.g. from the concolic bridge).
+	Seeds []*Feed
+	// MinimizeBudget bounds the per-crash feed-minimization executions.
+	MinimizeBudget int
+	// Exec configures the per-worker executors.
+	Exec Options
+}
+
+// DefaultConfig returns a small deterministic campaign configuration.
+func DefaultConfig() Config {
+	return Config{
+		Workers:        4,
+		MaxExecs:       20_000,
+		Seed:           1,
+		MinimizeBudget: 48,
+		Exec:           DefaultOptions(),
+	}
+}
+
+// Report summarizes a fuzzing campaign.
+type Report struct {
+	Driver  string `json:"driver"`
+	Workers int    `json:"workers"`
+	// Execs counts completed workload executions (minimization and crash
+	// verification re-executions excluded).
+	Execs uint64 `json:"execs"`
+	// TriageExecs counts the extra executions spent verifying and
+	// minimizing crashes.
+	TriageExecs uint64 `json:"triage_execs"`
+	// Instructions is total simulated instructions across all workers.
+	Instructions uint64 `json:"instructions"`
+	// Crashes are the deduplicated crashes in discovery order.
+	Crashes []*Crash `json:"crashes"`
+	// CrashFeeds maps crash keys to their minimized reproducer feeds.
+	CrashFeeds map[string]*Feed `json:"crash_feeds"`
+	// CorpusSize is the final corpus entry count.
+	CorpusSize int `json:"corpus_size"`
+	// BlocksCovered / BlocksStatic give the coverage ratio.
+	BlocksCovered int `json:"blocks_covered"`
+	BlocksStatic  int `json:"blocks_static"`
+	// CoverageSeries is coverage over simulated time (total instructions).
+	CoverageSeries []exerciser.CoveragePoint `json:"coverage_series"`
+	// Exec records the executor options the campaign ran with; replaying a
+	// crash feed requires the same options (annotation sites consume feed
+	// words, so a mismatch shifts the whole stream).
+	Exec Options `json:"exec_options"`
+	// Elapsed is wall-clock campaign time; ExecsPerSec = Execs/Elapsed.
+	Elapsed     time.Duration `json:"elapsed_ns"`
+	ExecsPerSec float64       `json:"execs_per_sec"`
+}
+
+// CountByClass tallies crashes per Table 2 category.
+func (r *Report) CountByClass() map[string]int {
+	out := make(map[string]int)
+	for _, c := range r.Crashes {
+		out[c.Class]++
+	}
+	return out
+}
+
+// String renders the report as console output.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "fuzz report for driver %q\n", r.Driver)
+	fmt.Fprintf(&sb, "  execs: %d (+%d triage) in %v (%.0f execs/sec, %d workers)\n",
+		r.Execs, r.TriageExecs, r.Elapsed.Round(time.Millisecond), r.ExecsPerSec, r.Workers)
+	fmt.Fprintf(&sb, "  coverage: %d/%d basic blocks, corpus: %d feeds\n",
+		r.BlocksCovered, r.BlocksStatic, r.CorpusSize)
+	if len(r.Crashes) == 0 {
+		sb.WriteString("  no crashes found\n")
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "  %d deduplicated crash(es):\n", len(r.Crashes))
+	classes := r.CountByClass()
+	names := make([]string, 0, len(classes))
+	for c := range classes {
+		names = append(names, c)
+	}
+	sort.Strings(names)
+	for _, c := range names {
+		fmt.Fprintf(&sb, "    %-20s %d\n", c, classes[c])
+	}
+	for i, c := range r.Crashes {
+		repro := "replayable feed verified"
+		if !c.Reproduced {
+			repro = "NOT reproduced on replay"
+		}
+		fmt.Fprintf(&sb, "  crash %d: %s  [%s]\n", i+1, c, repro)
+	}
+	return sb.String()
+}
+
+// Fuzzer is one coverage-guided fuzzing campaign bound to a driver image.
+type Fuzzer struct {
+	img *binimg.Image
+	cfg Config
+
+	// Cov is the shared, thread-safe coverage map. It is exported so the
+	// hybrid loop can hand the same recorder to a symbolic engine.
+	Cov *exerciser.Coverage
+
+	corpus  *Corpus
+	crashes *crashStore
+	queue   *Queue
+
+	execsStarted atomic.Uint64
+	execsDone    atomic.Uint64
+	triageExecs  atomic.Uint64
+	steps        atomic.Uint64
+	deadline     time.Time
+	seedCount    int
+}
+
+// New prepares a campaign. The coverage denominator comes from the image's
+// static block discovery, exactly as in the symbolic engine.
+func New(img *binimg.Image, cfg Config) *Fuzzer {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.MaxExecs == 0 && cfg.Duration == 0 {
+		cfg.MaxExecs = DefaultConfig().MaxExecs
+	}
+	if cfg.MinimizeBudget == 0 {
+		cfg.MinimizeBudget = DefaultConfig().MinimizeBudget
+	}
+	// Per-field executor defaults: a caller-built Options struct keeps every
+	// field it set explicitly (Annotations false and Registry overrides
+	// included).
+	def := DefaultOptions()
+	if cfg.Exec.MaxStepsPerEntry == 0 {
+		cfg.Exec.MaxStepsPerEntry = def.MaxStepsPerEntry
+	}
+	if cfg.Exec.MaxInterrupts == 0 {
+		cfg.Exec.MaxInterrupts = def.MaxInterrupts
+	}
+	if cfg.Exec.LoopThreshold == 0 {
+		cfg.Exec.LoopThreshold = def.LoopThreshold
+	}
+	if cfg.Exec.MaxDPCs == 0 {
+		cfg.Exec.MaxDPCs = def.MaxDPCs
+	}
+	return &Fuzzer{
+		img:     img,
+		cfg:     cfg,
+		Cov:     exerciser.NewCoverage(len(binimg.StaticBlocks(img))),
+		corpus:  NewCorpus(cfg.CorpusMax),
+		crashes: newCrashStore(),
+		queue:   NewQueue(cfg.Workers),
+	}
+}
+
+// Corpus exposes the campaign's corpus (the hybrid loop lifts its
+// highest-gain feeds into symbolic boot states).
+func (f *Fuzzer) Corpus() *Corpus { return f.corpus }
+
+// AddSeed queues a feed for execution before the campaign starts (round-
+// robin across worker shards). Not safe to call once Run began.
+func (f *Fuzzer) AddSeed(feed *Feed) {
+	f.queue.Push(f.seedCount, feed)
+	f.seedCount++
+}
+
+// Run executes the campaign and returns its report.
+func (f *Fuzzer) Run() (*Report, error) {
+	start := time.Now()
+	if f.cfg.Duration > 0 {
+		f.deadline = start.Add(f.cfg.Duration)
+	}
+
+	// Initial seeds: explicit, persisted corpus, and the all-zero feed
+	// (the deterministic "quiet hardware" baseline path).
+	seeds := append([]*Feed(nil), f.cfg.Seeds...)
+	if f.cfg.CorpusDir != "" {
+		loaded, err := LoadDir(f.cfg.CorpusDir)
+		if err != nil {
+			return nil, err
+		}
+		seeds = append(seeds, loaded...)
+	}
+	seeds = append(seeds, &Feed{Data: make([]byte, 64)})
+	for i, s := range seeds {
+		f.queue.Push(i, s)
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < f.cfg.Workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			f.worker(worker)
+		}(w)
+	}
+	wg.Wait()
+
+	elapsed := time.Since(start)
+	rep := &Report{
+		Driver:         f.img.Name,
+		Workers:        f.cfg.Workers,
+		Execs:          f.execsDone.Load(),
+		TriageExecs:    f.triageExecs.Load(),
+		Instructions:   f.steps.Load(),
+		Crashes:        f.crashes.list(),
+		CrashFeeds:     make(map[string]*Feed),
+		CorpusSize:     f.corpus.Len(),
+		BlocksCovered:  f.Cov.Blocks(),
+		BlocksStatic:   f.Cov.TotalStatic,
+		CoverageSeries: f.Cov.Series(),
+		Exec:           f.cfg.Exec,
+		Elapsed:        elapsed,
+	}
+	for _, c := range rep.Crashes {
+		rep.CrashFeeds[c.Key()] = c.Feed
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		rep.ExecsPerSec = float64(rep.Execs) / sec
+	}
+	if f.cfg.CorpusDir != "" {
+		if err := f.corpus.SaveDir(f.cfg.CorpusDir); err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+func (f *Fuzzer) worker(worker int) {
+	exec := NewExecutor(f.img, f.Cov, f.cfg.Exec)
+	exec.TimeBase = f.steps.Load
+	mu := NewMutator(f.cfg.Seed + int64(worker))
+
+	for {
+		n := f.execsStarted.Add(1)
+		if f.cfg.MaxExecs > 0 && n > f.cfg.MaxExecs {
+			return
+		}
+		if !f.deadline.IsZero() && time.Now().After(f.deadline) {
+			return
+		}
+
+		// Triage queue first (fresh seeds and neighbors of fresh coverage),
+		// then gain-weighted corpus mutation, then generation from scratch.
+		feed := f.queue.Pop(worker)
+		if feed == nil {
+			if base := f.corpus.Choose(mu.rng); base != nil {
+				feed = mu.Mutate(base, f.corpus.RandomDonor(mu.rng))
+			} else {
+				feed = mu.Generate()
+			}
+		}
+
+		res := exec.Run(feed)
+		f.execsDone.Add(1)
+		f.steps.Add(res.Steps)
+
+		if res.Crash != nil {
+			f.triageCrash(exec, mu, worker, feed, res)
+			continue
+		}
+		if res.NewBlocks > 0 {
+			admitted := trimFeed(feed, res)
+			if f.corpus.Add(admitted, res.NewBlocks) {
+				// Focused follow-up: queue close mutants of the novel feed
+				// on this worker's shard (peers steal when idle).
+				for i := 0; i < 3; i++ {
+					f.queue.Push(worker, mu.Mutate(admitted, nil))
+				}
+			}
+		}
+	}
+}
+
+// triageCrash verifies, deduplicates, minimizes, and records one crash.
+func (f *Fuzzer) triageCrash(exec *Executor, mu *Mutator, worker int, feed *Feed, res *ExecResult) {
+	c := res.Crash
+	c.Exec = f.execsDone.Load()
+	c.Feed = trimFeed(feed, res)
+
+	// Crashing feeds that discovered coverage are corpus material either
+	// way: without admission, no corpus entry could ever cover the path to
+	// the crash and mutation could not explore around it.
+	if res.NewBlocks > 0 {
+		f.corpus.Add(c.Feed, res.NewBlocks)
+	}
+	// Dedup before spending triage budget.
+	if !f.crashes.add(c) {
+		return
+	}
+
+	c.Feed = f.minimize(exec, c)
+	// Verification: the minimized feed must deterministically reproduce the
+	// same fault site and class.
+	ver := exec.Run(c.Feed)
+	f.triageExecs.Add(1)
+	c.Reproduced = ver.Crash != nil && ver.Crash.Key() == c.Key()
+
+	if f.cfg.CorpusDir != "" {
+		dir := filepath.Join(f.cfg.CorpusDir, "crashes")
+		if err := os.MkdirAll(dir, 0o755); err == nil {
+			name := strings.NewReplacer("@", "-", " ", "-", "/", "-").Replace(c.Key())
+			_ = SaveFeed(c.Feed, filepath.Join(dir, name+".json"))
+		}
+	}
+}
+
+// minimize shrinks a crash feed while it still reproduces the same crash
+// key: repeated data-halving, then dropping fork decisions and interrupt
+// triggers, bounded by the configured execution budget.
+func (f *Fuzzer) minimize(exec *Executor, c *Crash) *Feed {
+	budget := f.cfg.MinimizeBudget
+	cur := c.Feed
+	try := func(cand *Feed) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		r := exec.Run(cand)
+		f.triageExecs.Add(1)
+		if r.Crash != nil && r.Crash.Key() == c.Key() {
+			cur = trimFeed(cand, r)
+			return true
+		}
+		return false
+	}
+	// Halve the data stream while the crash survives.
+	for len(cur.Data) > 4 && budget > 0 {
+		cand := cur.Clone()
+		cand.Data = cand.Data[:len(cand.Data)/2]
+		if !try(cand) {
+			break
+		}
+	}
+	// Drop fork decisions back to the primary outcome, last first.
+	for i := len(cur.Forks) - 1; i >= 0 && budget > 0; i-- {
+		if i >= len(cur.Forks) {
+			continue
+		}
+		cand := cur.Clone()
+		cand.Forks = cand.Forks[:i]
+		try(cand)
+	}
+	// Drop interrupt triggers.
+	for i := len(cur.IRQ) - 1; i >= 0 && budget > 0; i-- {
+		if i >= len(cur.IRQ) {
+			continue
+		}
+		cand := cur.Clone()
+		cand.IRQ = append(cand.IRQ[:i:i], cand.IRQ[i+1:]...)
+		try(cand)
+	}
+	return cur
+}
+
+// trimFeed cuts a feed to the prefix the execution actually consumed —
+// free, exact minimization for corpus entries.
+func trimFeed(f *Feed, res *ExecResult) *Feed {
+	t := f.Clone()
+	if res.ConsumedData < len(t.Data) {
+		t.Data = t.Data[:res.ConsumedData]
+	}
+	if res.ConsumedForks < len(t.Forks) {
+		t.Forks = t.Forks[:res.ConsumedForks]
+	}
+	if res.ConsumedIRQ < len(t.IRQ) {
+		t.IRQ = t.IRQ[:res.ConsumedIRQ]
+	}
+	return t
+}

@@ -1,0 +1,155 @@
+package fuzz
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"sort"
+)
+
+// Feed size caps: mutation never grows a feed beyond these, keeping
+// executions bounded and corpus entries comparable.
+const (
+	maxDataLen = 4096
+	maxForkLen = 64
+	maxIRQLen  = 8
+)
+
+// interesting8 and interesting32 are the substitution values classic
+// coverage-guided fuzzers carry: boundary values that flip sign, saturate
+// masks, or sit on length-check edges.
+var interesting8 = []byte{0x00, 0x01, 0x02, 0x07, 0x08, 0x10, 0x20, 0x40, 0x7F, 0x80, 0xFF}
+
+var interesting32 = []uint32{
+	0, 1, 2, 4, 8, 9, 14, 15, 16, 31, 32, 63, 64, 127, 128, 255, 256,
+	0x7FFF, 0x8000, 0xFFFF, 0x10000, 0x7FFFFFFF, 0x80000000, 0xFFFFFFFF,
+}
+
+// Mutator derives new feeds from corpus feeds: bit and byte flips,
+// interesting-value substitution, block insert/delete/duplicate, splice
+// with another corpus feed, fork-decision flips, and interrupt-timing
+// shifts. All randomness flows from the seeded source, so a mutator with a
+// fixed seed is deterministic.
+type Mutator struct {
+	rng *rand.Rand
+}
+
+// NewMutator returns a mutator over a deterministic random stream.
+func NewMutator(seed int64) *Mutator {
+	return &Mutator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Generate builds a feed from nothing: random data, occasional forks and
+// interrupt schedules. Used to bootstrap an empty corpus.
+func (mu *Mutator) Generate() *Feed {
+	r := mu.rng
+	f := &Feed{Data: make([]byte, 16+r.Intn(112))}
+	r.Read(f.Data)
+	if r.Intn(3) == 0 {
+		f.Forks = make([]byte, 1+r.Intn(8))
+		r.Read(f.Forks)
+	}
+	if r.Intn(3) == 0 {
+		n := 1 + r.Intn(3)
+		for i := 0; i < n; i++ {
+			f.IRQ = append(f.IRQ, randIRQTime(r))
+		}
+		sortIRQ(f.IRQ)
+	}
+	return f
+}
+
+// randIRQTime draws an interrupt instant log-uniformly: interrupt-timing
+// races live in narrow early windows (e.g. between ISR registration and
+// timer initialization, a few hundred instructions into Initialize), so
+// uniform draws over the full budget would almost never land there.
+func randIRQTime(r *rand.Rand) uint64 {
+	return uint64(r.Intn(1 << uint(5+r.Intn(13)))) // [0, 2^17), mass on small values
+}
+
+// Mutate clones base and applies 1–4 random mutation operators. donor (may
+// be nil) supplies the splice source.
+func (mu *Mutator) Mutate(base *Feed, donor *Feed) *Feed {
+	r := mu.rng
+	f := base.Clone()
+	for n := 1 + r.Intn(4); n > 0; n-- {
+		switch r.Intn(10) {
+		case 0: // bit flip
+			if len(f.Data) > 0 {
+				i := r.Intn(len(f.Data))
+				f.Data[i] ^= 1 << uint(r.Intn(8))
+			} else {
+				f.Data = append(f.Data, byte(r.Intn(256)))
+			}
+		case 1: // byte set
+			if len(f.Data) > 0 {
+				f.Data[r.Intn(len(f.Data))] = byte(r.Intn(256))
+			}
+		case 2: // interesting byte
+			if len(f.Data) > 0 {
+				f.Data[r.Intn(len(f.Data))] = interesting8[r.Intn(len(interesting8))]
+			}
+		case 3: // interesting word (little-endian, word-aligned to feed cursor granularity)
+			if len(f.Data) >= 4 {
+				i := r.Intn(len(f.Data)/4) * 4
+				binary.LittleEndian.PutUint32(f.Data[i:], interesting32[r.Intn(len(interesting32))])
+			}
+		case 4: // insert a small random block
+			if len(f.Data) < maxDataLen {
+				i := r.Intn(len(f.Data) + 1)
+				blk := make([]byte, 4*(1+r.Intn(4)))
+				r.Read(blk)
+				f.Data = append(f.Data[:i], append(blk, f.Data[i:]...)...)
+			}
+		case 5: // delete a small block
+			if len(f.Data) > 4 {
+				n := 4 * (1 + r.Intn(len(f.Data)/4))
+				if n > len(f.Data)-4 {
+					n = len(f.Data) - 4
+				}
+				i := r.Intn(len(f.Data) - n + 1)
+				f.Data = append(f.Data[:i], f.Data[i+n:]...)
+			}
+		case 6: // splice: graft the tail of another corpus feed
+			if donor != nil && len(donor.Data) > 0 && len(f.Data) > 0 {
+				cut := r.Intn(len(f.Data))
+				from := r.Intn(len(donor.Data))
+				f.Data = append(f.Data[:cut], donor.Data[from:]...)
+			}
+		case 7: // fork decision flip / extend
+			if len(f.Forks) > 0 && r.Intn(2) == 0 {
+				f.Forks[r.Intn(len(f.Forks))] ^= 1
+			} else if len(f.Forks) < maxForkLen {
+				f.Forks = append(f.Forks, byte(r.Intn(256)))
+			}
+		case 8: // interrupt timing: add or remove a trigger
+			if len(f.IRQ) > 0 && r.Intn(3) == 0 {
+				i := r.Intn(len(f.IRQ))
+				f.IRQ = append(f.IRQ[:i], f.IRQ[i+1:]...)
+			} else if len(f.IRQ) < maxIRQLen {
+				f.IRQ = append(f.IRQ, randIRQTime(r))
+				sortIRQ(f.IRQ)
+			}
+		case 9: // interrupt timing: jitter an existing trigger
+			if len(f.IRQ) > 0 {
+				i := r.Intn(len(f.IRQ))
+				d := uint64(r.Intn(2048))
+				if r.Intn(2) == 0 && f.IRQ[i] > d {
+					f.IRQ[i] -= d
+				} else {
+					f.IRQ[i] += d
+				}
+				sortIRQ(f.IRQ)
+			} else if len(f.Data) > 0 {
+				f.Data[r.Intn(len(f.Data))] = byte(r.Intn(256))
+			}
+		}
+	}
+	if len(f.Data) > maxDataLen {
+		f.Data = f.Data[:maxDataLen]
+	}
+	return f
+}
+
+func sortIRQ(irq []uint64) {
+	sort.Slice(irq, func(i, j int) bool { return irq[i] < irq[j] })
+}

@@ -5,6 +5,12 @@
 // discarded. No real device and no device model is needed — symbolic reads
 // make the driver explore every path its hardware could ever (or could
 // never, for buggy silicon) take.
+//
+// Next to the symbolic mode lives a concrete-feed mode (ConcreteDevice): the
+// same fake device with register reads answered from a replayable FeedSource
+// stream instead of fresh symbols. The coverage-guided fuzzer drives drivers
+// through it orders of magnitude faster than symbolic execution, at the cost
+// of exploring one concrete path per feed.
 package hw
 
 import (
@@ -84,7 +90,10 @@ func (d *SymbolicDevice) readMMIO(s *vm.State, addr, size uint32) *expr.Expr {
 	return maskForSize(sym, size)
 }
 
-func (d *SymbolicDevice) writeMMIO(s *vm.State, addr, size uint32, v *expr.Expr) {
+// deviceWriteMMIO discards an MMIO register write, keeping the accounting
+// (counters, recent-write window, trace event) shared by the symbolic and
+// concrete-feed device modes — bug post-mortems rely on it being identical.
+func deviceWriteMMIO(s *vm.State, addr uint32) {
 	ds := Of(s)
 	ds.RegWrites++
 	ds.recordWrite(RegWrite{Addr: addr - isa.MMIOBase, Seq: s.ICount})
@@ -94,13 +103,8 @@ func (d *SymbolicDevice) writeMMIO(s *vm.State, addr, size uint32, v *expr.Expr)
 	})
 }
 
-func (d *SymbolicDevice) readPort(s *vm.State, port uint32) *expr.Expr {
-	ds := Of(s)
-	ds.PortReads++
-	return expr.ZeroExt16(d.FreshSymbol(s, fmt.Sprintf("hw_port_%#x", port), expr.OriginHardware))
-}
-
-func (d *SymbolicDevice) writePort(s *vm.State, port uint32, v *expr.Expr) {
+// deviceWritePort is deviceWriteMMIO's port-I/O counterpart.
+func deviceWritePort(s *vm.State, port uint32) {
 	ds := Of(s)
 	ds.PortWrites++
 	ds.recordWrite(RegWrite{Addr: port, Port: true, Seq: s.ICount})
@@ -108,6 +112,20 @@ func (d *SymbolicDevice) writePort(s *vm.State, port uint32, v *expr.Expr) {
 		Kind: vm.EvDevice, Seq: s.ICount, PC: s.PC, Addr: port,
 		Write: true, Name: fmt.Sprintf("hw_port_%#x", port),
 	})
+}
+
+func (d *SymbolicDevice) writeMMIO(s *vm.State, addr, size uint32, v *expr.Expr) {
+	deviceWriteMMIO(s, addr)
+}
+
+func (d *SymbolicDevice) readPort(s *vm.State, port uint32) *expr.Expr {
+	ds := Of(s)
+	ds.PortReads++
+	return expr.ZeroExt16(d.FreshSymbol(s, fmt.Sprintf("hw_port_%#x", port), expr.OriginHardware))
+}
+
+func (d *SymbolicDevice) writePort(s *vm.State, port uint32, v *expr.Expr) {
+	deviceWritePort(s, port)
 }
 
 func (ds *DeviceState) recordWrite(w RegWrite) {

@@ -157,6 +157,14 @@ type Kernel struct {
 	// is how a trace's solved concrete inputs drive the re-execution.
 	SymbolPolicy func(s *vm.State, name string, origin expr.Origin) *expr.Expr
 
+	// SymbolSeed, when set (concolic bridging), biases exploration toward a
+	// concrete input prefix: the idx-th symbol minted on a path is still a
+	// genuine symbol, but when the seed answers for that index an equality
+	// constraint pins it to the seeded value. Symbolic execution then forks
+	// only past the seeded prefix — the standard way to lift a fuzzer feed
+	// into a symbolic boot state without losing soundness.
+	SymbolSeed func(idx uint64, name string, origin expr.Origin) (uint32, bool)
+
 	// Stats
 	APICallCount map[string]uint64
 }
@@ -204,8 +212,22 @@ func (k *Kernel) FreshSymbol(s *vm.State, name string, origin expr.Origin) *expr
 	k.symSeq++
 	e := k.M.Syms.Fresh(fmt.Sprintf("%s#%d", name, k.symSeq), origin, s.PC, s.ICount)
 	s.Trace.Append(vm.Event{Kind: vm.EvNewSym, Seq: s.ICount, PC: s.PC, Sym: e.Sym, Name: name})
+	if k.SymbolSeed != nil {
+		if s.Meta == nil {
+			s.Meta = make(map[string]uint64)
+		}
+		idx := s.Meta[metaSymSeedIdx]
+		s.Meta[metaSymSeedIdx] = idx + 1
+		if v, ok := k.SymbolSeed(idx, name, origin); ok {
+			s.AddConstraint(expr.Eq(e, expr.Const(v)))
+		}
+	}
 	return e
 }
+
+// metaSymSeedIdx counts symbols minted on a path, the per-path cursor into
+// a SymbolSeed prefix (forks inherit it, so siblings stay aligned).
+const metaSymSeedIdx = "symseed_idx"
 
 // Arg returns the i-th argument under the d32 calling convention:
 // r0-r3, then 4-byte stack slots.

@@ -148,8 +148,10 @@ func Load(path string) (*File, error) {
 	return Unmarshal(b)
 }
 
-// eventsOf filters records by kind.
-func (f *File) eventsOf(kind vm.EventKind) []Record {
+// EventsOf returns the trace records of one event kind, in path order.
+// Consumers beyond replay use this: the fuzz bridge reads EvNewSym records
+// to turn a trace's solved inputs into a concrete feed.
+func (f *File) EventsOf(kind vm.EventKind) []Record {
 	var out []Record
 	for _, r := range f.Events {
 		if vm.EventKind(r.Kind) == kind {
@@ -162,7 +164,7 @@ func (f *File) eventsOf(kind vm.EventKind) []Record {
 // Entries returns the entry-point invocation sequence of the path.
 func (f *File) Entries() []string {
 	var out []string
-	for _, r := range f.eventsOf(vm.EvEntry) {
+	for _, r := range f.EventsOf(vm.EvEntry) {
 		out = append(out, r.Name)
 	}
 	return out
@@ -177,7 +179,7 @@ func (f *File) Summary() string {
 	fmt.Fprintf(&b, "Bug: [%s] %s\n", f.Bug.Class, f.Bug.Msg)
 	fmt.Fprintf(&b, "     raised at pc %#x while exercising entry %q\n", f.Bug.PC, f.Bug.Entry)
 	fmt.Fprintf(&b, "Path: %s\n", strings.Join(f.Entries(), " -> "))
-	if n := len(f.eventsOf(vm.EvInterrupt)); n > 0 {
+	if n := len(f.EventsOf(vm.EvInterrupt)); n > 0 {
 		fmt.Fprintf(&b, "Symbolic interrupts injected: %d\n", n)
 	}
 	if len(f.Symbols) == 0 {
@@ -188,9 +190,9 @@ func (f *File) Summary() string {
 			fmt.Fprintf(&b, "  %-28s %-10s created at pc %#x = %#x\n", s.Name, s.Origin, s.PC, s.Value)
 		}
 	}
-	blocks := len(f.eventsOf(vm.EvBlock))
-	mems := len(f.eventsOf(vm.EvMem))
-	branches := len(f.eventsOf(vm.EvBranch))
+	blocks := len(f.EventsOf(vm.EvBlock))
+	mems := len(f.EventsOf(vm.EvMem))
+	branches := len(f.EventsOf(vm.EvBranch))
 	fmt.Fprintf(&b, "Trace: %d events (%d blocks, %d memory accesses, %d branches)\n",
 		len(f.Events), blocks, mems, branches)
 	return b.String()

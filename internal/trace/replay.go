@@ -66,8 +66,8 @@ func Replay(f *File, img *binimg.Image) (*Result, error) {
 	r := &replayer{
 		file:      f,
 		symQueue:  append([]SymbolRecord(nil), f.Symbols...),
-		intrQueue: f.eventsOf(vm.EvInterrupt),
-		altQueue:  f.eventsOf(vm.EvAltFork),
+		intrQueue: f.EventsOf(vm.EvInterrupt),
+		altQueue:  f.EventsOf(vm.EvAltFork),
 		res:       &Result{},
 	}
 	r.m = vm.NewMachine(img, expr.NewSymbolTable(), solver.New())
