@@ -10,7 +10,10 @@ package ddt
 // the same run yields both the reproduction data and its cost.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/baseline/sdv"
 	"repro/internal/core"
@@ -334,4 +337,46 @@ func BenchmarkFullRunPro1000(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkExploreParallelSpeedup measures the parallel symbolic engine's
+// scaling curve: a full rtl8029 session at 1, 2, and 4 workers, with the
+// per-count wall clock and the speedup-vs-sequential reported as metrics
+// (workers=1 is the deterministic sequential engine; the parallel runs
+// share one solver query cache). The speedup-at-4 metric is the headline:
+// on a multi-core host it should exceed 1.5x; on a single-CPU host
+// (GOMAXPROCS=1) no wall-clock speedup is physically possible and the
+// metric reports the concurrency overhead instead.
+func BenchmarkExploreParallelSpeedup(b *testing.B) {
+	img, err := corpus.Build("rtl8029", corpus.Buggy)
+	if err != nil {
+		b.Fatal(err)
+	}
+	session := func(workers int) time.Duration {
+		opts := core.DefaultOptions()
+		opts.Workers = workers
+		eng := core.NewEngine(img, opts)
+		start := time.Now()
+		if _, err := eng.TestDriver(); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	elapsed := map[int]time.Duration{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, w := range []int{1, 2, 4} {
+			elapsed[w] += session(w)
+		}
+	}
+	b.StopTimer()
+	for _, w := range []int{2, 4} {
+		speedup := float64(elapsed[1]) / float64(elapsed[w])
+		b.ReportMetric(speedup, fmt.Sprintf("speedup@%dworkers", w))
+	}
+	b.ReportMetric(float64(elapsed[1].Milliseconds())/float64(b.N), "ms/seq-session")
+	b.ReportMetric(float64(elapsed[4].Milliseconds())/float64(b.N), "ms/4worker-session")
+	b.Logf("GOMAXPROCS=%d: sequential %v, 2 workers %v, 4 workers %v",
+		runtime.GOMAXPROCS(0), elapsed[1]/time.Duration(b.N),
+		elapsed[2]/time.Duration(b.N), elapsed[4]/time.Duration(b.N))
 }

@@ -13,6 +13,7 @@
 //	-fixed           use the corrected corpus variant
 //	-no-annotations  disable the NDIS/WDM interface annotations (§5.1 ablation)
 //	-no-interrupts   disable symbolic interrupt injection
+//	-workers n       parallel exploration workers (1 = sequential, deterministic)
 //	-traces dir      write one executable .ddtrace file per bug into dir
 //	-v               also print per-bug solved inputs
 package main
@@ -32,6 +33,7 @@ func main() {
 	fixed := flag.Bool("fixed", false, "use the corrected corpus variant")
 	noAnnot := flag.Bool("no-annotations", false, "disable interface annotations")
 	noIntr := flag.Bool("no-interrupts", false, "disable symbolic interrupts")
+	workers := flag.Int("workers", 1, "parallel exploration workers (1 = sequential, deterministic)")
 	traceDir := flag.String("traces", "", "directory to write executable traces into")
 	verbose := flag.Bool("v", false, "print solved inputs per bug")
 	flag.Parse()
@@ -51,6 +53,7 @@ func main() {
 	cfg := ddt.DefaultConfig()
 	cfg.Annotations = !*noAnnot
 	cfg.SymbolicInterrupts = !*noIntr
+	cfg.Workers = *workers
 
 	sess := ddt.NewSession(img, cfg)
 	rep, err := sess.Run()

@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
@@ -34,9 +36,11 @@ func main() {
 	sdvF := flag.Bool("sdv", false, "SDV comparison")
 	abl := flag.Bool("ablation", false, "annotation ablation")
 	fz := flag.Bool("fuzz", false, "fuzzer throughput and mode comparison")
+	par := flag.Bool("parallel", false, "parallel exploration scaling and solver-cache stats")
+	workers := flag.Int("workers", 1, "engine exploration workers for full-session sections")
 	flag.Parse()
 
-	all := !*t1 && !*t2 && !*f2 && !*f3 && !*dv && !*sdvF && !*abl && !*fz
+	all := !*t1 && !*t2 && !*f2 && !*f3 && !*dv && !*sdvF && !*abl && !*fz && !*par
 
 	if all || *t1 {
 		infos, err := experiments.Table1()
@@ -102,6 +106,41 @@ func main() {
 	if all || *fz {
 		check(fuzzSection())
 	}
+	if all || *par {
+		check(parallelSection(*workers))
+	}
+}
+
+// parallelSection measures the concurrent symbolic frontier: wall clock and
+// shared-solver-cache behaviour of full rtl8029 sessions at increasing
+// worker counts. On a multi-core host the elapsed column is the scaling
+// curve; everywhere, the cache columns show how many queries the shared
+// cache answered for the whole worker fleet.
+func parallelSection(flagWorkers int) error {
+	fmt.Println("== Parallel symbolic exploration (rtl8029) ==")
+	fmt.Printf("  host CPUs: %d\n", runtime.NumCPU())
+	counts := []int{1, 2, 4}
+	if flagWorkers > 1 && flagWorkers != 2 && flagWorkers != 4 {
+		counts = append(counts, flagWorkers)
+	}
+	for _, w := range counts {
+		img, err := corpus.Build("rtl8029", corpus.Buggy)
+		if err != nil {
+			return err
+		}
+		opts := core.DefaultOptions()
+		opts.Workers = w
+		eng := core.NewEngine(img, opts)
+		start := time.Now()
+		rep, err := eng.TestDriver()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  workers=%d  elapsed=%-12v bugs=%d paths=%-4d queries=%-5d cache hits=%d evictions=%d\n",
+			w, time.Since(start).Round(time.Microsecond), len(rep.Bugs), rep.PathsExplored,
+			rep.SolverQueries, rep.SolverCacheHits, rep.SolverCacheEvictions)
+	}
+	return nil
 }
 
 // fuzzSection reports the concolic fuzzing subsystem's two headline

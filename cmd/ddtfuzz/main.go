@@ -20,6 +20,7 @@
 //	-corpus dir    load/persist corpus seeds and crash reproducers here
 //	-hybrid        run the two-way concolic loop (engine seeds fuzzer,
 //	               top feeds are lifted back into symbolic states)
+//	-engine-workers n  parallel symbolic workers for hybrid engine passes
 //	-json file     write the report as JSON ("-" for stdout)
 //	-expect        compare found classes against the driver's Table 2 set
 package main
@@ -40,6 +41,7 @@ func main() {
 	driver := flag.String("driver", "", "fuzz an in-tree evaluation driver")
 	fixed := flag.Bool("fixed", false, "use the corrected corpus variant")
 	workers := flag.Int("workers", 4, "parallel fuzzing workers")
+	engineWorkers := flag.Int("engine-workers", 1, "parallel symbolic workers for the hybrid loop's engine passes")
 	execs := flag.Uint64("execs", 20_000, "execution budget (0 = unbounded, needs -time)")
 	timeBudget := flag.Duration("time", 0, "wall-clock budget (0 = none)")
 	seed := flag.Int64("seed", 1, "base RNG seed")
@@ -68,7 +70,9 @@ func main() {
 	var rep *fuzz.Report
 	foundClasses := make(map[string]int) // union across modes, for -expect
 	if *hybrid {
-		h, err := fuzz.Hybrid(img, cfg, core.DefaultOptions(), 2)
+		eopts := core.DefaultOptions()
+		eopts.Workers = *engineWorkers
+		h, err := fuzz.Hybrid(img, cfg, eopts, 2)
 		if err != nil && h == nil {
 			fatal(err)
 		}

@@ -80,6 +80,11 @@ type Config struct {
 	MaxStates        int
 	MaxStepsPerPath  uint64
 	MaxPathsPerEntry int
+	// Workers is the number of parallel exploration workers. 0 or 1 is the
+	// sequential engine (fully deterministic); N>1 explores the symbolic
+	// frontier with N goroutines sharing one solver query cache — same bug
+	// classes, schedule-dependent path order.
+	Workers int
 	// Registry overrides the simulated registry hive.
 	Registry map[string]uint32
 }
@@ -111,6 +116,7 @@ func (c Config) options() core.Options {
 	if c.MaxPathsPerEntry > 0 {
 		o.MaxPathsPerEntry = c.MaxPathsPerEntry
 	}
+	o.Workers = c.Workers
 	o.Registry = c.Registry
 	return o
 }

@@ -13,6 +13,7 @@ package checkers
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/expr"
 	"repro/internal/isa"
@@ -27,8 +28,9 @@ type MemoryChecker struct {
 	// NullPageLimit: accesses below this address are null-pointer
 	// dereferences regardless of grants.
 	NullPageLimit uint32
-	// Vetoes counts rejected accesses (stats).
-	Vetoes uint64
+	// Vetoes counts rejected accesses (stats); updated atomically, as
+	// parallel workers share one checker.
+	Vetoes atomic.Uint64
 }
 
 // NewMemoryChecker returns a checker with the conventional 4 KiB null page.
@@ -39,7 +41,7 @@ func NewMemoryChecker() *MemoryChecker {
 // Check validates one access; Install wires it as the machine hook.
 func (c *MemoryChecker) Check(s *vm.State, pc, addr, size uint32, write bool) error {
 	if addr < c.NullPageLimit || addr+size < addr {
-		c.Vetoes++
+		c.Vetoes.Add(1)
 		return vm.Faultf("memory", pc, "null-pointer dereference: %s of %d bytes at %#x",
 			rw(write), size, addr)
 	}
@@ -52,7 +54,7 @@ func (c *MemoryChecker) Check(s *vm.State, pc, addr, size uint32, write bool) er
 	if addr >= stackLo && addr < isa.StackBase {
 		sp, ok := s.RegConcrete(isa.SP)
 		if ok && addr < sp {
-			c.Vetoes++
+			c.Vetoes.Add(1)
 			return vm.Faultf("memory", pc, "%s below the stack pointer (addr %#x < sp %#x)",
 				rw(write), addr, sp)
 		}
@@ -61,16 +63,16 @@ func (c *MemoryChecker) Check(s *vm.State, pc, addr, size uint32, write bool) er
 
 	r, ok := ks.FindRegion(addr, size)
 	if !ok {
-		c.Vetoes++
+		c.Vetoes.Add(1)
 		return vm.Faultf("memory", pc, "%s of %d bytes at unmapped address %#x (no grant covers it)",
 			rw(write), size, addr)
 	}
 	if write && !r.Writable {
-		c.Vetoes++
+		c.Vetoes.Add(1)
 		return vm.Faultf("memory", pc, "write to read-only %s region at %#x", r.Kind, addr)
 	}
 	if r.Pageable && ks.IRQL >= kernel.DispatchLevel {
-		c.Vetoes++
+		c.Vetoes.Add(1)
 		return vm.Faultf("irql", pc, "pageable memory touched at %s (addr %#x)",
 			kernel.IrqlName(ks.IRQL), addr)
 	}
@@ -94,7 +96,9 @@ func (c *MemoryChecker) Install(m *vm.Machine) {
 			cs := append(s.Constraints[:len(s.Constraints):len(s.Constraints)],
 				expr.UGe(addr, expr.Const(lo)),
 				expr.ULt(addr, expr.Const(hi)))
-			if model := m.Solver.Model(cs); model != nil {
+			// Route through the worker context bound to s: under parallel
+			// exploration each worker probes with its own solver.
+			if model := m.SolverFor(s).Model(cs); model != nil {
 				return expr.Eval(addr, model), true
 			}
 			return 0, false
@@ -178,37 +182,35 @@ func (LeakChecker) CheckEntryExit(s *vm.State, entry string, status uint32) erro
 // appears on the same path indicates the driver is stuck (polling a
 // hardware register that symbolic hardware will never change, waiting on a
 // flag an interrupt should set, ...).
+// The visit counts live on the state itself (vm.State.LoopCounts), not in
+// the checker: states migrate freely between parallel workers, and a
+// terminated state's accounting dies with it — no shared map, no Forget
+// bookkeeping, no cross-path attribution.
 type LoopChecker struct {
 	// Threshold is the per-block repeat count that triggers the report.
 	Threshold uint64
-	counts    map[uint64]map[uint32]uint64 // state ID -> block -> visits
 }
 
 // NewLoopChecker returns a checker with the given repeat threshold.
 func NewLoopChecker(threshold uint64) *LoopChecker {
-	return &LoopChecker{Threshold: threshold, counts: make(map[uint64]map[uint32]uint64)}
+	return &LoopChecker{Threshold: threshold}
 }
 
 // Visit records a block entry and reports a fault when the threshold is
-// crossed on one path.
+// crossed on one path. Forks reset the count (vm.State.Fork does not copy
+// LoopCounts): loop detection is per contiguous path segment, which only
+// delays detection.
 func (c *LoopChecker) Visit(s *vm.State, pc uint32) error {
-	blocks := c.counts[s.ID]
-	if blocks == nil {
-		// Inherit nothing: loop detection is per contiguous path segment;
-		// forks reset the counter, which only delays detection.
-		blocks = make(map[uint32]uint64)
-		c.counts[s.ID] = blocks
+	if s.LoopCounts == nil {
+		s.LoopCounts = make(map[uint32]uint64)
 	}
-	blocks[pc]++
-	if blocks[pc] >= c.Threshold {
+	s.LoopCounts[pc]++
+	if s.LoopCounts[pc] >= c.Threshold {
 		return vm.Faultf("loop", pc, "basic block %#x executed %d times on one path without progress (infinite loop / hang)",
-			pc, blocks[pc])
+			pc, s.LoopCounts[pc])
 	}
 	return nil
 }
-
-// Forget drops per-state accounting when a state terminates.
-func (c *LoopChecker) Forget(id uint64) { delete(c.counts, id) }
 
 // Classify maps a raw fault plus its execution context to the bug taxonomy
 // of Table 2. Faults raised while an injected interrupt context is active

@@ -25,8 +25,8 @@ func TestMemoryCheckerNullPage(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "null-pointer") {
 		t.Errorf("null read: %v", err)
 	}
-	if c.Vetoes != 1 {
-		t.Errorf("vetoes = %d", c.Vetoes)
+	if c.Vetoes.Load() != 1 {
+		t.Errorf("vetoes = %d", c.Vetoes.Load())
 	}
 }
 
@@ -147,9 +147,14 @@ func TestLoopChecker(t *testing.T) {
 	if err := lc.Visit(s2, 0x100100); err != nil {
 		t.Errorf("fresh state triggered: %v", err)
 	}
-	lc.Forget(7)
-	if err := lc.Visit(s, 0x100100); err != nil {
-		t.Errorf("after forget: %v", err)
+	// Forked children restart the count: State.Fork does not copy
+	// LoopCounts (loop detection is per contiguous path segment).
+	child := s.Fork(9)
+	if child.LoopCounts != nil {
+		t.Errorf("fork inherited loop counts: %v", child.LoopCounts)
+	}
+	if err := lc.Visit(child, 0x100100); err != nil {
+		t.Errorf("fork triggered immediately: %v", err)
 	}
 }
 

@@ -2,6 +2,10 @@ package core
 
 import (
 	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
 
 	"repro/internal/annot"
 	"repro/internal/binimg"
@@ -37,6 +41,16 @@ type Options struct {
 	KeepStates int
 	// LoopThreshold is the infinite-loop heuristic's per-block repeat bound.
 	LoopThreshold uint64
+	// Workers is the number of parallel exploration workers. 0 or 1 runs
+	// the engine sequentially, bit-identical to the pre-parallel engine.
+	// N>1 pops the frontier from N goroutines, each with its own
+	// vm.ExecContext and solver, all sharing one thread-safe query cache;
+	// the explored path SET is then schedule-dependent (the per-phase path
+	// budget is a global bound, and the min-block-count heuristic sees
+	// interleaved counts), but every reported bug remains a sound,
+	// solver-witnessed path, and completed paths are canonically ordered
+	// by state ID before KeepStates selection.
+	Workers int
 	// Registry overrides/extends the default registry hive.
 	Registry map[string]uint32
 	// Heuristic overrides the default min-block-count scheduler.
@@ -92,10 +106,21 @@ type Engine struct {
 	Sched *exerciser.Scheduler
 	Cov   *exerciser.Coverage
 
-	bugs     []*Bug
-	bugKeys  map[string]bool
-	paths    int
-	pendLoop error // loop fault raised by the block hook, consumed by step loop
+	// cache is the shared solver query cache: the root solver and every
+	// parallel worker's solver answer through it.
+	cache *solver.Cache
+
+	// mu guards the result accounting shared by workers: bugs, bugKeys,
+	// paths, PhaseResult mutation, and the merged worker solver stats.
+	mu            sync.Mutex
+	bugs          []*Bug
+	bugKeys       map[string]bool
+	paths         int
+	workerQueries uint64 // solver queries by retired parallel workers
+
+	// notify, during a parallel explore, wakes workers blocked on an empty
+	// frontier after a push.
+	notify func()
 }
 
 // metaInjectISR marks a forked state that should receive an interrupt
@@ -108,7 +133,8 @@ const metaIntrCount = "intr_count"
 
 // NewEngine builds a fully wired DDT session for the image.
 func NewEngine(img *binimg.Image, opts Options) *Engine {
-	m := vm.NewMachine(img, expr.NewSymbolTable(), solver.New())
+	cache := solver.NewCache(0)
+	m := vm.NewMachine(img, expr.NewSymbolTable(), solver.NewWithCache(cache))
 	e := &Engine{
 		Img:     img,
 		Opts:    opts,
@@ -119,6 +145,7 @@ func NewEngine(img *binimg.Image, opts Options) *Engine {
 		Loop:    checkers.NewLoopChecker(opts.LoopThreshold),
 		Sched:   exerciser.NewScheduler(opts.MaxStates),
 		Cov:     exerciser.NewCoverage(len(binimg.StaticBlocks(img))),
+		cache:   cache,
 		bugKeys: make(map[string]bool),
 	}
 	if opts.Coverage != nil {
@@ -147,9 +174,14 @@ func NewEngine(img *binimg.Image, opts Options) *Engine {
 	}
 	m.OnBlock = func(s *vm.State, pc uint32) {
 		e.Sched.Record(pc)
-		e.Cov.Visit(pc, m.Steps)
+		e.Cov.Visit(pc, m.Steps.Load())
 		if err := e.Loop.Visit(s, pc); err != nil {
-			e.pendLoop = err
+			// Leave the fault on the state: the step loop surfaces it, so
+			// it can never be attributed to a different path however the
+			// scheduler interleaves forks.
+			if f, ok := err.(*vm.Fault); ok {
+				s.PendFault = f
+			}
 		}
 	}
 	e.K.OnBoundary = e.boundaryHook
@@ -223,7 +255,9 @@ func (e *Engine) NewBootState() *vm.State {
 	return s
 }
 
-// recordBug deduplicates, solves the input model, and stores a bug.
+// recordBug deduplicates, solves the input model, and stores a bug. Safe
+// for concurrent use: the solve runs on the worker's own solver, only the
+// dedup/store is serialized.
 func (e *Engine) recordBug(s *vm.State, fault *vm.Fault) {
 	b := &Bug{
 		Class:       checkers.Classify(fault, s),
@@ -233,13 +267,18 @@ func (e *Engine) recordBug(s *vm.State, fault *vm.Fault) {
 		ICount:      s.ICount,
 		InInterrupt: s.InInterrupt > 0,
 	}
-	if e.bugKeys[b.Key()] {
+	key := b.Key()
+	e.mu.Lock()
+	if e.bugKeys[key] {
+		e.mu.Unlock()
 		return
 	}
-	e.bugKeys[b.Key()] = true
+	e.bugKeys[key] = true
+	e.mu.Unlock()
+
 	b.Trace = s.Trace.Path()
 	b.Trace = append(b.Trace, vm.Event{Kind: vm.EvBug, Seq: s.ICount, PC: fault.PC, Name: b.Class + ": " + fault.Msg})
-	model := e.M.Solver.Model(s.Constraints)
+	model := e.M.SolverFor(s).Model(s.Constraints)
 	if model == nil {
 		model = expr.Assignment{}
 	}
@@ -254,7 +293,17 @@ func (e *Engine) recordBug(s *vm.State, fault *vm.Fault) {
 		}
 	}
 	b.Model = model
+
+	e.mu.Lock()
 	e.bugs = append(e.bugs, b)
+	e.mu.Unlock()
+}
+
+// bugCount returns the number of recorded bugs (thread-safe).
+func (e *Engine) bugCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.bugs)
 }
 
 // PhaseResult is what one entry-phase exploration returns.
@@ -270,31 +319,166 @@ type PhaseResult struct {
 
 // Explore runs all queued states to completion, recording coverage and
 // bugs. Initial states must already be pushed (via e.Sched.Push) and set up
-// with kernel.Invoke.
+// with kernel.Invoke. With Opts.Workers > 1 the frontier is explored by a
+// concurrent worker pool; otherwise sequentially, exactly as the original
+// single-threaded engine did.
 func (e *Engine) Explore(entryName string) PhaseResult {
 	var res PhaseResult
-	bugsBefore := len(e.bugs)
-	for e.Sched.Len() > 0 && res.Exited < e.Opts.MaxPathsPerEntry {
-		if e.Opts.StopAtFirstBug && len(e.bugs) > 0 {
-			break
-		}
-		st := e.Sched.Pop()
-		e.runPath(st, entryName, &res)
+	dbgStart := time.Now()
+	bugsBefore := e.bugCount()
+	if e.Opts.Workers > 1 {
+		e.exploreParallel(entryName, &res)
+	} else {
+		e.exploreSequential(entryName, &res)
 	}
 	// Frontier left over when the path budget is hit is abandoned —
 	// bounded-exploration coverage loss, never unsoundness.
-	for e.Sched.Len() > 0 {
+	for {
 		st := e.Sched.Pop()
+		if st == nil {
+			break
+		}
 		st.Status = vm.StatusKilled
-		e.Loop.Forget(st.ID)
 	}
-	res.BugsFound = len(e.bugs) - bugsBefore
+	res.BugsFound = e.bugCount() - bugsBefore
+	if os.Getenv("DDT_DEBUG_PHASES") != "" {
+		fmt.Printf("phase %-20s exited=%-4d succ=%-3d elapsed=%v\n", entryName, res.Exited, len(res.Succeeded), time.Since(dbgStart))
+	}
 	return res
 }
 
+func (e *Engine) exploreSequential(entryName string, res *PhaseResult) {
+	ctx := e.M.NewContext(nil) // root solver, shared cache
+	for res.Exited < e.Opts.MaxPathsPerEntry {
+		if e.Opts.StopAtFirstBug && e.bugCount() > 0 {
+			break
+		}
+		st := e.Sched.Pop()
+		if st == nil {
+			break
+		}
+		e.runPath(ctx, st, entryName, res)
+	}
+}
+
+// exploreParallel drains the frontier with a pool of workers, each owning a
+// vm.ExecContext with a private solver over the shared query cache. A
+// worker blocks when the frontier is momentarily empty while paths are
+// still running (they may fork new work); the pool stops when the frontier
+// is empty and no path is in flight, or a phase bound trips. The per-phase
+// path budget can overshoot by at most Workers-1 in-flight paths.
+func (e *Engine) exploreParallel(entryName string, res *PhaseResult) {
+	run := newParallelRun()
+	e.notify = run.wake
+	defer func() { e.notify = nil }()
+
+	var wg sync.WaitGroup
+	perWorker := make([]int, e.Opts.Workers)
+	for w := 0; w < e.Opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := e.M.NewContext(solver.NewWithCache(e.cache))
+			for {
+				st := run.next(e, res)
+				if st == nil {
+					break
+				}
+				e.runPath(ctx, st, entryName, res)
+				perWorker[w]++
+				run.done()
+			}
+			e.mu.Lock()
+			e.workerQueries += ctx.Solver.Stats.Queries
+			e.mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	if os.Getenv("DDT_DEBUG_PHASES") != "" {
+		fmt.Printf("  per-worker paths: %v\n", perWorker)
+	}
+
+	// Completion order is schedule-dependent; canonicalize by state ID so
+	// KeepStates selection (and everything downstream) is ordered by a
+	// property of the path, not of the race.
+	e.mu.Lock()
+	sort.Slice(res.Succeeded, func(i, j int) bool {
+		return res.Succeeded[i].ID < res.Succeeded[j].ID
+	})
+	e.mu.Unlock()
+}
+
+// parallelRun coordinates the worker pool of one Explore call.
+type parallelRun struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	running int
+	stopped bool
+}
+
+func newParallelRun() *parallelRun {
+	r := &parallelRun{}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+// wake unblocks workers waiting for frontier work (called after a push).
+func (r *parallelRun) wake() {
+	r.mu.Lock()
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// next hands one frontier state to a worker, or nil when the phase is over.
+func (r *parallelRun) next(e *Engine, res *PhaseResult) *vm.State {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		if r.stopped {
+			return nil
+		}
+		e.mu.Lock()
+		exited := res.Exited
+		nbugs := len(e.bugs)
+		e.mu.Unlock()
+		if exited >= e.Opts.MaxPathsPerEntry || (e.Opts.StopAtFirstBug && nbugs > 0) {
+			r.stopped = true
+			r.cond.Broadcast()
+			return nil
+		}
+		if st := e.Sched.Pop(); st != nil {
+			r.running++
+			return st
+		}
+		if r.running == 0 {
+			r.stopped = true
+			r.cond.Broadcast()
+			return nil
+		}
+		r.cond.Wait()
+	}
+}
+
+// done retires a worker's current path and re-examines the pool state.
+func (r *parallelRun) done() {
+	r.mu.Lock()
+	r.running--
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// pushState queues a forked sibling and, during a parallel explore, wakes
+// a blocked worker for it.
+func (e *Engine) pushState(n *vm.State) {
+	e.Sched.Push(n)
+	if f := e.notify; f != nil {
+		f()
+	}
+}
+
 // runPath steps one state until it terminates or forks; forked siblings go
-// back to the scheduler.
-func (e *Engine) runPath(st *vm.State, entryName string, res *PhaseResult) {
+// back to the scheduler. ctx is the calling worker's execution context.
+func (e *Engine) runPath(ctx *vm.ExecContext, st *vm.State, entryName string, res *PhaseResult) {
 	// Deferred ISR injection (marked at a boundary crossing).
 	if st.Meta != nil && st.Meta[metaInjectISR] == 1 {
 		delete(st.Meta, metaInjectISR)
@@ -308,13 +492,15 @@ func (e *Engine) runPath(st *vm.State, entryName string, res *PhaseResult) {
 	for cur.Status == vm.StatusRunning {
 		if cur.ICount-start >= e.Opts.MaxStepsPerPath {
 			cur.Status = vm.StatusKilled
-			e.Loop.Forget(cur.ID)
 			return
 		}
-		next, err := e.M.Step(cur)
-		if e.pendLoop != nil {
-			err = e.pendLoop
-			e.pendLoop = nil
+		next, err := ctx.Step(cur)
+		// A fault left pending on the stepped state by a hook (the loop
+		// checker) fails the path right here, keeping the original engine's
+		// timing; forked children of the same step die with their parent.
+		if err == nil && cur.PendFault != nil {
+			err = cur.PendFault
+			cur.PendFault = nil
 			cur.Status = vm.StatusBug
 		}
 		if err != nil {
@@ -323,7 +509,6 @@ func (e *Engine) runPath(st *vm.State, entryName string, res *PhaseResult) {
 			} else {
 				e.recordBug(cur, vm.Faultf("engine", cur.PC, "%v", err))
 			}
-			e.Loop.Forget(cur.ID)
 			return
 		}
 		switch len(next) {
@@ -334,7 +519,7 @@ func (e *Engine) runPath(st *vm.State, entryName string, res *PhaseResult) {
 			cur = next[0]
 		default:
 			for _, n := range next[1:] {
-				e.Sched.Push(n)
+				e.pushState(n)
 			}
 			cur = next[0]
 			// Keep running the first child without rescheduling: cheap
@@ -344,12 +529,13 @@ func (e *Engine) runPath(st *vm.State, entryName string, res *PhaseResult) {
 }
 
 func (e *Engine) finishPath(s *vm.State, res *PhaseResult) {
-	e.Loop.Forget(s.ID)
 	if s.Status != vm.StatusExited {
 		return
 	}
+	e.mu.Lock()
 	e.paths++
 	res.Exited++
+	e.mu.Unlock()
 	status, ok := s.RegConcrete(isa.R0)
 	if !ok {
 		// A symbolic entry status: concretize for bookkeeping.
@@ -366,8 +552,12 @@ func (e *Engine) finishPath(s *vm.State, res *PhaseResult) {
 		}
 		return
 	}
-	if status == kernel.StatusSuccess && len(res.Succeeded) < e.Opts.KeepStates*4 {
-		res.Succeeded = append(res.Succeeded, s)
+	if status == kernel.StatusSuccess {
+		e.mu.Lock()
+		if len(res.Succeeded) < e.Opts.KeepStates*4 {
+			res.Succeeded = append(res.Succeeded, s)
+		}
+		e.mu.Unlock()
 	}
 }
 
@@ -393,16 +583,29 @@ func (e *Engine) InvokeEntry(base *vm.State, name string, pc uint32, args ...*ex
 
 // Report assembles the session report.
 func (e *Engine) Report() *Report {
+	e.mu.Lock()
+	bugs := append([]*Bug(nil), e.bugs...)
+	paths := e.paths
+	queries := e.workerQueries
+	e.mu.Unlock()
+	cs := e.cache.Stats()
+	workers := e.Opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
 	r := &Report{
-		Driver:        e.Img.Name,
-		Bugs:          append([]*Bug(nil), e.bugs...),
-		PathsExplored: e.paths,
-		StatesForked:  e.M.Forks,
-		Instructions:  e.M.Steps,
-		BlocksCovered: e.Cov.Blocks(),
-		BlocksStatic:  e.Cov.TotalStatic,
-		SolverQueries: e.M.Solver.Stats.Queries,
-		SymbolsMade:   e.M.Syms.Len(),
+		Driver:               e.Img.Name,
+		Bugs:                 bugs,
+		PathsExplored:        paths,
+		StatesForked:         e.M.Forks.Load(),
+		Instructions:         e.M.Steps.Load(),
+		BlocksCovered:        e.Cov.Blocks(),
+		BlocksStatic:         e.Cov.TotalStatic,
+		SolverQueries:        e.M.Solver.Stats.Queries + queries,
+		SolverCacheHits:      cs.Hits,
+		SolverCacheEvictions: cs.Evictions,
+		Workers:              workers,
+		SymbolsMade:          e.M.Syms.Len(),
 	}
 	for _, p := range e.Cov.Series() {
 		r.CoverageSeries = append(r.CoverageSeries, CoveragePointOut{p.Instructions, p.Blocks})
@@ -411,8 +614,15 @@ func (e *Engine) Report() *Report {
 }
 
 // Bugs returns the bugs recorded so far.
-func (e *Engine) Bugs() []*Bug { return e.bugs }
+func (e *Engine) Bugs() []*Bug {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.bugs
+}
 
 func (e *Engine) String() string {
-	return fmt.Sprintf("ddt engine for %q (%d bugs, %d paths)", e.Img.Name, len(e.bugs), e.paths)
+	e.mu.Lock()
+	bugs, paths := len(e.bugs), e.paths
+	e.mu.Unlock()
+	return fmt.Sprintf("ddt engine for %q (%d bugs, %d paths)", e.Img.Name, bugs, paths)
 }

@@ -84,6 +84,15 @@ type Report struct {
 	// SolverQueries etc. for the efficiency section.
 	SolverQueries uint64
 	SymbolsMade   int
+	// SolverCacheHits / SolverCacheEvictions measure the shared query
+	// cache: under parallel exploration one worker's Sat/Unsat answer is a
+	// hit for every other worker, which is where the shared-cache speedup
+	// comes from.
+	SolverCacheHits      uint64
+	SolverCacheEvictions uint64
+	// Workers is how many exploration workers the run used (1 =
+	// sequential).
+	Workers int
 }
 
 // CoveragePointOut mirrors exerciser.CoveragePoint in the public report.
@@ -113,10 +122,12 @@ func (r *Report) CountByClass() map[string]int {
 func (r *Report) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "DDT report for driver %q\n", r.Driver)
-	fmt.Fprintf(&sb, "  paths explored: %d, forks: %d, instructions: %d\n",
-		r.PathsExplored, r.StatesForked, r.Instructions)
+	fmt.Fprintf(&sb, "  paths explored: %d, forks: %d, instructions: %d, workers: %d\n",
+		r.PathsExplored, r.StatesForked, r.Instructions, r.Workers)
 	fmt.Fprintf(&sb, "  coverage: %d/%d basic blocks (%.0f%%)\n",
 		r.BlocksCovered, r.BlocksStatic, 100*r.RelativeCoverage())
+	fmt.Fprintf(&sb, "  solver: %d queries, %d cache hits, %d evictions\n",
+		r.SolverQueries, r.SolverCacheHits, r.SolverCacheEvictions)
 	if len(r.Bugs) == 0 {
 		sb.WriteString("  no bugs found\n")
 		return sb.String()

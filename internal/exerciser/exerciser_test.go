@@ -59,8 +59,8 @@ func TestSchedulerCapDropsStates(t *testing.T) {
 	s.Push(runnable(1, 0))
 	s.Push(runnable(2, 0))
 	s.Push(runnable(3, 0))
-	if s.Len() != 2 || s.Dropped != 1 {
-		t.Errorf("len=%d dropped=%d", s.Len(), s.Dropped)
+	if s.Len() != 2 || s.Dropped() != 1 {
+		t.Errorf("len=%d dropped=%d", s.Len(), s.Dropped())
 	}
 }
 

@@ -1,6 +1,9 @@
 package expr
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Origin classifies where a symbolic value was injected, mirroring DDT's
 // provenance tracking (§3.5–3.6 of the paper): traces record the creation
@@ -43,8 +46,11 @@ type SymbolInfo struct {
 }
 
 // SymbolTable allocates and describes symbolic variables for one DDT run.
-// It is not safe for concurrent use; each execution session owns one.
+// It is shared by every execution context of a session and safe for
+// concurrent use: parallel workers mint symbols under one mutex, so IDs
+// stay dense and unique across the whole run.
 type SymbolTable struct {
+	mu   sync.Mutex
 	syms []SymbolInfo
 }
 
@@ -56,19 +62,30 @@ func NewSymbolTable() *SymbolTable {
 // Fresh allocates a new symbolic variable and returns an expression
 // referring to it.
 func (t *SymbolTable) Fresh(name string, origin Origin, pc uint32, seq uint64) *Expr {
+	t.mu.Lock()
 	id := SymID(len(t.syms))
 	t.syms = append(t.syms, SymbolInfo{ID: id, Name: name, Origin: origin, PC: pc, Seq: seq})
+	t.mu.Unlock()
 	return Sym(id)
 }
 
 // Info returns the metadata for symbol id. It panics on out-of-range ids.
 func (t *SymbolTable) Info(id SymID) SymbolInfo {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return t.syms[id]
 }
 
 // Len returns the number of allocated symbols.
-func (t *SymbolTable) Len() int { return len(t.syms) }
+func (t *SymbolTable) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.syms)
+}
 
-// All returns metadata for every allocated symbol, in creation order.
-// The returned slice is owned by the table; callers must not modify it.
-func (t *SymbolTable) All() []SymbolInfo { return t.syms }
+// All returns a snapshot of every allocated symbol, in creation order.
+func (t *SymbolTable) All() []SymbolInfo {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SymbolInfo(nil), t.syms...)
+}

@@ -17,15 +17,33 @@ type Entry struct {
 	Gain int
 	// Chosen counts how often the entry seeded a mutation (energy decay).
 	Chosen uint64
+	// AdmitTick is the corpus admission counter value when this entry was
+	// admitted; recency (distance from the current tick) drives the
+	// exponential energy boost.
+	AdmitTick uint64
 }
 
+// AFL-style exponential energy schedule: a feed admitted within the last
+// energyWindow admissions gets its selection weight doubled once per step
+// of recency (the newest entry gets gain<<energyWindow), so workers pile
+// mutations onto the frontier of fresh coverage instead of re-mutating the
+// long-exhausted early corpus uniformly. EnergyCap bounds the boost so one
+// lucky high-gain feed cannot starve the rest of the pool.
+const (
+	energyWindow = 6
+	// EnergyCap bounds any entry's selection weight.
+	EnergyCap = 1 << 12
+)
+
 // Corpus is the shared seed pool: coverage-novelty admission, bounded size
-// with lowest-value eviction, gain-weighted selection. Safe for concurrent
-// use by the worker pool.
+// with lowest-value eviction, exponential-recency energy selection. Safe
+// for concurrent use by the worker pool.
 type Corpus struct {
 	mu      sync.Mutex
 	entries []*Entry
 	max     int
+	// tick counts admissions; entry energy decays as newer feeds arrive.
+	tick uint64
 }
 
 // NewCorpus returns a corpus bounded to max entries (0 means a default cap).
@@ -46,7 +64,8 @@ func (c *Corpus) Add(f *Feed, gain int) bool {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.entries = append(c.entries, &Entry{Feed: f, Gain: gain})
+	c.tick++
+	c.entries = append(c.entries, &Entry{Feed: f, Gain: gain, AdmitTick: c.tick})
 	if len(c.entries) > c.max {
 		worst := 0
 		for i, e := range c.entries {
@@ -67,9 +86,38 @@ func (c *Corpus) Len() int {
 	return len(c.entries)
 }
 
-// Choose picks a seed, weighted by admission gain and damped by how often
-// the entry was already chosen (energy decay). Returns nil on an empty
-// corpus. Randomness comes from the caller's deterministic source.
+// energy computes an entry's selection weight at the current tick: the
+// admission gain, doubled once per step of recency within the last
+// energyWindow admissions (AFL-style exponential schedule), damped by how
+// often the entry already seeded mutations, and capped at EnergyCap.
+func (c *Corpus) energy(e *Entry) float64 {
+	w := float64(e.Gain)
+	if age := c.tick - e.AdmitTick; age < energyWindow {
+		w *= float64(uint64(1) << (energyWindow - age))
+	}
+	if w > EnergyCap {
+		w = EnergyCap
+	}
+	w /= float64(1 + e.Chosen/8)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Energy reports the current selection weight of the i-th entry (test and
+// diagnostics hook).
+func (c *Corpus) Energy(i int) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.energy(c.entries[i])
+}
+
+// Choose picks a seed, weighted by the exponential-recency energy
+// schedule: entries whose coverage gain is recent get exponentially more
+// mutation energy (capped), stale and over-chosen entries decay toward the
+// uniform floor. Returns nil on an empty corpus. Randomness comes from the
+// caller's deterministic source.
 func (c *Corpus) Choose(rng *rand.Rand) *Feed {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -79,10 +127,7 @@ func (c *Corpus) Choose(rng *rand.Rand) *Feed {
 	total := 0.0
 	weights := make([]float64, len(c.entries))
 	for i, e := range c.entries {
-		w := float64(e.Gain) / float64(1+e.Chosen/8)
-		if w < 1 {
-			w = 1
-		}
+		w := c.energy(e)
 		weights[i] = w
 		total += w
 	}

@@ -127,7 +127,6 @@ type Executor struct {
 
 	reader    feedReader
 	loop      *checkers.LoopChecker
-	pendLoop  error
 	runBase   uint64 // m.Steps at execution start
 	curNew    int
 	curSeen   map[uint32]bool
@@ -159,14 +158,16 @@ func NewExecutor(img *binimg.Image, cov *exerciser.Coverage, opts Options) *Exec
 			e.curNew++
 		}
 		if err := e.loop.Visit(s, pc); err != nil {
-			e.pendLoop = err
+			if f, ok := err.(*vm.Fault); ok {
+				s.PendFault = f
+			}
 		}
 	}
 	return e
 }
 
 func (e *Executor) now() uint64 {
-	t := e.m.Steps - e.runBase
+	t := e.m.Steps.Load() - e.runBase
 	if e.TimeBase != nil {
 		t += e.TimeBase()
 	}
@@ -245,8 +246,7 @@ func (e *Executor) maybeInject(s *vm.State) {
 func (e *Executor) Run(feed *Feed) *ExecResult {
 	e.reader.reset(feed)
 	e.loop = checkers.NewLoopChecker(e.opts.LoopThreshold)
-	e.pendLoop = nil
-	e.runBase = e.m.Steps
+	e.runBase = e.m.Steps.Load()
 	e.curNew = 0
 	e.curSeen = make(map[uint32]bool)
 	e.intrUsed = 0
@@ -258,7 +258,7 @@ func (e *Executor) Run(feed *Feed) *ExecResult {
 
 	res.NewBlocks = e.curNew
 	res.Blocks = len(e.curSeen)
-	res.Steps = e.m.Steps - e.runBase
+	res.Steps = e.m.Steps.Load() - e.runBase
 	res.ConsumedData, res.ConsumedForks, res.ConsumedIRQ = e.reader.consumed()
 	return res
 }
@@ -418,9 +418,10 @@ func (e *Executor) runEntryStatus(s *vm.State, name string, pc uint32, args []*e
 		}
 		e.maybeInject(s)
 		next, err := e.m.Step(s)
-		if e.pendLoop != nil {
-			err = e.pendLoop
-			e.pendLoop = nil
+		// A loop fault raised by OnBlock travels on the state itself.
+		if err == nil && s.PendFault != nil {
+			err = s.PendFault
+			s.PendFault = nil
 			s.Status = vm.StatusBug
 		}
 		if err != nil {

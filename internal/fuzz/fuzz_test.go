@@ -136,6 +136,74 @@ func TestCorpusChooseWeighted(t *testing.T) {
 	}
 }
 
+// TestCorpusEnergySchedule: an entry with RECENT coverage gain must draw
+// exponentially more mutation energy than an equal-gain entry buried under
+// later admissions, and the boost must respect the cap.
+func TestCorpusEnergySchedule(t *testing.T) {
+	c := NewCorpus(64)
+	c.Add(&Feed{Data: []byte{0}}, 4) // index 0: will go stale
+	// Bury entry 0 beyond the energy window.
+	for i := 1; i <= energyWindow; i++ {
+		c.Add(&Feed{Data: []byte{byte(i)}}, 4)
+	}
+	fresh := c.Len() - 1 // the newest admission, same gain as entry 0
+
+	stale, hot := c.Energy(0), c.Energy(fresh)
+	if stale != 4 {
+		t.Fatalf("stale energy = %v, want plain gain 4", stale)
+	}
+	want := float64(4 * (1 << energyWindow))
+	if want > EnergyCap {
+		want = EnergyCap
+	}
+	if hot != want {
+		t.Fatalf("fresh energy = %v, want %v (gain<<window)", hot, want)
+	}
+
+	// Selection must follow the schedule: the fresh entry wins far more
+	// often than the equally-gained stale one.
+	rng := NewMutator(7).rng
+	freshFeed := byte(energyWindow)
+	var freshN, staleN int
+	for i := 0; i < 2000; i++ {
+		switch c.Choose(rng).Data[0] {
+		case freshFeed:
+			freshN++
+		case 0:
+			staleN++
+		}
+	}
+	// The preference erodes as the fresh entry's Chosen count damps its
+	// energy (by design), so assert a strong but not initial-ratio margin.
+	if freshN < 4*staleN {
+		t.Fatalf("fresh chosen %d vs stale %d; want exponential preference", freshN, staleN)
+	}
+}
+
+// TestCorpusEnergyCap: a huge admission gain must clamp to EnergyCap.
+func TestCorpusEnergyCap(t *testing.T) {
+	c := NewCorpus(8)
+	c.Add(&Feed{Data: []byte{1}}, 1_000_000)
+	if got := c.Energy(0); got != EnergyCap {
+		t.Fatalf("energy = %v, want cap %v", got, float64(EnergyCap))
+	}
+}
+
+// TestCorpusEnergyDecay: repeatedly choosing an entry damps its energy.
+func TestCorpusEnergyDecay(t *testing.T) {
+	c := NewCorpus(8)
+	c.Add(&Feed{Data: []byte{1}}, 8)
+	before := c.Energy(0)
+	rng := NewMutator(1).rng
+	for i := 0; i < 64; i++ {
+		c.Choose(rng)
+	}
+	after := c.Energy(0)
+	if after >= before {
+		t.Fatalf("energy did not decay with use: %v -> %v", before, after)
+	}
+}
+
 func TestCrashDedup(t *testing.T) {
 	cs := newCrashStore()
 	a := &Crash{Class: "segmentation fault", Site: 0x100100, PC: 0x0}

@@ -1,82 +1,32 @@
 package fuzz
 
-import "sync"
+import "repro/internal/workq"
 
-// Queue is the sharded work-stealing triage queue (after syzkaller's
-// courier queues): freshly admitted corpus entries are pushed to a worker's
-// shard for focused follow-up mutation; a worker whose shard runs dry
-// steals from its peers before falling back to corpus-weighted selection.
+// Queue is the sharded work-stealing triage queue: freshly admitted corpus
+// entries are pushed to a worker's shard for focused follow-up mutation; a
+// worker whose shard runs dry steals from its peers before falling back to
+// corpus-weighted selection. The implementation lives in internal/workq
+// (the symbolic frontier keeps its own heuristic scheduler; see the workq
+// package doc).
 type Queue struct {
-	shards []queueShard
-}
-
-type queueShard struct {
-	mu    sync.Mutex
-	items []*Feed
+	q *workq.Queue[*Feed]
 }
 
 // NewQueue returns a queue with one shard per worker.
 func NewQueue(workers int) *Queue {
-	if workers < 1 {
-		workers = 1
-	}
-	return &Queue{shards: make([]queueShard, workers)}
+	return &Queue{q: workq.New[*Feed](workers)}
 }
 
 // Push enqueues a feed on the given worker's shard.
-func (q *Queue) Push(worker int, f *Feed) {
-	sh := &q.shards[worker%len(q.shards)]
-	sh.mu.Lock()
-	sh.items = append(sh.items, f)
-	sh.mu.Unlock()
-}
+func (q *Queue) Push(worker int, f *Feed) { q.q.Push(worker, f) }
 
 // Pop takes from the worker's own shard first (LIFO: freshest coverage
 // first), then steals the oldest item from the other shards (FIFO keeps
 // stolen work fair). Returns nil when every shard is empty.
 func (q *Queue) Pop(worker int) *Feed {
-	n := len(q.shards)
-	own := worker % n
-	if f := q.shards[own].popTail(); f != nil {
-		return f
-	}
-	for i := 1; i < n; i++ {
-		if f := q.shards[(own+i)%n].popHead(); f != nil {
-			return f
-		}
-	}
-	return nil
+	f, _ := q.q.Pop(worker)
+	return f
 }
 
 // Len returns the total queued items across shards.
-func (q *Queue) Len() int {
-	total := 0
-	for i := range q.shards {
-		q.shards[i].mu.Lock()
-		total += len(q.shards[i].items)
-		q.shards[i].mu.Unlock()
-	}
-	return total
-}
-
-func (sh *queueShard) popTail() *Feed {
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if len(sh.items) == 0 {
-		return nil
-	}
-	f := sh.items[len(sh.items)-1]
-	sh.items = sh.items[:len(sh.items)-1]
-	return f
-}
-
-func (sh *queueShard) popHead() *Feed {
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if len(sh.items) == 0 {
-		return nil
-	}
-	f := sh.items[0]
-	sh.items = sh.items[1:]
-	return f
-}
+func (q *Queue) Len() int { return q.q.Len() }

@@ -14,6 +14,8 @@ package kernel
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/expr"
 	"repro/internal/isa"
@@ -133,8 +135,10 @@ type Kernel struct {
 	// slotNames caches import-slot -> API name for the loaded image.
 	slotNames []string
 
-	// Symbol sequence counter for naming.
-	symSeq int
+	// Symbol sequence counter for naming. Atomic: parallel workers mint
+	// symbols concurrently (a single-worker run sees the exact sequential
+	// numbering).
+	symSeq atomic.Uint64
 
 	// VerifierChecks enables the in-guest Driver Verifier-style checks
 	// (IRQL rules, spinlock ownership, pool sanity). This is the knob the
@@ -165,8 +169,10 @@ type Kernel struct {
 	// into a symbolic boot state without losing soundness.
 	SymbolSeed func(idx uint64, name string, origin expr.Origin) (uint32, bool)
 
-	// Stats
+	// Stats. APICallCount is guarded by statsMu during execution; read it
+	// only after the run completes (or via CallCount).
 	APICallCount map[string]uint64
+	statsMu      sync.Mutex
 }
 
 // New attaches a kernel to a machine.
@@ -209,8 +215,8 @@ func (k *Kernel) FreshSymbol(s *vm.State, name string, origin expr.Origin) *expr
 	if k.SymbolPolicy != nil {
 		return k.SymbolPolicy(s, name, origin)
 	}
-	k.symSeq++
-	e := k.M.Syms.Fresh(fmt.Sprintf("%s#%d", name, k.symSeq), origin, s.PC, s.ICount)
+	seq := k.symSeq.Add(1)
+	e := k.M.Syms.Fresh(fmt.Sprintf("%s#%d", name, seq), origin, s.PC, s.ICount)
 	s.Trace.Append(vm.Event{Kind: vm.EvNewSym, Seq: s.ICount, PC: s.PC, Sym: e.Sym, Name: name})
 	if k.SymbolSeed != nil {
 		if s.Meta == nil {
@@ -257,7 +263,9 @@ func (k *Kernel) dispatch(s *vm.State, slot int) ([]*vm.State, error) {
 		return nil, vm.Faultf("api", s.PC, "call to unknown import slot %d", slot)
 	}
 	name := k.slotNames[slot]
+	k.statsMu.Lock()
 	k.APICallCount[name]++
+	k.statsMu.Unlock()
 	h, ok := k.api[name]
 	if !ok {
 		return nil, vm.Faultf("api", s.PC, "driver imports unimplemented kernel API %q", name)
@@ -323,6 +331,14 @@ func (k *Kernel) dispatch(s *vm.State, slot int) ([]*vm.State, error) {
 		extra = append(extra, k.OnBoundary(s, name, "return")...)
 	}
 	return extra, nil
+}
+
+// CallCount returns how often the named API was dispatched (safe during a
+// parallel run, unlike reading APICallCount directly).
+func (k *Kernel) CallCount(name string) uint64 {
+	k.statsMu.Lock()
+	defer k.statsMu.Unlock()
+	return k.APICallCount[name]
 }
 
 // BugCheck crashes the guest: the path terminates with a crash fault. This

@@ -51,9 +51,13 @@ type Stats struct {
 
 // Solver answers satisfiability queries over sets of constraints. Each
 // constraint is an expression required to evaluate to a non-zero value.
-// A Solver caches query results and is not safe for concurrent use.
+//
+// A Solver itself is single-goroutine scratch (its probe RNG and Stats are
+// unsynchronized); parallel exploration gives each worker its own Solver.
+// The query cache behind it IS thread-safe and can be shared across workers
+// with NewWithCache, so one worker's Sat/Unsat answers are hits for all.
 type Solver struct {
-	cache map[uint64]cacheEntry
+	cache *Cache
 	rng   uint64
 	// MaxProbes bounds randomized probing per query.
 	MaxProbes int
@@ -62,20 +66,27 @@ type Solver struct {
 	Stats      Stats
 }
 
-type cacheEntry struct {
-	res   Result
-	model expr.Assignment
+// New returns a Solver with default limits and a private query cache.
+func New() *Solver {
+	return NewWithCache(NewCache(0))
 }
 
-// New returns a Solver with default limits.
-func New() *Solver {
+// NewWithCache returns a Solver backed by the given (possibly shared)
+// query cache.
+func NewWithCache(c *Cache) *Solver {
+	if c == nil {
+		c = NewCache(0)
+	}
 	return &Solver{
-		cache:      make(map[uint64]cacheEntry),
+		cache:      c,
 		rng:        0x9E3779B97F4A7C15,
 		MaxProbes:  4096,
 		MaxProduct: 8192,
 	}
 }
+
+// Cache returns the query cache backing this solver.
+func (s *Solver) Cache() *Cache { return s.cache }
 
 func (s *Solver) rand() uint64 {
 	x := s.rng
@@ -110,13 +121,13 @@ func (s *Solver) Check(cs []*expr.Expr) (Result, expr.Assignment) {
 	}
 
 	key := hashConstraints(live)
-	if e, ok := s.cache[key]; ok {
+	if e, ok := s.cache.get(key); ok {
 		s.Stats.CacheHits++
 		return e.res, cloneAssignment(e.model)
 	}
 
 	res, model := s.solve(live)
-	s.cache[key] = cacheEntry{res, cloneAssignment(model)}
+	s.cache.put(key, cacheEntry{res, cloneAssignment(model)})
 	switch res {
 	case Sat:
 		s.Stats.SatAnswers++

@@ -99,7 +99,7 @@ func Replay(f *File, img *binimg.Image) (*Result, error) {
 	if err := r.run(s); err != nil {
 		return nil, err
 	}
-	r.res.Steps = r.m.Steps
+	r.res.Steps = r.m.Steps.Load()
 	return r.res, nil
 }
 
@@ -320,7 +320,7 @@ func (r *replayer) run(s *vm.State) error {
 				r.diverge("replay forked at pc %#x (inputs underdetermine the path)", s.PC)
 				s = next[0]
 			}
-			if r.m.Steps > 5_000_000 {
+			if r.m.Steps.Load() > 5_000_000 {
 				r.diverge("replay exceeded instruction budget")
 				return nil
 			}

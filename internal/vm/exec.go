@@ -7,7 +7,7 @@ import (
 
 // exec executes the decoded instruction in on s. The PC still points at in;
 // exec advances it.
-func (m *Machine) exec(s *State, in isa.Instr) ([]*State, error) {
+func (c *ExecContext) exec(s *State, in isa.Instr) ([]*State, error) {
 	next := s.PC + isa.InstrSize
 
 	switch in.Op {
@@ -82,7 +82,7 @@ func (m *Machine) exec(s *State, in isa.Instr) ([]*State, error) {
 
 	case isa.LDW, isa.LDH, isa.LDB:
 		size := loadStoreSize(in.Op)
-		val, err := m.load(s, in.Rs1, in.Imm, size)
+		val, err := c.load(s, in.Rs1, in.Imm, size)
 		if err != nil {
 			s.Status = StatusBug
 			return nil, err
@@ -92,7 +92,7 @@ func (m *Machine) exec(s *State, in isa.Instr) ([]*State, error) {
 
 	case isa.STW, isa.STH, isa.STB:
 		size := loadStoreSize(in.Op)
-		if err := m.store(s, in.Rs1, in.Imm, size, s.Reg(in.Rd)); err != nil {
+		if err := c.store(s, in.Rs1, in.Imm, size, s.Reg(in.Rd)); err != nil {
 			s.Status = StatusBug
 			return nil, err
 		}
@@ -101,13 +101,13 @@ func (m *Machine) exec(s *State, in isa.Instr) ([]*State, error) {
 	case isa.PUSH:
 		sp := expr.Sub(s.Reg(isa.SP), expr.Const(4))
 		s.SetReg(isa.SP, sp)
-		if err := m.store(s, isa.SP, 0, 4, s.Reg(in.Rd)); err != nil {
+		if err := c.store(s, isa.SP, 0, 4, s.Reg(in.Rd)); err != nil {
 			s.Status = StatusBug
 			return nil, err
 		}
 		s.PC = next
 	case isa.POP:
-		val, err := m.load(s, isa.SP, 0, 4)
+		val, err := c.load(s, isa.SP, 0, 4)
 		if err != nil {
 			s.Status = StatusBug
 			return nil, err
@@ -117,50 +117,50 @@ func (m *Machine) exec(s *State, in isa.Instr) ([]*State, error) {
 		s.PC = next
 
 	case isa.BEQ, isa.BNE, isa.BLTU, isa.BGEU, isa.BLT, isa.BGE:
-		return m.branch(s, in)
+		return c.branch(s, in)
 
 	case isa.JMP:
 		s.PC = in.Imm
-		m.MarkBlockStart(s)
+		c.M.MarkBlockStart(s)
 	case isa.JR:
-		return m.jumpIndirect(s, s.Reg(in.Rs1), false)
+		return c.jumpIndirect(s, s.Reg(in.Rs1), false)
 
 	case isa.CALL:
 		s.SetReg(isa.LR, expr.Const(next))
 		if slot, ok := isa.InTrapWindow(in.Imm); ok {
-			return m.apiCall(s, slot)
+			return c.apiCall(s, slot)
 		}
 		s.PC = in.Imm
-		m.MarkBlockStart(s)
+		c.M.MarkBlockStart(s)
 	case isa.CALLR:
 		s.SetReg(isa.LR, expr.Const(next))
-		return m.jumpIndirect(s, s.Reg(in.Rs1), true)
+		return c.jumpIndirect(s, s.Reg(in.Rs1), true)
 	case isa.RET:
-		return m.jumpIndirect(s, s.Reg(isa.LR), false)
+		return c.jumpIndirect(s, s.Reg(isa.LR), false)
 
 	case isa.IN:
-		port, err := m.Concretize(s, s.Reg(in.Rs1), "port")
+		port, err := c.Concretize(s, s.Reg(in.Rs1), "port")
 		if err != nil {
 			s.Status = StatusBug
 			return nil, err
 		}
 		var v *expr.Expr
-		if m.ReadPort != nil {
-			v = m.ReadPort(s, port)
-			m.SymReads++
+		if c.M.ReadPort != nil {
+			v = c.M.ReadPort(s, port)
+			c.M.SymReads.Add(1)
 		} else {
 			v = expr.Const(0)
 		}
 		s.SetReg(in.Rd, v)
 		s.PC = next
 	case isa.OUT:
-		port, err := m.Concretize(s, s.Reg(in.Rs1), "port")
+		port, err := c.Concretize(s, s.Reg(in.Rs1), "port")
 		if err != nil {
 			s.Status = StatusBug
 			return nil, err
 		}
-		if m.WritePort != nil {
-			m.WritePort(s, port, s.Reg(in.Rd))
+		if c.M.WritePort != nil {
+			c.M.WritePort(s, port, s.Reg(in.Rd))
 		}
 		s.PC = next
 
@@ -186,13 +186,13 @@ func loadStoreSize(op isa.Opcode) uint32 {
 	}
 }
 
-func (m *Machine) effectiveAddr(s *State, base uint8, imm uint32, size uint32, write bool) (uint32, error) {
+func (c *ExecContext) effectiveAddr(s *State, base uint8, imm uint32, size uint32, write bool) (uint32, error) {
 	addr := expr.Add(s.Reg(base), expr.Const(imm))
 	if addr.IsConst() {
 		return addr.ConstVal(), nil
 	}
-	if m.PinAddress != nil {
-		if val, ok := m.PinAddress(s, addr, size, write); ok {
+	if c.M.PinAddress != nil {
+		if val, ok := c.M.PinAddress(s, addr, size, write); ok {
 			s.AddConstraint(expr.Eq(addr, expr.Const(val)))
 			s.Trace.Append(Event{
 				Kind: EvConcretize, Seq: s.ICount, PC: s.PC,
@@ -201,23 +201,23 @@ func (m *Machine) effectiveAddr(s *State, base uint8, imm uint32, size uint32, w
 			return val, nil
 		}
 	}
-	return m.Concretize(s, addr, "address")
+	return c.Concretize(s, addr, "address")
 }
 
-func (m *Machine) load(s *State, base uint8, imm, size uint32) (*expr.Expr, error) {
-	addr, err := m.effectiveAddr(s, base, imm, size, false)
+func (c *ExecContext) load(s *State, base uint8, imm, size uint32) (*expr.Expr, error) {
+	addr, err := c.effectiveAddr(s, base, imm, size, false)
 	if err != nil {
 		return nil, err
 	}
 	if addr >= isa.MMIOBase && addr < isa.MMIOLimit {
-		m.SymReads++
-		if m.ReadDevice != nil {
-			return m.ReadDevice(s, addr, size), nil
+		c.M.SymReads.Add(1)
+		if c.M.ReadDevice != nil {
+			return c.M.ReadDevice(s, addr, size), nil
 		}
 		return expr.Const(0), nil
 	}
-	if m.OnMemAccess != nil {
-		if err := m.OnMemAccess(s, s.PC, addr, size, false, nil); err != nil {
+	if c.M.OnMemAccess != nil {
+		if err := c.M.OnMemAccess(s, s.PC, addr, size, false, nil); err != nil {
 			return nil, err
 		}
 	}
@@ -226,19 +226,19 @@ func (m *Machine) load(s *State, base uint8, imm, size uint32) (*expr.Expr, erro
 	return v, nil
 }
 
-func (m *Machine) store(s *State, base uint8, imm, size uint32, v *expr.Expr) error {
-	addr, err := m.effectiveAddr(s, base, imm, size, true)
+func (c *ExecContext) store(s *State, base uint8, imm, size uint32, v *expr.Expr) error {
+	addr, err := c.effectiveAddr(s, base, imm, size, true)
 	if err != nil {
 		return err
 	}
 	if addr >= isa.MMIOBase && addr < isa.MMIOLimit {
-		if m.WriteDevice != nil {
-			m.WriteDevice(s, addr, size, v)
+		if c.M.WriteDevice != nil {
+			c.M.WriteDevice(s, addr, size, v)
 		}
 		return nil
 	}
-	if m.OnMemAccess != nil {
-		if err := m.OnMemAccess(s, s.PC, addr, size, true, v); err != nil {
+	if c.M.OnMemAccess != nil {
+		if err := c.M.OnMemAccess(s, s.PC, addr, size, true, v); err != nil {
 			return err
 		}
 	}
@@ -266,7 +266,7 @@ func branchCond(s *State, in isa.Instr) *expr.Expr {
 	}
 }
 
-func (m *Machine) branch(s *State, in isa.Instr) ([]*State, error) {
+func (c *ExecContext) branch(s *State, in isa.Instr) ([]*State, error) {
 	cond := branchCond(s, in)
 	next := s.PC + isa.InstrSize
 	target := in.Imm
@@ -279,7 +279,7 @@ func (m *Machine) branch(s *State, in isa.Instr) ([]*State, error) {
 		} else {
 			s.PC = next
 		}
-		m.MarkBlockStart(s)
+		c.M.MarkBlockStart(s)
 		return []*State{s}, nil
 	}
 
@@ -287,36 +287,36 @@ func (m *Machine) branch(s *State, in isa.Instr) ([]*State, error) {
 	notCond := expr.LogicalNot(cond)
 	csTaken := append(s.Constraints[:len(s.Constraints):len(s.Constraints)], cond)
 	csNot := append(s.Constraints[:len(s.Constraints):len(s.Constraints)], notCond)
-	okTaken := m.Solver.Feasible(csTaken)
-	okNot := m.Solver.Feasible(csNot)
+	okTaken := c.Solver.Feasible(csTaken)
+	okNot := c.Solver.Feasible(csNot)
 
 	switch {
 	case okTaken && okNot:
-		m.Forks++
-		tk := s.Fork(m.newID())
-		nt := s.Fork(m.newID())
+		c.M.Forks.Add(1)
+		tk := s.Fork(c.M.newID())
+		nt := s.Fork(c.M.newID())
 		tk.AddConstraint(cond)
 		tk.PC = target
 		tk.Trace.Append(Event{Kind: EvBranch, Seq: tk.ICount, PC: s.PC, Cond: cond, Taken: true, Forked: true})
-		m.MarkBlockStart(tk)
+		c.M.MarkBlockStart(tk)
 		nt.AddConstraint(notCond)
 		nt.PC = next
 		nt.Trace.Append(Event{Kind: EvBranch, Seq: nt.ICount, PC: s.PC, Cond: cond, Taken: false, Forked: true})
-		m.MarkBlockStart(nt)
+		c.M.MarkBlockStart(nt)
 		s.Status = StatusKilled // retired; children carry on
-		if m.OnFork != nil {
-			m.OnFork(s, []*State{tk, nt}, cond)
+		if c.M.OnFork != nil {
+			c.M.OnFork(s, []*State{tk, nt}, cond)
 		}
 		return []*State{tk, nt}, nil
 	case okTaken:
 		s.Trace.Append(Event{Kind: EvBranch, Seq: s.ICount, PC: s.PC, Cond: cond, Taken: true})
 		s.PC = target
-		m.MarkBlockStart(s)
+		c.M.MarkBlockStart(s)
 		return []*State{s}, nil
 	case okNot:
 		s.Trace.Append(Event{Kind: EvBranch, Seq: s.ICount, PC: s.PC, Cond: cond, Taken: false})
 		s.PC = next
-		m.MarkBlockStart(s)
+		c.M.MarkBlockStart(s)
 		return []*State{s}, nil
 	default:
 		// Both sides unsolvable: the path constraints are themselves
@@ -326,33 +326,33 @@ func (m *Machine) branch(s *State, in isa.Instr) ([]*State, error) {
 	}
 }
 
-func (m *Machine) jumpIndirect(s *State, target *expr.Expr, isCall bool) ([]*State, error) {
-	pc, err := m.Concretize(s, target, "jump target")
+func (c *ExecContext) jumpIndirect(s *State, target *expr.Expr, isCall bool) ([]*State, error) {
+	pc, err := c.Concretize(s, target, "jump target")
 	if err != nil {
 		s.Status = StatusBug
 		return nil, err
 	}
 	if slot, ok := isa.InTrapWindow(pc); ok && isCall {
-		return m.apiCall(s, slot)
+		return c.apiCall(s, slot)
 	}
 	s.PC = pc
-	m.MarkBlockStart(s)
+	c.M.MarkBlockStart(s)
 	return []*State{s}, nil
 }
 
-func (m *Machine) apiCall(s *State, slot int) ([]*State, error) {
-	m.APICalls++
-	if slot >= len(m.Img.Imports) {
+func (c *ExecContext) apiCall(s *State, slot int) ([]*State, error) {
+	c.M.APICalls.Add(1)
+	if slot >= len(c.M.Img.Imports) {
 		s.Status = StatusBug
 		return nil, Faultf("memory", s.PC, "call to unresolved import slot %d", slot)
 	}
-	name := m.Img.Imports[slot]
+	name := c.M.Img.Imports[slot]
 	s.Trace.Append(Event{Kind: EvAPICall, Seq: s.ICount, PC: s.PC, Name: name})
-	if m.APICall == nil {
+	if c.M.APICall == nil {
 		s.Status = StatusBug
 		return nil, Faultf("engine", s.PC, "no kernel attached for %s", name)
 	}
-	extra, err := m.APICall(s, slot)
+	extra, err := c.M.APICall(s, slot)
 	if err != nil {
 		s.Status = StatusBug
 		return nil, err
@@ -364,7 +364,7 @@ func (m *Machine) apiCall(s *State, slot int) ([]*State, error) {
 		}
 		st.PC = lr
 		st.Trace.Append(Event{Kind: EvAPIReturn, Seq: st.ICount, PC: lr, Name: name})
-		m.MarkBlockStart(st)
+		c.M.MarkBlockStart(st)
 		return nil
 	}
 	out := make([]*State, 0, 1+len(extra))

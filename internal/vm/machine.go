@@ -2,6 +2,7 @@ package vm
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/binimg"
 	"repro/internal/expr"
@@ -33,12 +34,22 @@ func Faultf(class string, pc uint32, format string, args ...any) *Fault {
 // concrete domain (the simulated kernel) via the APICall hook — the
 // selective-symbolic-execution boundary.
 //
+// A Machine is the *shared* half of the interpreter: the decoded image, the
+// symbol table, and the hook wiring, all of which are immutable once
+// execution starts, plus fleet-wide statistics kept as atomics. The mutable
+// per-worker half is ExecContext: parallel exploration runs one ExecContext
+// (with its own Solver) per worker against a single Machine. The Machine's
+// own Step/Run/Concretize methods delegate to a default root context, so
+// single-threaded users never see the split.
+//
 // All hooks are optional except APICall (required once the driver calls an
-// import).
+// import). Hooks must be wired before execution begins; during a parallel
+// run they are invoked concurrently from every worker, so any state they
+// touch beyond the *State they are handed must be thread-safe.
 type Machine struct {
 	Img    *binimg.Image
 	Syms   *expr.SymbolTable
-	Solver *solver.Solver
+	Solver *solver.Solver // the root context's solver
 
 	// APICall dispatches an import-table call. It may modify s, fork it
 	// (returning extra runnable states), or raise a Fault.
@@ -73,13 +84,30 @@ type Machine struct {
 
 	instrs    []isa.Instr
 	decodeErr []error
-	nextID    uint64
+	nextID    atomic.Uint64
 
-	// Stats
-	Steps    uint64
-	Forks    uint64
-	SymReads uint64
-	APICalls uint64
+	// Stats, shared across every ExecContext of this machine.
+	Steps    atomic.Uint64
+	Forks    atomic.Uint64
+	SymReads atomic.Uint64
+	APICalls atomic.Uint64
+
+	root *ExecContext
+}
+
+// ExecContext is one worker's execution context: the step loop plus the
+// worker-private solver. Contexts of the same Machine share the image,
+// hooks, symbol table, and statistics; they do NOT share solver scratch
+// (probe RNG, per-solver stats), so each worker decides branch feasibility
+// and concretizations independently — typically against one shared
+// thread-safe query cache (solver.NewWithCache).
+//
+// A context may only step one state at a time; a state is bound to the
+// context stepping it so hooks and kernel code reached from inside the step
+// (which only see the *State) can route solver work to the right worker.
+type ExecContext struct {
+	M      *Machine
+	Solver *solver.Solver
 }
 
 // NewMachine decodes the image and prepares an interpreter.
@@ -91,12 +119,38 @@ func NewMachine(img *binimg.Image, syms *expr.SymbolTable, sol *solver.Solver) *
 		Solver:    sol,
 		instrs:    make([]isa.Instr, n),
 		decodeErr: make([]error, n),
-		nextID:    1,
 	}
 	for i := 0; i < n; i++ {
 		m.instrs[i], m.decodeErr[i] = isa.Decode(img.Text[i*isa.InstrSize:])
 	}
+	m.root = &ExecContext{M: m, Solver: sol}
 	return m
+}
+
+// NewContext returns a fresh per-worker execution context. A nil solver
+// shares the machine's root solver (only valid for sequential use).
+func (m *Machine) NewContext(sol *solver.Solver) *ExecContext {
+	if sol == nil {
+		sol = m.Solver
+	}
+	return &ExecContext{M: m, Solver: sol}
+}
+
+// ctxOf returns the context a state is currently bound to, defaulting to
+// the machine's root context. Kernel and checker code that only holds the
+// Machine routes through this, so per-worker solvers are honoured even for
+// calls made from inside hooks.
+func (m *Machine) ctxOf(s *State) *ExecContext {
+	if s != nil && s.ctx != nil {
+		return s.ctx
+	}
+	return m.root
+}
+
+// SolverFor returns the solver responsible for s: the solver of the worker
+// context currently executing it, or the machine's root solver.
+func (m *Machine) SolverFor(s *State) *solver.Solver {
+	return m.ctxOf(s).Solver
 }
 
 // NewRootState allocates the initial state with the image loaded.
@@ -109,15 +163,13 @@ func (m *Machine) NewRootState() *State {
 }
 
 func (m *Machine) newID() uint64 {
-	id := m.nextID
-	m.nextID++
-	return id
+	return m.nextID.Add(1)
 }
 
 // ForkState clones s with a fresh ID (used by kernel annotations that fork
-// over alternative API results).
+// over alternative API results). Safe to call from any worker.
 func (m *Machine) ForkState(s *State) *State {
-	m.Forks++
+	m.Forks.Add(1)
 	return s.Fork(m.newID())
 }
 
@@ -128,14 +180,20 @@ func (m *Machine) inText(pc uint32) bool {
 }
 
 // Concretize pins a symbolic expression to a concrete value consistent with
+// the path constraints, routing solver work to the context bound to s.
+func (m *Machine) Concretize(s *State, e *expr.Expr, what string) (uint32, error) {
+	return m.ctxOf(s).Concretize(s, e, what)
+}
+
+// Concretize pins a symbolic expression to a concrete value consistent with
 // the path constraints, records the concretization (so traces can explain
 // it and replays reproduce it), and adds the equality constraint. This is
 // the paper's on-demand concretization at the symbolic/concrete boundary.
-func (m *Machine) Concretize(s *State, e *expr.Expr, what string) (uint32, error) {
+func (c *ExecContext) Concretize(s *State, e *expr.Expr, what string) (uint32, error) {
 	if e.IsConst() {
 		return e.ConstVal(), nil
 	}
-	model := m.Solver.Model(s.Constraints)
+	model := c.Solver.Model(s.Constraints)
 	if model == nil && len(s.Constraints) > 0 {
 		return 0, Faultf("engine", s.PC, "cannot concretize %s: path constraints unsolvable", what)
 	}
@@ -170,15 +228,34 @@ func (m *Machine) enterBlock(s *State) {
 	}
 }
 
+// Step executes one instruction of s under the machine's root context (or
+// the context s is already bound to). Parallel workers call
+// ExecContext.Step directly instead.
+func (m *Machine) Step(s *State) ([]*State, error) {
+	return m.ctxOf(s).Step(s)
+}
+
 // Step executes one instruction of s and returns the runnable successor
 // states. Usually that is s itself; a symbolic branch returns two forked
 // children (s is retired); termination returns none, with s.Status and, for
 // bugs, the returned Fault explaining why.
-func (m *Machine) Step(s *State) ([]*State, error) {
+//
+// A fault left pending on the state by a hook (State.PendFault, e.g. the
+// loop checker firing from OnBlock) is surfaced before anything else runs,
+// so the fault stays attributed to the exact state that raised it however
+// the scheduler interleaves paths.
+func (c *ExecContext) Step(s *State) ([]*State, error) {
 	if s.Status != StatusRunning {
 		return nil, nil
 	}
-	m.Steps++
+	s.ctx = c
+	if f := s.PendFault; f != nil {
+		s.PendFault = nil
+		s.Status = StatusBug
+		return nil, f
+	}
+	m := c.M
+	m.Steps.Add(1)
 
 	// Magic return addresses.
 	switch s.PC {
@@ -215,7 +292,13 @@ func (m *Machine) Step(s *State) ([]*State, error) {
 
 	in := m.instrs[idx]
 	s.ICount++
-	return m.exec(s, in)
+	return c.exec(s, in)
+}
+
+// Run steps s until the path stops or maxSteps instructions execute, under
+// the machine's root context.
+func (m *Machine) Run(s *State, maxSteps uint64) (final *State, forked []*State, fault error) {
+	return m.ctxOf(s).Run(s, maxSteps)
 }
 
 // Run steps s until the path stops or maxSteps instructions execute,
@@ -223,7 +306,7 @@ func (m *Machine) Step(s *State) ([]*State, error) {
 // path ended on (which may differ from s after forks), the sibling states
 // produced by forks (for a scheduler to explore), and the Fault if the path
 // ended in a bug.
-func (m *Machine) Run(s *State, maxSteps uint64) (final *State, forked []*State, fault error) {
+func (c *ExecContext) Run(s *State, maxSteps uint64) (final *State, forked []*State, fault error) {
 	start := s.ICount
 	cur := s
 	for cur.Status == StatusRunning {
@@ -231,7 +314,7 @@ func (m *Machine) Run(s *State, maxSteps uint64) (final *State, forked []*State,
 			cur.Status = StatusKilled
 			return cur, forked, nil
 		}
-		next, err := m.Step(cur)
+		next, err := c.Step(cur)
 		if err != nil {
 			return cur, forked, err
 		}

@@ -104,6 +104,26 @@ type State struct {
 
 	// Meta carries engine-specific scratch (e.g. scheduling priority).
 	Meta map[string]uint64
+
+	// LoopCounts is the per-path block-visit accounting behind the
+	// infinite-loop heuristic. It lives on the state (not in the checker)
+	// so paths can be stepped by any worker without shared bookkeeping.
+	// Forks deliberately do NOT inherit it: loop detection is per
+	// contiguous path segment, and resetting at a fork only delays
+	// detection.
+	LoopCounts map[uint32]uint64
+
+	// PendFault is a fault raised asynchronously for this state by a hook
+	// (e.g. the loop checker firing from OnBlock mid-step). The step loop
+	// surfaces it on the state's next step, so the fault travels with the
+	// state and is never attributed to a different path, however the
+	// scheduler interleaves forks. Children inherit a pending fault: the
+	// whole subtree shares the condition that raised it.
+	PendFault *Fault
+
+	// ctx is the execution context currently stepping this state, so
+	// hook code holding only the state can reach the worker's solver.
+	ctx *ExecContext
 }
 
 // NewState returns a root state with zeroed registers and empty memory.
@@ -138,6 +158,8 @@ func (s *State) Fork(id uint64) *State {
 		InInterrupt: s.InInterrupt,
 		EntryName:   s.EntryName,
 		Trace:       &TraceNode{parent: frozenTrace},
+		PendFault:   s.PendFault,
+		ctx:         s.ctx,
 	}
 	if s.Kernel != nil {
 		c.Kernel = s.Kernel.Fork()

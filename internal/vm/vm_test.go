@@ -259,8 +259,8 @@ b:
 	if exits != 2 {
 		t.Errorf("exit states = %d, want 2 (second branch must not fork)", exits)
 	}
-	if m.Forks != 1 {
-		t.Errorf("forks = %d, want 1", m.Forks)
+	if m.Forks.Load() != 1 {
+		t.Errorf("forks = %d, want 1", m.Forks.Load())
 	}
 }
 
@@ -687,5 +687,99 @@ func TestDisassembleListing(t *testing.T) {
 	dis := binimg.Disassemble(img)
 	if !strings.Contains(dis, "movi r0, 0x1") || !strings.Contains(dis, "ret") {
 		t.Errorf("disassembly:\n%s", dis)
+	}
+}
+
+// TestExecContextsStepIndependently: two contexts of one machine, each
+// with a private solver, run separate states concurrently; shared stats
+// aggregate across both (run under -race to validate the shared half).
+func TestExecContextsStepIndependently(t *testing.T) {
+	m, s := newTestMachine(t, `
+.entry e
+.text
+e:
+    movi r1, 5
+    movi r2, 0
+loop:
+    addi r0, r0, 3
+    addi r1, r1, -1
+    bne  r1, r2, loop
+    ret
+`)
+	s2 := m.NewRootState()
+	s2.PC = m.Img.Entry
+	s2.SetReg(isa.LR, expr.Const(ExitAddr))
+	m.MarkBlockStart(s2)
+
+	done := make(chan *State, 2)
+	for _, st := range []*State{s, s2} {
+		go func(st *State) {
+			ctx := m.NewContext(solver.New())
+			final, _, err := ctx.Run(st, 100000)
+			if err != nil {
+				t.Errorf("ctx run: %v", err)
+			}
+			done <- final
+		}(st)
+	}
+	for i := 0; i < 2; i++ {
+		final := <-done
+		if final.Status != StatusExited {
+			t.Errorf("status = %v", final.Status)
+		}
+		if v, ok := final.RegConcrete(isa.R0); !ok || v != 15 {
+			t.Errorf("r0 = %v, want 15", final.Reg(isa.R0))
+		}
+	}
+	if m.Steps.Load() == 0 {
+		t.Error("shared step counter not aggregated")
+	}
+}
+
+// TestPendFaultTravelsWithState: a fault left pending on a state by a hook
+// is raised on that state's next step — and on a forked child, it travels
+// with the child instead of leaking to an unrelated state.
+func TestPendFaultTravelsWithState(t *testing.T) {
+	m, s := newTestMachine(t, `
+.entry e
+.text
+e:
+    movi r0, 1
+    movi r0, 2
+    ret
+`)
+	s.PendFault = Faultf("loop", s.PC, "planted")
+	next, err := m.Step(s)
+	if err == nil || next != nil {
+		t.Fatalf("pending fault not raised: next=%v err=%v", next, err)
+	}
+	f, ok := err.(*Fault)
+	if !ok || f.Msg != "planted" || s.Status != StatusBug {
+		t.Fatalf("fault = %v, status = %v", err, s.Status)
+	}
+	if s.PendFault != nil {
+		t.Fatal("pending fault not consumed")
+	}
+
+	// Fork: the child inherits the pending fault; an unrelated state is
+	// untouched.
+	m2, p := newTestMachine(t, `
+.entry e
+.text
+e:
+    movi r0, 1
+    ret
+`)
+	p.PendFault = Faultf("loop", p.PC, "inherited")
+	child := p.Fork(99)
+	if child.PendFault == nil || child.PendFault.Msg != "inherited" {
+		t.Fatalf("fork dropped the pending fault: %v", child.PendFault)
+	}
+	if _, err := m2.Step(child); err == nil {
+		t.Fatal("child did not raise inherited fault")
+	}
+	clean := m2.NewRootState()
+	if clean.PendFault != nil {
+		t.Fatal("unrelated state has a pending fault")
 	}
 }

@@ -1,0 +1,105 @@
+package workq
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestOwnShardIsLIFO(t *testing.T) {
+	q := New[int](2)
+	q.Push(0, 1)
+	q.Push(0, 2)
+	q.Push(0, 3)
+	for _, want := range []int{3, 2, 1} {
+		got, ok := q.Pop(0)
+		if !ok || got != want {
+			t.Fatalf("Pop(0) = %d,%v want %d", got, ok, want)
+		}
+	}
+	if _, ok := q.Pop(0); ok {
+		t.Fatal("empty queue returned an item")
+	}
+}
+
+func TestStealingIsFIFO(t *testing.T) {
+	q := New[int](3)
+	q.Push(1, 10)
+	q.Push(1, 11)
+	// Worker 0's shard is empty: it must steal worker 1's OLDEST item.
+	if got, ok := q.Pop(0); !ok || got != 10 {
+		t.Fatalf("steal = %d,%v want 10", got, ok)
+	}
+	// Worker 1 keeps its fresh tail.
+	if got, ok := q.Pop(1); !ok || got != 11 {
+		t.Fatalf("own pop = %d,%v want 11", got, ok)
+	}
+}
+
+func TestLenAcrossShards(t *testing.T) {
+	q := New[string](4)
+	q.Push(0, "a")
+	q.Push(2, "b")
+	q.Push(7, "c") // wraps to shard 3
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d want 3", q.Len())
+	}
+}
+
+func TestSingleShardFallback(t *testing.T) {
+	q := New[int](0) // clamps to 1 shard
+	if q.Shards() != 1 {
+		t.Fatalf("shards = %d want 1", q.Shards())
+	}
+	q.Push(5, 42) // any worker index maps onto the single shard
+	if got, ok := q.Pop(3); !ok || got != 42 {
+		t.Fatalf("pop = %d,%v want 42", got, ok)
+	}
+}
+
+// TestConcurrentPushPopNoLoss hammers the queue from multiple goroutines
+// and verifies every pushed item is popped exactly once (run with -race).
+func TestConcurrentPushPopNoLoss(t *testing.T) {
+	const workers = 4
+	const perWorker = 1000
+	q := New[int](workers)
+
+	var wg sync.WaitGroup
+	got := make([]map[int]int, workers)
+	for w := 0; w < workers; w++ {
+		got[w] = make(map[int]int)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				q.Push(w, w*perWorker+i)
+				if item, ok := q.Pop(w); ok {
+					got[w][item]++
+				}
+			}
+			// Drain whatever is left from any shard.
+			for {
+				item, ok := q.Pop(w)
+				if !ok {
+					break
+				}
+				got[w][item]++
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	seen := make(map[int]int)
+	for w := range got {
+		for item, n := range got[w] {
+			seen[item] += n
+		}
+	}
+	if len(seen) != workers*perWorker {
+		t.Fatalf("popped %d distinct items, want %d", len(seen), workers*perWorker)
+	}
+	for item, n := range seen {
+		if n != 1 {
+			t.Fatalf("item %d popped %d times", item, n)
+		}
+	}
+}
