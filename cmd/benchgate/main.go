@@ -1,0 +1,220 @@
+// Command benchgate is the CI benchmark regression gate: it parses two
+// `go test -bench` outputs (merge base and PR head), compares the median
+// of selected benchmark metrics, writes a machine-readable BENCH_PR.json
+// artifact, and exits non-zero when any tracked metric regressed beyond
+// the threshold.
+//
+// Usage:
+//
+//	benchgate -base base.txt -head head.txt -out BENCH_PR.json \
+//	    -threshold 0.20 \
+//	    -bench 'BenchmarkExploreParallelSpeedup:ms/seq-session' \
+//	    -bench 'BenchmarkExploreParallelSpeedup:ms/4worker-session' \
+//	    -bench BenchmarkFuzzExecsPerSec
+//
+// A tracked entry is "Name" (gates the benchmark's ns/op) or "Name:unit"
+// (gates a b.ReportMetric unit, e.g. a per-session wall clock). Gating a
+// per-session metric instead of raw ns/op keeps the gate honest when a PR
+// changes how many sessions one benchmark iteration runs — total-iteration
+// time then shifts by construction while the per-session cost, the thing
+// the gate protects, is still comparable. Lower must be better for every
+// tracked metric.
+//
+// benchstat remains the human-readable comparison in the CI log; the gate
+// decision is made here so it needs no external tooling and stays testable
+// (see main_test.go: the gate demonstrably fails on an injected slowdown).
+// Medians over `-count` runs make the verdict robust to one noisy run;
+// with 6 runs per side, a single outlier cannot flip it.
+//
+// Exit codes: 0 pass, 1 regression (or a tracked metric missing from one
+// side — a silently vanished benchmark must not pass the gate), 2 usage/IO
+// error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// target is one tracked benchmark metric.
+type target struct {
+	Name string
+	Unit string // "ns/op" when the -bench entry has no :unit suffix
+}
+
+func parseTarget(v string) target {
+	if i := strings.IndexByte(v, ':'); i > 0 {
+		return target{Name: v[:i], Unit: v[i+1:]}
+	}
+	return target{Name: v, Unit: "ns/op"}
+}
+
+// benchList collects repeated -bench flags.
+type benchList []target
+
+func (b *benchList) String() string {
+	parts := make([]string, len(*b))
+	for i, t := range *b {
+		parts[i] = t.Name + ":" + t.Unit
+	}
+	return strings.Join(parts, ",")
+}
+
+func (b *benchList) Set(v string) error {
+	*b = append(*b, parseTarget(v))
+	return nil
+}
+
+// parseBench extracts every value/unit sample per benchmark name (the -N
+// GOMAXPROCS suffix stripped) from `go test -bench` output. Multiple
+// samples per name come from -count.
+func parseBench(out string) map[string]map[string][]float64 {
+	samples := make(map[string]map[string][]float64)
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		// fields: name, iterations, then value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break // not a value/unit tail (e.g. a log line)
+			}
+			if samples[name] == nil {
+				samples[name] = make(map[string][]float64)
+			}
+			unit := fields[i+1]
+			samples[name][unit] = append(samples[name][unit], v)
+		}
+	}
+	return samples
+}
+
+// median returns the middle sample (mean of the middle two for even n).
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Result is one tracked metric's verdict in BENCH_PR.json.
+type Result struct {
+	Name       string  `json:"name"`
+	Unit       string  `json:"unit"`
+	Base       float64 `json:"base"`
+	Head       float64 `json:"head"`
+	BaseRuns   int     `json:"base_runs"`
+	HeadRuns   int     `json:"head_runs"`
+	Delta      float64 `json:"delta"` // (head-base)/base; positive = slower
+	Regression bool    `json:"regression"`
+	Missing    bool    `json:"missing"` // absent from base or head output
+}
+
+// Summary is the BENCH_PR.json artifact.
+type Summary struct {
+	Threshold float64  `json:"threshold"`
+	Pass      bool     `json:"pass"`
+	Results   []Result `json:"results"`
+}
+
+// gate compares the tracked metrics across the two outputs. A tracked
+// metric missing on either side fails the gate.
+func gate(baseOut, headOut string, targets []target, threshold float64) Summary {
+	base := parseBench(baseOut)
+	head := parseBench(headOut)
+	s := Summary{Threshold: threshold, Pass: true}
+	for _, tg := range targets {
+		r := Result{Name: tg.Name, Unit: tg.Unit}
+		bs, hs := base[tg.Name][tg.Unit], head[tg.Name][tg.Unit]
+		r.BaseRuns, r.HeadRuns = len(bs), len(hs)
+		if len(bs) == 0 || len(hs) == 0 {
+			r.Missing = true
+			s.Pass = false
+		} else {
+			r.Base = median(bs)
+			r.Head = median(hs)
+			r.Delta = (r.Head - r.Base) / r.Base
+			r.Regression = r.Delta > threshold
+			if r.Regression {
+				s.Pass = false
+			}
+		}
+		s.Results = append(s.Results, r)
+	}
+	return s
+}
+
+func main() {
+	basePath := flag.String("base", "", "bench output of the merge base")
+	headPath := flag.String("head", "", "bench output of the PR head")
+	outPath := flag.String("out", "BENCH_PR.json", "JSON verdict artifact path")
+	threshold := flag.Float64("threshold", 0.20, "fail when head is slower than base by more than this fraction")
+	var benches benchList
+	flag.Var(&benches, "bench", "metric to track, as Name or Name:unit (repeatable; default unit ns/op)")
+	flag.Parse()
+
+	if *basePath == "" || *headPath == "" || len(benches) == 0 {
+		fmt.Fprintln(os.Stderr, "benchgate: -base, -head, and at least one -bench are required")
+		os.Exit(2)
+	}
+	baseOut, err := os.ReadFile(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	headOut, err := os.ReadFile(*headPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	s := gate(string(baseOut), string(headOut), benches, *threshold)
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	if err := os.WriteFile(*outPath, append(b, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	for _, r := range s.Results {
+		label := r.Name + " [" + r.Unit + "]"
+		switch {
+		case r.Missing:
+			fmt.Printf("%-60s MISSING (base %d run(s), head %d run(s))\n", label, r.BaseRuns, r.HeadRuns)
+		default:
+			verdict := "ok"
+			if r.Regression {
+				verdict = fmt.Sprintf("REGRESSION (> %+.0f%%)", 100**threshold)
+			}
+			fmt.Printf("%-60s base %.1f  head %.1f  delta %+.1f%%  %s\n",
+				label, r.Base, r.Head, 100*r.Delta, verdict)
+		}
+	}
+	if !s.Pass {
+		fmt.Println("benchgate: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: pass")
+}

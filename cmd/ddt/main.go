@@ -14,6 +14,12 @@
 //	-no-annotations  disable the NDIS/WDM interface annotations (§5.1 ablation)
 //	-no-interrupts   disable symbolic interrupt injection
 //	-workers n       parallel exploration workers (1 = sequential, deterministic)
+//	-pipeline        with -workers > 1, explore across workload phases without
+//	                 barriers (prints per-phase concurrency stats)
+//	-expect          with -corpus, compare the found bug classes against the
+//	                 driver's expected Table 2 set; exit 0 on an exact match
+//	                 (even though bugs were found), 3 on any regression —
+//	                 the nightly CI job's known-bug-set gate
 //	-traces dir      write one executable .ddtrace file per bug into dir
 //	-v               also print per-bug solved inputs
 package main
@@ -23,6 +29,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"slices"
+	"sort"
 
 	"repro"
 )
@@ -34,6 +42,8 @@ func main() {
 	noAnnot := flag.Bool("no-annotations", false, "disable interface annotations")
 	noIntr := flag.Bool("no-interrupts", false, "disable symbolic interrupts")
 	workers := flag.Int("workers", 1, "parallel exploration workers (1 = sequential, deterministic)")
+	pipeline := flag.Bool("pipeline", false, "with -workers > 1, drop workload phase barriers (cross-phase pipelined exploration)")
+	expect := flag.Bool("expect", false, "with -corpus, exit 3 unless the found bug classes exactly match the driver's expected set")
 	traceDir := flag.String("traces", "", "directory to write executable traces into")
 	verbose := flag.Bool("v", false, "print solved inputs per bug")
 	flag.Parse()
@@ -54,6 +64,7 @@ func main() {
 	cfg.Annotations = !*noAnnot
 	cfg.SymbolicInterrupts = !*noIntr
 	cfg.Workers = *workers
+	cfg.Pipeline = *pipeline
 
 	sess := ddt.NewSession(img, cfg)
 	rep, err := sess.Run()
@@ -74,6 +85,27 @@ func main() {
 			}
 			fmt.Printf("trace for bug %d written to %s\n", i+1, path)
 		}
+	}
+	if *expect {
+		if *corpusName == "" {
+			fatal(fmt.Errorf("-expect requires -corpus"))
+		}
+		want, err := ddt.ExpectedBugs(*corpusName)
+		if err != nil {
+			fatal(err)
+		}
+		got := make([]string, 0, len(rep.Bugs))
+		for _, b := range rep.Bugs {
+			got = append(got, b.Class)
+		}
+		sort.Strings(want)
+		sort.Strings(got)
+		if slices.Equal(want, got) {
+			fmt.Printf("known-bug set intact: %d expected class(es) found, no extras\n", len(want))
+			return
+		}
+		fmt.Printf("known-bug set REGRESSED:\n  expected %v\n  found    %v\n", want, got)
+		os.Exit(3)
 	}
 	if len(rep.Bugs) > 0 {
 		os.Exit(1)

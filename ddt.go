@@ -85,6 +85,11 @@ type Config struct {
 	// frontier with N goroutines sharing one solver query cache — same bug
 	// classes, schedule-dependent path order.
 	Workers int
+	// Pipeline, with Workers > 1, removes the workload phase barriers: a
+	// path that completes phase k immediately seeds phase k+1, so Send
+	// paths explore while slower Initialize paths are still in flight.
+	// Each path still visits its phases in order. Ignored when Workers <= 1.
+	Pipeline bool
 	// Registry overrides the simulated registry hive.
 	Registry map[string]uint32
 }
@@ -117,6 +122,7 @@ func (c Config) options() core.Options {
 		o.MaxPathsPerEntry = c.MaxPathsPerEntry
 	}
 	o.Workers = c.Workers
+	o.Pipeline = c.Pipeline
 	o.Registry = c.Registry
 	return o
 }

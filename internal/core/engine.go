@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"os"
 	"sort"
 	"sync"
 	"time"
@@ -51,6 +50,17 @@ type Options struct {
 	// solver-witnessed path, and completed paths are canonically ordered
 	// by state ID before KeepStates selection.
 	Workers int
+	// Pipeline, with Workers > 1, dissolves the workload phase barriers:
+	// instead of draining every phase-k path before any phase-k+1 path
+	// starts, one persistent worker pool explores a phase-aware frontier
+	// and a path that completes phase k immediately seeds its successors
+	// into phase k+1 (up to KeepStates per phase), so Send paths explore
+	// while slower Initialize paths are still in flight. Per-path phase
+	// ORDER is preserved — a state only reaches phase k+1 because an
+	// ancestor completed an earlier phase — only the cross-path barrier is
+	// gone. Ignored when Workers <= 1 (the barriered engine stays
+	// bit-identical to the golden sequential semantics).
+	Pipeline bool
 	// Registry overrides/extends the default registry hive.
 	Registry map[string]uint32
 	// Heuristic overrides the default min-block-count scheduler.
@@ -111,16 +121,31 @@ type Engine struct {
 	cache *solver.Cache
 
 	// mu guards the result accounting shared by workers: bugs, bugKeys,
-	// paths, PhaseResult mutation, and the merged worker solver stats.
+	// paths, PhaseResult mutation, phaseStats, and the merged worker
+	// solver stats.
 	mu            sync.Mutex
 	bugs          []*Bug
 	bugKeys       map[string]bool
 	paths         int
 	workerQueries uint64 // solver queries by retired parallel workers
+	phaseStats    []PhaseStat
 
 	// notify, during a parallel explore, wakes workers blocked on an empty
 	// frontier after a push.
 	notify func()
+
+	// pipe is the active pipelined run, nil otherwise. Set before the
+	// pipelined worker pool starts and cleared after it joins, so worker
+	// reads need no lock.
+	pipe *pipeRun
+
+	// testOnSeed / testOnPathDone are test-only observation hooks for the
+	// pipelined explorer, both invoked under the pipeline coordinator's
+	// lock: testOnPathDone fires when a popped path retires (with its phase
+	// and success verdict), testOnSeed fires when a base state is invoked
+	// into a phase. The phase-ordering invariant test uses them.
+	testOnSeed     func(base *vm.State, phase int)
+	testOnPathDone func(s *vm.State, phase int, success bool)
 }
 
 // metaInjectISR marks a forked state that should receive an interrupt
@@ -341,9 +366,15 @@ func (e *Engine) Explore(entryName string) PhaseResult {
 		st.Status = vm.StatusKilled
 	}
 	res.BugsFound = e.bugCount() - bugsBefore
-	if os.Getenv("DDT_DEBUG_PHASES") != "" {
-		fmt.Printf("phase %-20s exited=%-4d succ=%-3d elapsed=%v\n", entryName, res.Exited, len(res.Succeeded), time.Since(dbgStart))
-	}
+	e.mu.Lock()
+	e.phaseStats = append(e.phaseStats, PhaseStat{
+		Name:      entryName,
+		Exited:    res.Exited,
+		Succeeded: len(res.Succeeded),
+	})
+	e.mu.Unlock()
+	dbgPhases.printf("phase %-20s exited=%-4d succ=%-3d elapsed=%v\n",
+		entryName, res.Exited, len(res.Succeeded), time.Since(dbgStart))
 	return res
 }
 
@@ -394,9 +425,7 @@ func (e *Engine) exploreParallel(entryName string, res *PhaseResult) {
 		}(w)
 	}
 	wg.Wait()
-	if os.Getenv("DDT_DEBUG_PHASES") != "" {
-		fmt.Printf("  per-worker paths: %v\n", perWorker)
-	}
+	dbgPhases.workerPaths(perWorker)
 
 	// Completion order is schedule-dependent; canonicalize by state ID so
 	// KeepStates selection (and everything downstream) is ordered by a
@@ -468,8 +497,13 @@ func (r *parallelRun) done() {
 }
 
 // pushState queues a forked sibling and, during a parallel explore, wakes
-// a blocked worker for it.
+// a blocked worker for it. During a pipelined run the push goes through
+// the pipeline coordinator so the per-phase queued ledger stays exact.
 func (e *Engine) pushState(n *vm.State) {
+	if p := e.pipe; p != nil {
+		p.pushForked(n)
+		return
+	}
 	e.Sched.Push(n)
 	if f := e.notify; f != nil {
 		f()
@@ -587,6 +621,7 @@ func (e *Engine) Report() *Report {
 	bugs := append([]*Bug(nil), e.bugs...)
 	paths := e.paths
 	queries := e.workerQueries
+	phases := append([]PhaseStat(nil), e.phaseStats...)
 	e.mu.Unlock()
 	cs := e.cache.Stats()
 	workers := e.Opts.Workers
@@ -605,6 +640,8 @@ func (e *Engine) Report() *Report {
 		SolverCacheHits:      cs.Hits,
 		SolverCacheEvictions: cs.Evictions,
 		Workers:              workers,
+		Pipelined:            e.pipelined(),
+		Phases:               phases,
 		SymbolsMade:          e.M.Syms.Len(),
 	}
 	for _, p := range e.Cov.Series() {

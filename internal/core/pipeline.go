@@ -1,0 +1,596 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/binimg"
+	"repro/internal/exerciser"
+	"repro/internal/expr"
+	"repro/internal/kernel"
+	"repro/internal/solver"
+	"repro/internal/vm"
+	"repro/internal/workq"
+)
+
+// The pipelined explorer dissolves the workload phase barriers. The
+// barriered engine (TestDriver's default path) drains EVERY phase-k path
+// before ANY phase-k+1 path starts, so workers idle while the slowest
+// Initialize path finishes. Nothing in the paper requires that global
+// ordering — only that each individual path respects the phase order — so
+// here one persistent worker pool runs over a phase-aware frontier: a path
+// that completes phase k immediately seeds its successor invocation into
+// phase k+1 (capped at KeepStates promotions per phase), and the scheduler
+// weights earlier phases so spare workers pick up later-phase work exactly
+// where the barrier used to stall.
+//
+// The moving parts:
+//
+//   - phaseSpec reifies the workload (workload.go's imperative phase chain)
+//     as data: per phase, an applicability test and an invocation builder.
+//   - pipeSeed is a phase-transition work item ("invoke base into phase j"),
+//     carried by a workq.Queue — the engine-side consumer the workq package
+//     was generalized for: promotions land on the completing worker's own
+//     shard (locality), idle workers steal.
+//   - pipeLedger is the per-(entry, phase) budget ledger replacing the
+//     barriered engine's per-Explore bounds: exited paths are budgeted per
+//     phase (MaxPathsPerEntry each), promotions per phase (KeepStates).
+//   - pipeRun is the condvar-coordinated pool: workers prefer seeds, then
+//     frontier states; the run ends when every phase has drained.
+//
+// Per-path soundness is unchanged: a state only ever reaches phase k+1 by
+// being forked from a base that completed an earlier phase successfully
+// (promotion), or by the fallback below. Zero-success fallback: the
+// barriered loop passes a phase's input bases through unchanged when no
+// invocation succeeds; here, when a non-gate phase drains with zero
+// successes, its input bases are re-seeded into the next applicable phase.
+// Gate phases (DriverEntry, Initialize) keep their stronger semantics: no
+// success means the rest of the workload is not exercised.
+
+// phaseSpec describes one workload phase to the pipelined explorer.
+type phaseSpec struct {
+	name string
+	// gate phases stop the workload when they produce no success.
+	gate bool
+	// applicable reports whether this phase applies to a base state (the
+	// entry point is registered / a DPC is pending).
+	applicable func(e *Engine, base *vm.State) bool
+	// invoke forks base into this phase's invocation state(s) — including
+	// the interrupt-at-entry sibling where the barriered phase loop makes
+	// one — tagging each with the phase index. It does not push them.
+	invoke func(e *Engine, base *vm.State, phase int) []*vm.State
+}
+
+// stdPhase builds the standard phase shape shared by every entry point:
+// fork the base, prep, invoke with args, plus the symbolic-interrupt
+// sibling when an ISR is registered (mirroring Engine.phase).
+func stdPhase(name string, gate bool, pcOf func(*kernel.KState) uint32,
+	argsOf func(*Engine, *vm.State) []*expr.Expr, prep func(*vm.State)) phaseSpec {
+
+	mk := func(e *Engine, base *vm.State, phase int, pc uint32) *vm.State {
+		st := e.M.ForkState(base)
+		st.Phase = phase
+		if prep != nil {
+			prep(st)
+		}
+		var args []*expr.Expr
+		if argsOf != nil {
+			args = argsOf(e, st)
+		}
+		e.K.InvokeSym(st, name, pc, args...)
+		return st
+	}
+	return phaseSpec{
+		name: name,
+		gate: gate,
+		applicable: func(e *Engine, base *vm.State) bool {
+			return pcOf(kernel.Of(base)) != 0
+		},
+		invoke: func(e *Engine, base *vm.State, phase int) []*vm.State {
+			pc := pcOf(kernel.Of(base))
+			if pc == 0 {
+				return nil
+			}
+			st := mk(e, base, phase, pc)
+			out := []*vm.State{st}
+			if e.Opts.SymbolicInterrupts && kernel.Of(st).ISRRegistered && name != "ISR" {
+				alt := mk(e, base, phase, pc)
+				if alt.Meta == nil {
+					alt.Meta = make(map[string]uint64)
+				}
+				alt.Meta[metaIntrCount] = 1
+				alt.Meta[metaInjectISR] = 1
+				out = append(out, alt)
+			}
+			return out
+		},
+	}
+}
+
+// dpcPhase drains one pending timer/DPC callback at DISPATCH_LEVEL
+// (mirroring Engine.drainDPCs; no interrupt sibling there either).
+func dpcPhase() phaseSpec {
+	return phaseSpec{
+		name: "DPC",
+		applicable: func(e *Engine, base *vm.State) bool {
+			return len(kernel.Of(base).PendingDPCs) > 0
+		},
+		invoke: func(e *Engine, base *vm.State, phase int) []*vm.State {
+			ks := kernel.Of(base)
+			if len(ks.PendingDPCs) == 0 {
+				return nil
+			}
+			dpc := ks.PendingDPCs[0]
+			st := e.M.ForkState(base)
+			st.Phase = phase
+			sks := kernel.Of(st)
+			sks.PendingDPCs = sks.PendingDPCs[1:]
+			sks.IRQL = kernel.DispatchLevel
+			sks.InDpc = true
+			e.K.InvokeSym(st, "DPC:"+dpc.Label, dpc.FuncPC, expr.Const(dpc.Ctx))
+			return []*vm.State{st}
+		},
+	}
+}
+
+// isrPhase delivers a direct device interrupt while otherwise idle.
+func isrPhase() phaseSpec {
+	return stdPhase("ISR", false,
+		func(ks *kernel.KState) uint32 {
+			if ks.ISRRegistered {
+				return ks.ISRPC
+			}
+			return 0
+		},
+		func(e *Engine, s *vm.State) []*expr.Expr {
+			return []*expr.Expr{expr.Const(adapterHandle)}
+		},
+		func(s *vm.State) { kernel.Of(s).IRQL = kernel.DeviceLevel })
+}
+
+// phasePlan reifies the driver class's workload as an ordered phase list.
+// Phase 0 is always DriverEntry.
+//
+// This is deliberately a second expression of the workload in workload.go
+// (networkWorkload/audioWorkload): the barriered loop's exact push order
+// is pinned bit-for-bit by the sequential golden values, and its DPC drain
+// mixes pass-through bases with DPC successes in a way a phase-level loop
+// expresses but a per-base pipeline handles structurally — so neither side
+// can consume the other's form without changing pinned semantics. The two
+// MUST be kept in sync: a phase added, reordered, or re-argumented in one
+// file must change the other, and TestPipelinedFindsSameBugs is the tripwire.
+func (e *Engine) phasePlan() []phaseSpec {
+	plan := []phaseSpec{{
+		name: "DriverEntry",
+		gate: true,
+		applicable: func(*Engine, *vm.State) bool { return true },
+		invoke: func(e *Engine, base *vm.State, phase int) []*vm.State {
+			st := e.M.ForkState(base)
+			st.Phase = phase
+			e.K.Invoke(st, "DriverEntry", e.Img.Entry)
+			return []*vm.State{st}
+		},
+	}}
+
+	handleArg := func(*Engine, *vm.State) []*expr.Expr {
+		return []*expr.Expr{expr.Const(adapterHandle)}
+	}
+
+	switch e.Img.Device.Class {
+	case binimg.ClassNetwork:
+		mp := func(ks *kernel.KState) *kernel.MiniportChars {
+			if ks.Miniport == nil {
+				return &kernel.MiniportChars{}
+			}
+			return ks.Miniport
+		}
+		infoArgs := func(concreteOID uint32) func(*Engine, *vm.State) []*expr.Expr {
+			return func(e *Engine, s *vm.State) []*expr.Expr {
+				var oid *expr.Expr
+				if e.Opts.Annotations {
+					oid = e.K.FreshSymbol(s, "oid", expr.OriginArgument)
+				} else {
+					oid = expr.Const(concreteOID)
+				}
+				buf := e.makeInfoBuffer(s)
+				return []*expr.Expr{expr.Const(adapterHandle), oid, expr.Const(buf), expr.Const(64)}
+			}
+		}
+		plan = append(plan,
+			stdPhase("Initialize", true,
+				func(ks *kernel.KState) uint32 { return mp(ks).InitializePC },
+				handleArg, nil),
+			stdPhase("Send", false,
+				func(ks *kernel.KState) uint32 { return mp(ks).SendPC },
+				func(e *Engine, s *vm.State) []*expr.Expr {
+					pkt := e.makeSymbolicPacket(s)
+					return []*expr.Expr{expr.Const(adapterHandle), expr.Const(pkt)}
+				}, nil),
+			stdPhase("QueryInformation", false,
+				func(ks *kernel.KState) uint32 { return mp(ks).QueryInfoPC },
+				infoArgs(kernel.OIDGenSupportedList), nil),
+			stdPhase("SetInformation", false,
+				func(ks *kernel.KState) uint32 { return mp(ks).SetInfoPC },
+				infoArgs(kernel.OIDGenCurrentPacketFil), nil),
+			isrPhase(),
+			dpcPhase(),
+			stdPhase("Halt", false,
+				func(ks *kernel.KState) uint32 { return mp(ks).HaltPC },
+				handleArg, nil),
+		)
+	case binimg.ClassAudio:
+		au := func(ks *kernel.KState) *kernel.AudioChars {
+			if ks.Audio == nil {
+				return &kernel.AudioChars{}
+			}
+			return ks.Audio
+		}
+		plan = append(plan,
+			stdPhase("Initialize", true,
+				func(ks *kernel.KState) uint32 { return au(ks).InitializePC },
+				handleArg, nil),
+			stdPhase("Play", false,
+				func(ks *kernel.KState) uint32 { return au(ks).PlayPC },
+				func(e *Engine, s *vm.State) []*expr.Expr {
+					buf := e.makeAudioBuffer(s)
+					return []*expr.Expr{expr.Const(adapterHandle), expr.Const(buf), expr.Const(256)}
+				}, nil),
+			isrPhase(),
+			dpcPhase(),
+			stdPhase("Stop", false,
+				func(ks *kernel.KState) uint32 { return au(ks).StopPC },
+				handleArg, nil),
+			stdPhase("Halt", false,
+				func(ks *kernel.KState) uint32 { return au(ks).HaltPC },
+				handleArg, nil),
+		)
+	}
+	return plan
+}
+
+// pipeSeed is one phase-transition work item: invoke base into phase.
+type pipeSeed struct {
+	base  *vm.State
+	phase int
+}
+
+// pipeLedger is one phase's budget ledger and occupancy accounting, all
+// guarded by pipeRun.mu.
+type pipeLedger struct {
+	spec phaseSpec
+
+	seedsIn      int // bases invoked (or queued to be invoked) into this phase
+	pendingSeeds int // seeds waiting in the workq
+	expanding    int // seeds currently being expanded into invocation states
+	queued       int // states waiting in the frontier
+	inflight     int // states currently being stepped
+	exited       int // completed paths (per-phase MaxPathsPerEntry budget)
+	succeeded    int // paths that exited with StatusSuccess
+	promoted     int // successes seeded onward (per-phase KeepStates budget)
+	peakInFlight int
+	peakQueued   int
+
+	// bases are this phase's input states, kept for the zero-success
+	// fallback (bounded: promotions into a phase are KeepStates-capped).
+	bases []*vm.State
+	done  bool
+}
+
+// activity counts everything that can still produce work for this phase.
+func (l *pipeLedger) activity() int {
+	return l.pendingSeeds + l.expanding + l.queued + l.inflight
+}
+
+// pipeRun coordinates the persistent worker pool of one pipelined session.
+type pipeRun struct {
+	e       *Engine
+	mu      sync.Mutex
+	cond    *sync.Cond
+	phases  []*pipeLedger
+	seeds   *workq.Queue[pipeSeed]
+	stopped bool
+}
+
+// testDriverPipelined is TestDriver without phase barriers: one persistent
+// worker pool over the phase-aware frontier, from DriverEntry to Halt.
+func (e *Engine) testDriverPipelined() (*Report, error) {
+	if e.Opts.Heuristic == nil {
+		// Phase-weighted pick over the mixed-phase frontier.
+		e.Sched.SetHeuristic(exerciser.NewPhaseMinBlockCount(e.Sched.Counts()))
+	}
+	p := &pipeRun{e: e, seeds: workq.New[pipeSeed](e.Opts.Workers)}
+	p.cond = sync.NewCond(&p.mu)
+	for _, sp := range e.phasePlan() {
+		p.phases = append(p.phases, &pipeLedger{spec: sp})
+	}
+	e.pipe = p
+
+	boot := e.NewBootState()
+	p.mu.Lock()
+	p.enqueueSeed(0, boot, 0)
+	p.mu.Unlock()
+
+	var wg sync.WaitGroup
+	perWorker := make([]int, e.Opts.Workers)
+	for w := 0; w < e.Opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := e.M.NewContext(solver.NewWithCache(e.cache))
+			p.worker(w, ctx, &perWorker[w])
+			e.mu.Lock()
+			e.workerQueries += ctx.Solver.Stats.Queries
+			e.mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	e.pipe = nil
+	dbgPhases.workerPaths(perWorker)
+
+	// A StopAtFirstBug stop can leave frontier states behind; abandon them
+	// exactly as the barriered engine abandons an over-budget frontier.
+	for {
+		st := e.Sched.Pop()
+		if st == nil {
+			break
+		}
+		st.Status = vm.StatusKilled
+	}
+
+	e.mu.Lock()
+	for _, l := range p.phases {
+		e.phaseStats = append(e.phaseStats, PhaseStat{
+			Name:         l.spec.name,
+			Exited:       l.exited,
+			Succeeded:    l.succeeded,
+			Promoted:     l.promoted,
+			SeedsIn:      l.seedsIn,
+			PeakInFlight: l.peakInFlight,
+			PeakQueued:   l.peakQueued,
+		})
+	}
+	e.mu.Unlock()
+	return e.Report(), nil
+}
+
+// worker is one pool member's loop: seeds first (they create work and are
+// shard-local), then frontier states, until the run drains or stops.
+func (p *pipeRun) worker(w int, ctx *vm.ExecContext, retired *int) {
+	for {
+		seed, st := p.next(w)
+		switch {
+		case seed != nil:
+			// Fork + invoke outside the coordinator lock; only the push and
+			// ledger update re-enter it.
+			states := p.phases[seed.phase].spec.invoke(p.e, seed.base, seed.phase)
+			p.seedExpanded(w, seed.phase, states)
+		case st != nil:
+			var res PhaseResult
+			p.e.runPath(ctx, st, p.phases[st.Phase].spec.name, &res)
+			*retired++
+			p.pathDone(w, st, &res)
+		default:
+			return
+		}
+	}
+}
+
+// next hands the worker its next work item: a seed to expand, a frontier
+// state to run, or (nil, nil) when the session is over. Blocks while other
+// workers may still produce work.
+func (p *pipeRun) next(w int) (*pipeSeed, *vm.State) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if p.stopped {
+			return nil, nil
+		}
+		if p.e.Opts.StopAtFirstBug && p.e.bugCount() > 0 {
+			p.stop()
+			return nil, nil
+		}
+		if s, ok := p.seeds.Pop(w); ok {
+			l := p.phases[s.phase]
+			l.pendingSeeds--
+			l.expanding++
+			return &s, nil
+		}
+		for {
+			st := p.e.Sched.Pop()
+			if st == nil {
+				break
+			}
+			l := p.phases[st.Phase]
+			l.queued--
+			if l.exited >= p.e.Opts.MaxPathsPerEntry {
+				// Per-(entry, phase) path budget exhausted: abandon the rest
+				// of this phase's frontier (coverage loss, never
+				// unsoundness) — the barriered engine's post-Explore kill.
+				st.Status = vm.StatusKilled
+				continue
+			}
+			l.inflight++
+			if l.inflight > l.peakInFlight {
+				l.peakInFlight = l.inflight
+			}
+			return nil, st
+		}
+		if p.totalActivity() == 0 {
+			p.reap(w)
+			if p.allDone() {
+				p.stop()
+				return nil, nil
+			}
+			// reap fired a fallback: new seeds exist, grab one.
+			continue
+		}
+		p.cond.Wait()
+	}
+}
+
+// stop ends the run and releases every blocked worker. Caller holds mu.
+func (p *pipeRun) stop() {
+	p.stopped = true
+	p.cond.Broadcast()
+}
+
+// totalActivity sums the live work across phases. Caller holds mu.
+func (p *pipeRun) totalActivity() int {
+	n := 0
+	for _, l := range p.phases {
+		n += l.activity()
+	}
+	return n
+}
+
+// allDone reports whether every phase has drained. Caller holds mu.
+func (p *pipeRun) allDone() bool {
+	for _, l := range p.phases {
+		if !l.done {
+			return false
+		}
+	}
+	return true
+}
+
+// enqueueSeed queues "invoke base into phase" on the worker's own workq
+// shard and records base as a fallback input of that phase. Caller holds mu.
+func (p *pipeRun) enqueueSeed(w int, base *vm.State, phase int) {
+	l := p.phases[phase]
+	l.seedsIn++
+	l.pendingSeeds++
+	l.bases = append(l.bases, base)
+	if h := p.e.testOnSeed; h != nil {
+		h(base, phase)
+	}
+	p.seeds.Push(w, pipeSeed{base: base, phase: phase})
+	p.cond.Broadcast()
+}
+
+// seedOnward promotes base past fromPhase into the next phase that applies
+// to it, if any. Non-applicable phases are skipped — except gates: a gate
+// phase that does not apply (e.g. a network driver that never registered
+// an Initialize handler) ends the workload for this base, exactly as the
+// barriered loop's "!initialized" early return refuses to exercise the
+// data path on an uninitialized adapter. Caller holds mu.
+func (p *pipeRun) seedOnward(w int, base *vm.State, fromPhase int) {
+	for j := fromPhase + 1; j < len(p.phases); j++ {
+		if p.phases[j].spec.applicable(p.e, base) {
+			p.enqueueSeed(w, base, j)
+			return
+		}
+		if p.phases[j].spec.gate {
+			return
+		}
+	}
+}
+
+// seedExpanded pushes a seed's invocation states into the frontier and
+// retires the expansion.
+func (p *pipeRun) seedExpanded(w, phase int, states []*vm.State) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	l := p.phases[phase]
+	l.expanding--
+	for _, st := range states {
+		if p.e.Sched.Push(st) {
+			l.queued++
+			if l.queued > l.peakQueued {
+				l.peakQueued = l.queued
+			}
+		}
+	}
+	p.reap(w)
+	p.cond.Broadcast()
+}
+
+// pushForked accounts a mid-path fork landing in the frontier (called via
+// Engine.pushState from a worker's runPath).
+func (p *pipeRun) pushForked(n *vm.State) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.e.Sched.Push(n) {
+		l := p.phases[n.Phase]
+		l.queued++
+		if l.queued > l.peakQueued {
+			l.peakQueued = l.queued
+		}
+	}
+	p.cond.Broadcast()
+}
+
+// pathDone retires one explored path: budget accounting, promotion of a
+// success into the next phase (KeepStates-capped, on the completing
+// worker's shard), and the drain cascade.
+func (p *pipeRun) pathDone(w int, st *vm.State, res *PhaseResult) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	l := p.phases[st.Phase]
+	l.inflight--
+	l.exited += res.Exited
+	// The completed state is the tail of runPath's depth-first descent —
+	// a fork descendant of st in the same phase — not necessarily st.
+	done := st
+	success := len(res.Succeeded) > 0
+	if success {
+		done = res.Succeeded[0]
+		l.succeeded++
+	}
+	if h := p.e.testOnPathDone; h != nil {
+		h(done, st.Phase, success)
+	}
+	if success && l.promoted < p.e.Opts.KeepStates {
+		l.promoted++
+		// Promoted bases must not leak DPC/IRQL context into the next
+		// phase (the barriered loop normalizes carried states the same way).
+		ks := kernel.Of(done)
+		ks.InDpc = false
+		ks.IRQL = kernel.PassiveLevel
+		p.seedOnward(w, done, st.Phase)
+	}
+	p.reap(w)
+	p.cond.Broadcast()
+}
+
+// reap advances the drain cascade: phases complete strictly in order
+// (promotion only flows forward), so walk from the front and mark every
+// already-done-prefixed phase with no remaining activity as done. A
+// non-gate phase that drains with zero successes passes its input bases
+// through to the next applicable phase — the barriered loop's fallback.
+// Caller holds mu.
+func (p *pipeRun) reap(w int) {
+	for i, l := range p.phases {
+		if l.done {
+			continue
+		}
+		if l.activity() > 0 {
+			// Not drained; later phases can still be seeded by this one.
+			return
+		}
+		l.done = true
+		dbgPhases.printf("pipeline phase %-20s drained: exited=%-4d succ=%-3d promoted=%d\n",
+			l.spec.name, l.exited, l.succeeded, l.promoted)
+		dbgPhases.gauges("pipeline", p.gaugeRows())
+		if !l.spec.gate && l.seedsIn > 0 && l.succeeded == 0 {
+			for _, b := range l.bases {
+				p.seedOnward(w, b, i)
+			}
+		}
+		// Gate with zero successes: nothing seeds onward; the remaining
+		// phases drain empty through this same cascade.
+	}
+}
+
+// gaugeRows snapshots the per-phase occupancy for the debug reporter.
+// Caller holds mu.
+func (p *pipeRun) gaugeRows() []phaseGauge {
+	rows := make([]phaseGauge, 0, len(p.phases))
+	for _, l := range p.phases {
+		rows = append(rows, phaseGauge{
+			Name:     l.spec.name,
+			Queued:   l.queued + l.pendingSeeds,
+			InFlight: l.inflight + l.expanding,
+			Exited:   l.exited,
+		})
+	}
+	return rows
+}

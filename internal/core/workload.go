@@ -16,9 +16,18 @@ import (
 // driver information with symbolic OIDs, drain DPCs, deliver interrupts,
 // halt — and lets symbolic execution fan out from each invocation.
 
+// pipelined reports whether this engine explores cross-phase (no workload
+// phase barriers): Options.Pipeline with a real worker pool.
+func (e *Engine) pipelined() bool {
+	return e.Opts.Pipeline && e.Opts.Workers > 1
+}
+
 // TestDriver runs the complete workload against the image and returns the
 // bug report. This is the top-level "Test Now button" (§1).
 func (e *Engine) TestDriver() (*Report, error) {
+	if e.pipelined() {
+		return e.testDriverPipelined()
+	}
 	boot := e.NewBootState()
 
 	// Phase: DriverEntry — the load-time entry named in the binary header.
@@ -49,6 +58,11 @@ func (e *Engine) TestDriver() (*Report, error) {
 // bases (successful outcomes) and whether any invocation succeeded; when
 // none did, the old bases are returned so the caller can decide whether the
 // remaining workload still makes sense.
+//
+// NOTE: the workload below exists in a second, data-driven form in
+// pipeline.go (phasePlan) for the barrier-free explorer. Any phase added,
+// reordered, or re-argumented here must be mirrored there — see the
+// phasePlan comment for why the two cannot share one definition.
 func (e *Engine) phase(bases []*vm.State, name string, pcOf func(ks *kernel.KState) uint32,
 	argsOf func(s *vm.State) []*expr.Expr, prep func(s *vm.State)) ([]*vm.State, bool) {
 

@@ -54,6 +54,71 @@ func TestSchedulerMinBlockCount(t *testing.T) {
 	}
 }
 
+func phased(id uint64, pc uint32, phase int) *vm.State {
+	s := runnable(id, pc)
+	s.Phase = phase
+	return s
+}
+
+// TestSchedulerPhaseMinBlockCount: the pipelined explorer's heuristic picks
+// the earliest phase present, then min-block-count within it.
+func TestSchedulerPhaseMinBlockCount(t *testing.T) {
+	s := NewScheduler(10)
+	s.SetHeuristic(NewPhaseMinBlockCount(s.Counts()))
+	s.Record(0x100)
+	s.Record(0x100)
+	s.Record(0x200)
+	s.Push(phased(1, 0x100, 2)) // later phase: deprioritized despite counts
+	s.Push(phased(2, 0x100, 1)) // earliest phase, hot block
+	s.Push(phased(3, 0x200, 1)) // earliest phase, cooler block: first pick
+	s.Push(phased(4, 0x300, 3)) // cold block but latest phase
+	for i, want := range []uint64{3, 2, 1, 4} {
+		if got := s.Pop().ID; got != want {
+			t.Errorf("pop %d = state %d, want %d", i, got, want)
+		}
+	}
+	if s.HeuristicName() != "phase-min-block-count" {
+		t.Errorf("heuristic name %q", s.HeuristicName())
+	}
+}
+
+// TestSchedulerPhaseCounts: the queued-per-phase gauge behind the pipelined
+// debug output.
+func TestSchedulerPhaseCounts(t *testing.T) {
+	s := NewScheduler(10)
+	s.Push(phased(1, 0x100, 0))
+	s.Push(phased(2, 0x100, 1))
+	s.Push(phased(3, 0x200, 1))
+	pc := s.PhaseCounts()
+	if pc[0] != 1 || pc[1] != 2 {
+		t.Errorf("phase counts = %v, want {0:1 1:2}", pc)
+	}
+	s.Pop()
+	if total := s.Len(); total != 2 {
+		t.Errorf("len after pop = %d", total)
+	}
+}
+
+// TestSchedulerPushReportsAcceptance: Push must tell the caller whether the
+// state landed in the frontier — the pipelined queued ledger depends on it.
+func TestSchedulerPushReportsAcceptance(t *testing.T) {
+	s := NewScheduler(1)
+	if !s.Push(runnable(1, 0)) {
+		t.Error("first push rejected")
+	}
+	if s.Push(runnable(2, 0)) {
+		t.Error("over-cap push accepted")
+	}
+	if s.Push(nil) {
+		t.Error("nil push accepted")
+	}
+	dead := runnable(3, 0)
+	dead.Status = vm.StatusKilled
+	if s.Push(dead) {
+		t.Error("non-runnable push accepted")
+	}
+}
+
 func TestSchedulerCapDropsStates(t *testing.T) {
 	s := NewScheduler(2)
 	s.Push(runnable(1, 0))

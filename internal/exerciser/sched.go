@@ -58,18 +58,22 @@ func (s *Scheduler) SetHeuristic(h Heuristic) { s.heuristic = h }
 // HeuristicName returns the active heuristic's name.
 func (s *Scheduler) HeuristicName() string { return s.heuristic.Name() }
 
-// Push queues a runnable state.
-func (s *Scheduler) Push(st *vm.State) {
+// Push queues a runnable state. It reports whether the state was accepted:
+// false means the MaxStates cap dropped it (the pipelined explorer keeps a
+// per-phase queued ledger and must know). Existing callers may ignore the
+// result.
+func (s *Scheduler) Push(st *vm.State) bool {
 	if st == nil || st.Status != vm.StatusRunning {
-		return
+		return false
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.MaxStates > 0 && len(s.queue) >= s.MaxStates {
 		s.dropped++
-		return
+		return false
 	}
 	s.queue = append(s.queue, st)
+	return true
 }
 
 // Pop removes and returns the next state per the heuristic, or nil when
@@ -122,6 +126,19 @@ func (s *Scheduler) BlockCount(pc uint32) uint64 {
 // scheduler's lock).
 func (s *Scheduler) Counts() map[uint32]uint64 { return s.blockCounts }
 
+// PhaseCounts returns how many queued states belong to each workload phase
+// (states carry their phase tag; see vm.State.Phase). The pipelined
+// explorer's debug gauges read this.
+func (s *Scheduler) PhaseCounts() map[int]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[int]int)
+	for _, st := range s.queue {
+		out[st.Phase]++
+	}
+	return out
+}
+
 // MinBlockCount is the default heuristic: schedule the state whose current
 // block has been executed the fewest times globally. It naturally avoids
 // states stuck in polling loops — the exact rationale of §4.3.
@@ -145,6 +162,43 @@ func (h *MinBlockCount) Pick(queue []*vm.State) int {
 	for i := 1; i < len(queue); i++ {
 		if c := h.counts[queue[i].PC]; c < bestCount {
 			best, bestCount = i, c
+		}
+	}
+	return best
+}
+
+// PhaseMinBlockCount is the pipelined explorer's heuristic over a
+// mixed-phase frontier: prefer the EARLIEST workload phase present in the
+// queue, breaking ties with the min-block-count rule within that phase.
+// Earliest-first keeps the pipeline shallow and bounds frontier memory: the
+// only cross-phase fan-out is promotion (capped at KeepStates per phase),
+// so the frontier holds the fork tail of one draining phase plus a bounded
+// seed set for its successors, instead of deep stacks of half-finished
+// phases. Pipelining still happens exactly where the barrier used to stall:
+// when the earliest phase has fewer runnable states than workers, the
+// spare workers pick up later-phase work instead of idling.
+type PhaseMinBlockCount struct {
+	counts map[uint32]uint64
+}
+
+// NewPhaseMinBlockCount builds the phase-weighted heuristic over a
+// scheduler's counts (see Scheduler.Counts).
+func NewPhaseMinBlockCount(counts map[uint32]uint64) *PhaseMinBlockCount {
+	return &PhaseMinBlockCount{counts: counts}
+}
+
+// Name implements Heuristic.
+func (*PhaseMinBlockCount) Name() string { return "phase-min-block-count" }
+
+// Pick implements Heuristic.
+func (h *PhaseMinBlockCount) Pick(queue []*vm.State) int {
+	best := 0
+	bestPhase := queue[0].Phase
+	bestCount := h.counts[queue[0].PC]
+	for i := 1; i < len(queue); i++ {
+		p, c := queue[i].Phase, h.counts[queue[i].PC]
+		if p < bestPhase || (p == bestPhase && c < bestCount) {
+			best, bestPhase, bestCount = i, p, c
 		}
 	}
 	return best

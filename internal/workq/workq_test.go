@@ -2,6 +2,7 @@ package workq
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -53,6 +54,83 @@ func TestSingleShardFallback(t *testing.T) {
 	q.Push(5, 42) // any worker index maps onto the single shard
 	if got, ok := q.Pop(3); !ok || got != 42 {
 		t.Fatalf("pop = %d,%v want 42", got, ok)
+	}
+}
+
+// TestPhaseTaggedConsumer models the symbolic engine's pipelined seed
+// queue — the first engine-side consumer of this package: items carry a
+// workload phase tag, workers push follow-up items for the NEXT phase onto
+// their own shard while peers steal, and the whole flood must drain with
+// every item consumed exactly once and every consumed item's phase within
+// range (run with -race; this is the consumer's race regression test).
+func TestPhaseTaggedConsumer(t *testing.T) {
+	type seed struct {
+		phase int
+		id    uint64
+	}
+	const (
+		workers   = 4
+		phases    = 5
+		roots     = 64
+		fanout    = 2 // children seeded into the next phase per item
+		wantItems = roots * (1 + fanout + fanout*fanout + fanout*fanout*fanout + fanout*fanout*fanout*fanout)
+	)
+	q := New[seed](workers)
+	var nextID atomic.Uint64
+	for i := 0; i < roots; i++ {
+		q.Push(i, seed{phase: 0, id: nextID.Add(1)})
+	}
+
+	var consumed atomic.Int64
+	var inFlight atomic.Int64
+	seen := make([]map[uint64]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		seen[w] = make(map[uint64]int)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				item, ok := q.Pop(w)
+				if !ok {
+					// Another worker may still be expanding an item that
+					// will push phase-k+1 seeds; only stop when the queue
+					// is empty AND nothing is in flight.
+					if inFlight.Load() == 0 && q.Len() == 0 {
+						return
+					}
+					continue
+				}
+				inFlight.Add(1)
+				if item.phase < 0 || item.phase >= phases {
+					t.Errorf("worker %d consumed out-of-range phase %d", w, item.phase)
+				}
+				seen[w][item.id]++
+				consumed.Add(1)
+				if item.phase+1 < phases {
+					for c := 0; c < fanout; c++ {
+						q.Push(w, seed{phase: item.phase + 1, id: nextID.Add(1)})
+					}
+				}
+				inFlight.Add(-1)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if consumed.Load() != wantItems {
+		t.Fatalf("consumed %d items, want %d", consumed.Load(), wantItems)
+	}
+	all := make(map[uint64]int)
+	for w := range seen {
+		for id, n := range seen[w] {
+			all[id] += n
+		}
+	}
+	for id, n := range all {
+		if n != 1 {
+			t.Fatalf("seed %d consumed %d times", id, n)
+		}
 	}
 }
 
