@@ -20,6 +20,13 @@
 // the gate protects, is still comparable. Lower must be better for every
 // tracked metric.
 //
+// A leading "?" marks a target as optional-on-base: a benchmark the PR
+// itself introduces has no merge-base samples, and without the marker the
+// missing-side rule would fail the introducing PR's own gate. An optional
+// target missing from the BASE output is reported and skipped; missing
+// from the HEAD output it still fails — a benchmark that existed on head
+// and silently vanished must not pass.
+//
 // benchstat remains the human-readable comparison in the CI log; the gate
 // decision is made here so it needs no external tooling and stays testable
 // (see main_test.go: the gate demonstrably fails on an injected slowdown).
@@ -45,13 +52,23 @@ import (
 type target struct {
 	Name string
 	Unit string // "ns/op" when the -bench entry has no :unit suffix
+	// Optional marks a "?"-prefixed entry: tolerated missing from the base
+	// output (a benchmark this PR introduces), never from the head output.
+	Optional bool
 }
 
 func parseTarget(v string) target {
-	if i := strings.IndexByte(v, ':'); i > 0 {
-		return target{Name: v[:i], Unit: v[i+1:]}
+	var t target
+	if strings.HasPrefix(v, "?") {
+		t.Optional = true
+		v = v[1:]
 	}
-	return target{Name: v, Unit: "ns/op"}
+	if i := strings.IndexByte(v, ':'); i > 0 {
+		t.Name, t.Unit = v[:i], v[i+1:]
+	} else {
+		t.Name, t.Unit = v, "ns/op"
+	}
+	return t
 }
 
 // benchList collects repeated -bench flags.
@@ -61,6 +78,9 @@ func (b *benchList) String() string {
 	parts := make([]string, len(*b))
 	for i, t := range *b {
 		parts[i] = t.Name + ":" + t.Unit
+		if t.Optional {
+			parts[i] = "?" + parts[i]
+		}
 	}
 	return strings.Join(parts, ",")
 }
@@ -127,6 +147,9 @@ type Result struct {
 	Delta      float64 `json:"delta"` // (head-base)/base; positive = slower
 	Regression bool    `json:"regression"`
 	Missing    bool    `json:"missing"` // absent from base or head output
+	// Skipped: an optional ("?") target absent from the base output — the
+	// benchmark is new in this PR and rides until the base catches up.
+	Skipped bool `json:"skipped,omitempty"`
 }
 
 // Summary is the BENCH_PR.json artifact.
@@ -137,7 +160,8 @@ type Summary struct {
 }
 
 // gate compares the tracked metrics across the two outputs. A tracked
-// metric missing on either side fails the gate.
+// metric missing on either side fails the gate, except an optional ("?")
+// target missing only from the base, which is skipped.
 func gate(baseOut, headOut string, targets []target, threshold float64) Summary {
 	base := parseBench(baseOut)
 	head := parseBench(headOut)
@@ -146,7 +170,9 @@ func gate(baseOut, headOut string, targets []target, threshold float64) Summary 
 		r := Result{Name: tg.Name, Unit: tg.Unit}
 		bs, hs := base[tg.Name][tg.Unit], head[tg.Name][tg.Unit]
 		r.BaseRuns, r.HeadRuns = len(bs), len(hs)
-		if len(bs) == 0 || len(hs) == 0 {
+		if tg.Optional && len(bs) == 0 && len(hs) > 0 {
+			r.Skipped = true
+		} else if len(bs) == 0 || len(hs) == 0 {
 			r.Missing = true
 			s.Pass = false
 		} else {
@@ -201,6 +227,8 @@ func main() {
 	for _, r := range s.Results {
 		label := r.Name + " [" + r.Unit + "]"
 		switch {
+		case r.Skipped:
+			fmt.Printf("%-60s new in this PR (no base samples), skipped\n", label)
 		case r.Missing:
 			fmt.Printf("%-60s MISSING (base %d run(s), head %d run(s))\n", label, r.BaseRuns, r.HeadRuns)
 		default:

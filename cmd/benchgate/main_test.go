@@ -161,3 +161,54 @@ func TestGateTracksMultipleBenchmarks(t *testing.T) {
 		t.Errorf("regression not flagged: %+v", s.Results[1])
 	}
 }
+
+// TestParseTargetOptionalMarker: a leading "?" marks the target optional
+// and is stripped from the name.
+func TestParseTargetOptionalMarker(t *testing.T) {
+	tg := parseTarget("?BenchmarkFuzzPersistentVsColdStart/rtl8029:ms/persist-campaign")
+	if !tg.Optional || tg.Name != "BenchmarkFuzzPersistentVsColdStart/rtl8029" || tg.Unit != "ms/persist-campaign" {
+		t.Fatalf("parsed %+v", tg)
+	}
+	if tg := parseTarget("BenchmarkFuzzExecsPerSec"); tg.Optional {
+		t.Fatal("unmarked target parsed as optional")
+	}
+}
+
+// TestGateOptionalTargetSkippedWhenNewInPR: an optional target absent from
+// the merge base (the PR introduces the benchmark) is skipped, not failed —
+// while a required target in the same run still gates.
+func TestGateOptionalTargetSkippedWhenNewInPR(t *testing.T) {
+	base := benchOut("BenchmarkFuzzExecsPerSec", 2000)
+	head := benchOut("BenchmarkFuzzExecsPerSec", 2100) +
+		benchOut("BenchmarkFuzzPersistentVsColdStart", 900)
+	s := gate(base, head,
+		targets("BenchmarkFuzzExecsPerSec", "?BenchmarkFuzzPersistentVsColdStart"), 0.20)
+	if !s.Pass {
+		t.Fatalf("gate failed on a PR-introduced optional benchmark: %+v", s.Results)
+	}
+	if !s.Results[1].Skipped || s.Results[1].Missing {
+		t.Fatalf("optional result %+v, want Skipped", s.Results[1])
+	}
+}
+
+// TestGateOptionalTargetStillGatesWhenPresentOnBothSides: once the base
+// has samples, an optional target regresses the gate like any other.
+func TestGateOptionalTargetStillGatesWhenPresentOnBothSides(t *testing.T) {
+	base := benchOut("BenchmarkFuzzPersistentVsColdStart", 1000)
+	head := benchOut("BenchmarkFuzzPersistentVsColdStart", 1500)
+	s := gate(base, head, targets("?BenchmarkFuzzPersistentVsColdStart"), 0.20)
+	if s.Pass || !s.Results[0].Regression {
+		t.Fatalf("optional target with base samples did not gate: %+v", s.Results[0])
+	}
+}
+
+// TestGateOptionalTargetMissingFromHeadFails: optional only tolerates a
+// missing BASE — a benchmark that vanished from head must still fail.
+func TestGateOptionalTargetMissingFromHeadFails(t *testing.T) {
+	base := benchOut("BenchmarkFuzzPersistentVsColdStart", 1000)
+	head := benchOut("BenchmarkSomethingElse", 1000)
+	s := gate(base, head, targets("?BenchmarkFuzzPersistentVsColdStart"), 0.20)
+	if s.Pass || !s.Results[0].Missing {
+		t.Fatalf("optional target missing from head passed: %+v", s.Results[0])
+	}
+}

@@ -17,6 +17,13 @@
 //	-execs n       execution budget (default 20000; 0 = unbounded, needs -time)
 //	-time d        wall-clock budget, e.g. 30s (0 = none)
 //	-seed n        base RNG seed (deterministic per worker)
+//	-persist       persistent-mode executors: snapshot the initialized boot
+//	               state per boot prefix and resume later executions from it
+//	               (bit-identical results, multi-x execs/sec; the report
+//	               shows the cold-vs-warm split)
+//	-dict          mine a dictionary of instruction immediates (OID
+//	               constants, magic values) from the driver image and enable
+//	               dictionary-splice mutations
 //	-corpus dir    load/persist corpus seeds and crash reproducers here
 //	-hybrid        run the two-way concolic loop (engine seeds fuzzer,
 //	               top feeds are lifted back into symbolic states)
@@ -45,6 +52,8 @@ func main() {
 	execs := flag.Uint64("execs", 20_000, "execution budget (0 = unbounded, needs -time)")
 	timeBudget := flag.Duration("time", 0, "wall-clock budget (0 = none)")
 	seed := flag.Int64("seed", 1, "base RNG seed")
+	persist := flag.Bool("persist", false, "persistent-mode executors (snapshot/resume initialized boot states)")
+	dict := flag.Bool("dict", false, "mine an immediate dictionary from the driver image for splice mutations")
 	corpusDir := flag.String("corpus", "", "corpus directory (seeds in, corpus+crashes out)")
 	hybrid := flag.Bool("hybrid", false, "run the hybrid concolic loop")
 	jsonOut := flag.String("json", "", "write JSON report to file (\"-\" for stdout)")
@@ -65,6 +74,8 @@ func main() {
 	cfg.MaxExecs = *execs
 	cfg.Duration = *timeBudget
 	cfg.Seed = *seed
+	cfg.Persist = *persist
+	cfg.Dict = *dict
 	cfg.CorpusDir = *corpusDir
 
 	var rep *fuzz.Report

@@ -1,0 +1,98 @@
+package fuzz
+
+import (
+	"sort"
+
+	"repro/internal/binimg"
+	"repro/internal/isa"
+)
+
+// Dictionary holds constants mined from a driver image: the instruction
+// immediates the driver compares its inputs against. A concrete fuzzer
+// reaches a guard like
+//
+//	movi r12, 0x00010101   ; OID_GEN_SUPPORTED_LIST
+//	beq  r1, r12, q_supported
+//
+// only by guessing the exact 32-bit constant — a 1-in-2^32 event for random
+// mutation. Mining the immediates from the decoded text (the same closed
+// binary DDT already decodes; no source needed) and splicing them into feeds
+// at word-aligned offsets turns those guards into one-mutation events, the
+// standard syzkaller/AFL dictionary lever applied to DDT's feed encoding.
+type Dictionary struct {
+	// Words are all mined immediates, deduplicated and ascending.
+	Words []uint32
+	// OIDs is the OID-shaped subset of Words (see OIDShaped) — NDIS object
+	// identifiers get extra splice weight because the workload's
+	// QueryInformation/SetInformation phases consume an OID word directly.
+	OIDs []uint32
+}
+
+// OIDShaped reports whether v has the shape of an NDIS object identifier:
+// the general-characteristics (0x0001xxxx) or medium-specific (0x0101xxxx,
+// 0x0102xxxx) OID families the simulated kernel and the corpus drivers use.
+func OIDShaped(v uint32) bool {
+	switch v & 0xFFFF0000 {
+	case 0x00010000, 0x01010000, 0x01020000:
+		return true
+	}
+	return false
+}
+
+// MineDictionary scans the image's decoded instructions for data-carrying
+// immediates. Only value immediates are collected — MOVI constants and
+// ALU-immediate operands — never branch targets or load/store offsets,
+// which are addresses, not input-space constants. Also filtered out:
+// immediates that are pointers into the image itself (globals, function
+// addresses), stack-pointer arithmetic (frame offsets, not inputs), and
+// constants the mutator's interesting-value table already carries.
+func MineDictionary(img *binimg.Image) *Dictionary {
+	boring := make(map[uint32]bool, len(interesting32))
+	for _, v := range interesting32 {
+		boring[v] = true
+	}
+	seen := make(map[uint32]bool)
+	limit := img.LimitVA()
+	for off := 0; off+isa.InstrSize <= len(img.Text); off += isa.InstrSize {
+		in, err := isa.Decode(img.Text[off:])
+		if err != nil {
+			continue
+		}
+		switch in.Op {
+		case isa.MOVI:
+		case isa.ADDI, isa.ANDI, isa.ORI, isa.XORI, isa.MULI:
+			if in.Rd == isa.SP || in.Rs1 == isa.SP {
+				continue // frame/stack offset arithmetic
+			}
+		default:
+			continue
+		}
+		v := in.Imm
+		if v <= 8 || boring[v] {
+			continue // the interesting-value table already covers these
+		}
+		if v >= isa.ImageBase && v < limit {
+			continue // image pointer, not an input constant
+		}
+		seen[v] = true
+	}
+	d := &Dictionary{}
+	for v := range seen {
+		d.Words = append(d.Words, v)
+		if OIDShaped(v) {
+			d.OIDs = append(d.OIDs, v)
+		}
+	}
+	sort.Slice(d.Words, func(i, j int) bool { return d.Words[i] < d.Words[j] })
+	sort.Slice(d.OIDs, func(i, j int) bool { return d.OIDs[i] < d.OIDs[j] })
+	return d
+}
+
+// Len returns the number of mined words.
+func (d *Dictionary) Len() int { return len(d.Words) }
+
+// Contains reports whether v was mined (test helper).
+func (d *Dictionary) Contains(v uint32) bool {
+	i := sort.Search(len(d.Words), func(i int) bool { return d.Words[i] >= v })
+	return i < len(d.Words) && d.Words[i] == v
+}

@@ -1,0 +1,157 @@
+package fuzz
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/isa"
+	"repro/internal/kernel"
+)
+
+// TestDictionaryMinesKnownOIDs is table-driven over the corpus drivers:
+// the OID constants each driver's Query/Set handlers compare against (movi
+// immediates in the closed binary) must be mined, and classified as
+// OID-shaped. Audio drivers carry no NDIS OIDs but still yield a non-empty
+// dictionary of magic constants.
+func TestDictionaryMinesKnownOIDs(t *testing.T) {
+	cases := []struct {
+		driver string
+		oids   []uint32
+	}{
+		{"rtl8029", []uint32{
+			kernel.OIDGenSupportedList, kernel.OIDGenHardwareStatus,
+			kernel.OIDGenLinkSpeed, kernel.OIDGenCurrentPacketFil,
+			kernel.OIDGenCurrentLookahead, kernel.OID802_3PermanentAddr,
+			kernel.OID802_3MulticastList,
+		}},
+		{"amd-pcnet", []uint32{
+			kernel.OIDGenSupportedList, kernel.OIDGenLinkSpeed,
+			kernel.OIDGenCurrentPacketFil, kernel.OID802_3PermanentAddr,
+		}},
+		{"intel-pro100", []uint32{
+			kernel.OIDGenSupportedList, kernel.OIDGenLinkSpeed,
+			kernel.OIDGenCurrentPacketFil, kernel.OID802_3PermanentAddr,
+		}},
+		{"intel-pro1000", []uint32{
+			kernel.OIDGenSupportedList, kernel.OIDGenHardwareStatus,
+			kernel.OIDGenMaxFrameSize, kernel.OIDGenLinkSpeed,
+			kernel.OIDGenCurrentPacketFil, kernel.OIDGenCurrentLookahead,
+			kernel.OID802_3PermanentAddr, kernel.OID802_3CurrentAddr,
+		}},
+		{"ddk-sample", []uint32{kernel.OIDGenSupportedList}},
+		{"intel-ac97", nil},
+		{"ensoniq-audiopci", nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.driver, func(t *testing.T) {
+			img, err := corpus.Build(tc.driver, corpus.Buggy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := MineDictionary(img)
+			if d.Len() == 0 {
+				t.Fatal("empty dictionary")
+			}
+			oidSet := make(map[uint32]bool, len(d.OIDs))
+			for _, v := range d.OIDs {
+				if !OIDShaped(v) {
+					t.Fatalf("non-OID-shaped %#x in OID subset", v)
+				}
+				oidSet[v] = true
+			}
+			for _, want := range tc.oids {
+				if !d.Contains(want) {
+					t.Errorf("OID %#x not mined", want)
+				}
+				if !oidSet[want] {
+					t.Errorf("OID %#x not in the OID subset", want)
+				}
+			}
+			// No image pointers and no trivial constants.
+			for _, v := range d.Words {
+				if v <= 8 {
+					t.Fatalf("trivial constant %#x mined", v)
+				}
+				if v >= isa.ImageBase && v < img.LimitVA() {
+					t.Fatalf("image pointer %#x mined", v)
+				}
+			}
+		})
+	}
+}
+
+// TestDictionaryMutationDeterministic extends the mutation-determinism
+// property to the dictionary operators: same seed + same dictionary ⇒ same
+// mutant stream; a different dictionary changes the stream; and a nil
+// dictionary leaves the pre-dictionary operator rotation untouched.
+func TestDictionaryMutationDeterministic(t *testing.T) {
+	img, err := corpus.Build("rtl8029", corpus.Buggy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dict := MineDictionary(img)
+	base := &Feed{Data: make([]byte, 32), Forks: []byte{0}, IRQ: []uint64{64}}
+	donor := &Feed{Data: []byte{9, 9, 9, 9}}
+
+	a, b := NewMutator(42), NewMutator(42)
+	a.Dict, b.Dict = dict, dict
+	for i := 0; i < 300; i++ {
+		if !a.Mutate(base, donor).Equal(b.Mutate(base, donor)) {
+			t.Fatalf("iteration %d diverged under the same dictionary", i)
+		}
+	}
+
+	// The dictionary participates in the stream: with it detached, the same
+	// seed must eventually produce different mutants.
+	c, d := NewMutator(42), NewMutator(42)
+	c.Dict = dict
+	same := 0
+	for i := 0; i < 200; i++ {
+		if c.Mutate(base, donor).Equal(d.Mutate(base, donor)) {
+			same++
+		}
+	}
+	if same == 200 {
+		t.Fatal("dictionary had no effect on the mutation stream")
+	}
+}
+
+// TestDictionarySpliceBounds: dictionary splices stay within the feed size
+// caps and land mined words intact at feed-aligned (word) offsets.
+func TestDictionarySpliceBounds(t *testing.T) {
+	img, err := corpus.Build("rtl8029", corpus.Buggy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dict := MineDictionary(img)
+	mined := make(map[uint32]bool)
+	for _, v := range dict.Words {
+		mined[v] = true
+	}
+	mu := NewMutator(7)
+	mu.Dict = dict
+
+	base := &Feed{Data: make([]byte, 40)}
+	spliced := 0
+	for i := 0; i < 2000; i++ {
+		f := mu.Mutate(base, nil)
+		if len(f.Data) > maxDataLen || len(f.Forks) > maxForkLen || len(f.IRQ) > maxIRQLen {
+			t.Fatalf("mutant %d exceeds caps: %d/%d/%d", i, len(f.Data), len(f.Forks), len(f.IRQ))
+		}
+		// Count mutants that carry a mined word at an aligned offset. The
+		// base feed is all zeros and the dictionary holds no zero word, so
+		// any hit came from a splice.
+		for off := 0; off+4 <= len(f.Data); off += 4 {
+			if mined[binary.LittleEndian.Uint32(f.Data[off:])] {
+				spliced++
+				break
+			}
+		}
+	}
+	if spliced == 0 {
+		t.Fatal("no mutant ever carried a mined word at a feed-aligned offset")
+	}
+	t.Logf("%d/2000 mutants carried a dictionary word (%d words, %d OIDs mined)",
+		spliced, len(dict.Words), len(dict.OIDs))
+}

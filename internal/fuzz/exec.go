@@ -35,6 +35,14 @@ type Options struct {
 	MaxDPCs int
 	// Registry overrides/extends the default registry hive.
 	Registry map[string]uint32
+	// Persist enables persistent-mode execution: the executor snapshots the
+	// state reached after DriverEntry and after a successful Initialize, and
+	// serves later executions whose feeds share the consumed boot prefix by
+	// forking the snapshot instead of re-running the boot phases; boots that
+	// end the execution without a crash are memoized outright. Results are
+	// bit-identical to cold execution (see snapshot.go for the soundness
+	// argument and the determinism suite in persist_test.go for the proof).
+	Persist bool
 }
 
 // DefaultOptions mirror the engine's workload configuration, with tighter
@@ -105,6 +113,19 @@ type ExecResult struct {
 	ConsumedData  int
 	ConsumedForks int
 	ConsumedIRQ   int
+	// Warm reports that this execution resumed from a persistent-mode
+	// snapshot (Options.Persist) instead of re-running the boot phases.
+	Warm bool
+	// SkippedSteps counts the boot instructions a warm execution avoided
+	// re-executing. Steps still reports the full logical workload cost —
+	// identical to a cold execution of the same feed — so corpus accounting
+	// and coverage timelines do not depend on the execution mode.
+	SkippedSteps uint64
+	// Trace is the executed path's event chain (the final state's trace).
+	// Warm executions chain through the snapshot's recorded boot trace, so
+	// the event sequence equals a cold execution's — the determinism suite
+	// compares them event by event.
+	Trace *vm.TraceNode
 }
 
 // Executor runs driver workloads fully concretely from feeds. It owns one
@@ -128,10 +149,17 @@ type Executor struct {
 	reader    feedReader
 	loop      *checkers.LoopChecker
 	runBase   uint64 // m.Steps at execution start
+	stepsBase uint64 // logical boot steps a snapshot resume skipped
 	curNew    int
 	curSeen   map[uint32]bool
 	intrUsed  int
 	lastBlock uint32
+	eligBound uint64 // persistent mode: triggers below this could have fired
+
+	// snaps is the persistent-mode snapshot cache (nil when Persist is off).
+	// Like the executor it is single-threaded: the worker pool gives each
+	// worker its own executor, so snapshots are never shared across workers.
+	snaps *snapCache
 }
 
 // NewExecutor builds an executor for the image. cov may be nil (coverage
@@ -149,6 +177,9 @@ func NewExecutor(img *binimg.Image, cov *exerciser.Coverage, opts Options) *Exec
 	}
 	e.k.SymbolPolicy = e.symbolPolicy
 	e.k.ForkPolicy = e.forkPolicy
+	if opts.Persist {
+		e.snaps = &snapCache{}
+	}
 	e.m.OnBlock = func(s *vm.State, pc uint32) {
 		e.lastBlock = pc
 		if !e.curSeen[pc] {
@@ -167,7 +198,7 @@ func NewExecutor(img *binimg.Image, cov *exerciser.Coverage, opts Options) *Exec
 }
 
 func (e *Executor) now() uint64 {
-	t := e.m.Steps.Load() - e.runBase
+	t := e.m.Steps.Load() - e.runBase + e.stepsBase
 	if e.TimeBase != nil {
 		t += e.TimeBase()
 	}
@@ -224,16 +255,26 @@ func (e *Executor) forkPolicy(s *vm.State, api string) bool {
 // maybeInject delivers a scheduled interrupt at the first eligible instant
 // at or past its trigger. Eligibility mirrors the engine's injection rules:
 // an ISR must be registered and no interrupt context may be active.
+//
+// In persistent mode it additionally maintains eligBound, the exclusive
+// upper bound on trigger values that could still fire in the executed
+// segment: an instant is injection-eligible independently of any pending
+// trigger, so a snapshot knows that a candidate feed's unconsumed trigger
+// at or past the bound can never fire before the snapshot point — the
+// exact validity rule for interrupt schedules (snapshot.matches).
 func (e *Executor) maybeInject(s *vm.State) {
-	if e.intrUsed >= e.opts.MaxInterrupts {
-		return
-	}
 	trig, ok := e.reader.nextIRQ()
-	if !ok || s.ICount < trig {
+	pending := ok && s.ICount >= trig && e.intrUsed < e.opts.MaxInterrupts
+	if !pending && e.snaps == nil {
 		return
 	}
 	ks := kernel.Of(s)
-	if !ks.ISRRegistered || s.InInterrupt > 0 || ks.IRQL >= kernel.DeviceLevel {
+	eligible := ks.ISRRegistered && s.InInterrupt == 0 && ks.IRQL < kernel.DeviceLevel &&
+		e.intrUsed < e.opts.MaxInterrupts
+	if eligible && e.snaps != nil {
+		e.eligBound = s.ICount + 1
+	}
+	if !pending || !eligible {
 		return
 	}
 	e.reader.takeIRQ()
@@ -242,25 +283,142 @@ func (e *Executor) maybeInject(s *vm.State) {
 }
 
 // Run executes one feed through the full workload chain and reports the
-// outcome. Execution is deterministic in the feed.
+// outcome. Execution is deterministic in the feed, and — with Persist on —
+// independent of whether it ran cold or resumed from a snapshot.
 func (e *Executor) Run(feed *Feed) *ExecResult {
 	e.reader.reset(feed)
 	e.loop = checkers.NewLoopChecker(e.opts.LoopThreshold)
 	e.runBase = e.m.Steps.Load()
+	e.stepsBase = 0
 	e.curNew = 0
 	e.curSeen = make(map[uint32]bool)
 	e.intrUsed = 0
 	e.lastBlock = 0
+	e.eligBound = 0
 
 	res := &ExecResult{}
-	s := e.bootState()
-	e.runWorkload(s, res)
+	var fin *vm.State
+	if sn := e.lookupSnapshot(feed); sn != nil {
+		res.Warm = true
+		res.SkippedSteps = sn.steps
+		if sn.stage == stageTerminal {
+			return e.serveMemo(sn, feed, res)
+		}
+		e.resumeFrom(sn, feed, res)
+		s := e.m.ResumeState(sn.state)
+		if sn.stage == stageBooted {
+			fin = e.classWorkload(s, res)
+		} else {
+			fin = e.dataWorkload(s, res)
+		}
+	} else {
+		fin = e.runWorkload(e.bootState(), res)
+	}
 
 	res.NewBlocks = e.curNew
 	res.Blocks = len(e.curSeen)
-	res.Steps = e.m.Steps.Load() - e.runBase
+	res.Steps = e.m.Steps.Load() - e.runBase + e.stepsBase
 	res.ConsumedData, res.ConsumedForks, res.ConsumedIRQ = e.reader.consumed()
+	if fin != nil {
+		res.Trace = fin.Trace
+	}
 	return res
+}
+
+// lookupSnapshot returns the deepest valid snapshot for the feed, or nil
+// for a cold run (always nil with Persist off).
+func (e *Executor) lookupSnapshot(feed *Feed) *snapshot {
+	if e.snaps == nil {
+		return nil
+	}
+	return e.snaps.best(feed)
+}
+
+// resumeFrom restores the executor's per-execution context to the snapshot
+// point: feed cursors, interrupt budget, per-exec coverage, entry log.
+func (e *Executor) resumeFrom(sn *snapshot, feed *Feed, res *ExecResult) {
+	e.reader.resumeAt(feed, sn.words, sn.forkBits, sn.irqs)
+	e.stepsBase = sn.steps
+	e.intrUsed = sn.intrUsed
+	e.lastBlock = sn.lastBlock
+	e.eligBound = sn.eligBound
+	e.curSeen = make(map[uint32]bool, len(sn.seen))
+	for pc := range sn.seen {
+		e.curSeen[pc] = true
+	}
+	res.Entries = append(res.Entries, sn.entries...)
+}
+
+// serveMemo concludes an execution whose entire outcome was decided by a
+// memoized boot prefix, without executing anything. Every field matches
+// what a cold execution of the feed would report: the recording run marked
+// the boot blocks in the shared coverage map, so a cold replay would find
+// no novelty in them either, and the consumed-byte cursors are recomputed
+// against this feed's own stream lengths.
+func (e *Executor) serveMemo(sn *snapshot, feed *Feed, res *ExecResult) *ExecResult {
+	res.Blocks = len(sn.seen)
+	res.NewBlocks = 0
+	res.Steps = sn.steps
+	res.Entries = append(res.Entries, sn.entries...)
+	res.Trace = sn.trace
+	res.ConsumedData, res.ConsumedForks = clampCursors(feed, sn.words, sn.forkBits)
+	res.ConsumedIRQ = sn.irqs
+	return res
+}
+
+// recordSnapshot captures a resumable snapshot of s at the given stage.
+func (e *Executor) recordSnapshot(stage snapStage, s *vm.State, res *ExecResult) {
+	if e.snaps == nil {
+		return
+	}
+	sn := e.captureContext(stage, res)
+	sn.state = e.m.SnapshotState(s)
+	e.snaps.add(sn)
+}
+
+// recordTerminal memoizes an execution whose workload ended at (or before)
+// the boot phases without crashing: the boot prefix alone decided the
+// whole result, so later feeds sharing it can skip execution entirely.
+func (e *Executor) recordTerminal(s *vm.State, res *ExecResult) {
+	if e.snaps == nil || res.Crash != nil {
+		return
+	}
+	sn := e.captureContext(stageTerminal, res)
+	if s != nil {
+		sn.trace = s.Trace
+	}
+	e.snaps.add(sn)
+}
+
+// captureContext snapshots the executor's per-execution replay context —
+// the semantic feed cursors, the effective consumed streams, and the
+// coverage/entry state — common to resumable and terminal snapshots.
+func (e *Executor) captureContext(stage snapStage, res *ExecResult) *snapshot {
+	r := &e.reader
+	f := r.feed
+	dataN, forkN := clampCursors(f, r.words, r.forkBits)
+	sn := &snapshot{
+		stage:     stage,
+		words:     r.words,
+		forkBits:  r.forkBits,
+		irqs:      r.irq,
+		data:      append([]byte(nil), f.Data[:dataN]...),
+		forks:     make([]byte, forkN),
+		irq:       append([]uint64(nil), f.IRQ[:r.irq]...),
+		steps:     e.m.Steps.Load() - e.runBase + e.stepsBase,
+		eligBound: e.eligBound,
+		intrUsed:  e.intrUsed,
+		lastBlock: e.lastBlock,
+		seen:      make(map[uint32]bool, len(e.curSeen)),
+		entries:   append([]string(nil), res.Entries...),
+	}
+	for j := 0; j < forkN; j++ {
+		sn.forks[j] = f.Forks[j] & 1
+	}
+	for pc := range e.curSeen {
+		sn.seen[pc] = true
+	}
+	return sn
 }
 
 func (e *Executor) bootState() *vm.State {
@@ -281,25 +439,66 @@ func (e *Executor) bootState() *vm.State {
 	return s
 }
 
-// runWorkload drives the workload chain: DriverEntry, then the class
-// workload the OS would run, concretely, one path.
-func (e *Executor) runWorkload(s *vm.State, res *ExecResult) {
+// runWorkload drives the workload chain from a cold boot: DriverEntry, then
+// the class workload the OS would run, concretely, one path. It returns the
+// state the execution ended on.
+func (e *Executor) runWorkload(s *vm.State, res *ExecResult) *vm.State {
 	s, ok := e.runEntry(s, "DriverEntry", e.img.Entry, nil, res)
 	if !ok {
-		return
+		e.recordTerminal(s, res)
+		return s
 	}
+	e.recordSnapshot(stageBooted, s, res)
+	return e.classWorkload(s, res)
+}
+
+// classWorkload runs the Initialize gate for the device class and, on
+// success, the data path. A boot that ends the execution here — Initialize
+// crashed, was killed, or returned non-success, or the class has no
+// workload — is memoized as a terminal snapshot: its outcome was a pure
+// function of the consumed boot prefix.
+func (e *Executor) classWorkload(s *vm.State, res *ExecResult) *vm.State {
+	var initPC uint32
 	switch e.img.Device.Class {
 	case binimg.ClassNetwork:
-		e.networkWorkload(s, res)
+		if m := kernel.Of(s).Miniport; m != nil {
+			initPC = m.InitializePC
+		}
 	case binimg.ClassAudio:
-		e.audioWorkload(s, res)
+		if a := kernel.Of(s).Audio; a != nil {
+			initPC = a.InitializePC
+		}
+	default:
+		e.recordTerminal(s, res)
+		return s
 	}
+	adapter := expr.Const(adapterHandle)
+	s2, ok, status := e.runEntryStatus(s, "Initialize", initPC, []*expr.Expr{adapter}, res)
+	if !ok || status != kernel.StatusSuccess {
+		// The OS only exercises the data path — and eventually Halt — on an
+		// adapter that initialized successfully.
+		e.recordTerminal(s2, res)
+		return s2
+	}
+	e.recordSnapshot(stageInitialized, s2, res)
+	return e.dataWorkload(s2, res)
+}
+
+// dataWorkload exercises the post-Initialize phases for the device class.
+func (e *Executor) dataWorkload(s *vm.State, res *ExecResult) *vm.State {
+	switch e.img.Device.Class {
+	case binimg.ClassNetwork:
+		return e.networkData(s, res)
+	case binimg.ClassAudio:
+		return e.audioData(s, res)
+	}
+	return s
 }
 
 // adapterHandle mirrors the workload generator's opaque per-adapter context.
 const adapterHandle uint32 = 0x7000_0001
 
-func (e *Executor) networkWorkload(s *vm.State, res *ExecResult) {
+func (e *Executor) networkData(s *vm.State, res *ExecResult) *vm.State {
 	// Entry PCs and kernel state are re-read from the live state after
 	// every phase: runEntry may return a forked successor whose KState is a
 	// distinct object.
@@ -310,35 +509,30 @@ func (e *Executor) networkWorkload(s *vm.State, res *ExecResult) {
 		return &kernel.MiniportChars{}
 	}
 	adapter := expr.Const(adapterHandle)
+	var ok bool
 
-	s2, ok, status := e.runEntryStatus(s, "Initialize", mp().InitializePC, []*expr.Expr{adapter}, res)
-	s = s2
-	if !ok || status != kernel.StatusSuccess {
-		// The OS only exercises the data path — and eventually Halt — on an
-		// adapter that initialized successfully.
-		return
-	}
 	if pkt := e.makePacket(s); pkt != 0 {
 		if s, ok = e.runEntry(s, "Send", mp().SendPC, []*expr.Expr{adapter, expr.Const(pkt)}, res); !ok {
-			return
+			return s
 		}
 	}
 	if s, ok = e.runEntry(s, "QueryInformation", mp().QueryInfoPC, e.infoArgs(s, adapter, kernel.OIDGenSupportedList), res); !ok {
-		return
+		return s
 	}
 	if s, ok = e.runEntry(s, "SetInformation", mp().SetInfoPC, e.infoArgs(s, adapter, kernel.OIDGenCurrentPacketFil), res); !ok {
-		return
+		return s
 	}
 	if s, ok = e.runISR(s, adapter, res); !ok {
-		return
+		return s
 	}
 	if s, ok = e.drainDPCs(s, res); !ok {
-		return
+		return s
 	}
-	e.runEntry(s, "Halt", mp().HaltPC, []*expr.Expr{adapter}, res)
+	s, _ = e.runEntry(s, "Halt", mp().HaltPC, []*expr.Expr{adapter}, res)
+	return s
 }
 
-func (e *Executor) audioWorkload(s *vm.State, res *ExecResult) {
+func (e *Executor) audioData(s *vm.State, res *ExecResult) *vm.State {
 	au := func() *kernel.AudioChars {
 		if a := kernel.Of(s).Audio; a != nil {
 			return a
@@ -346,27 +540,24 @@ func (e *Executor) audioWorkload(s *vm.State, res *ExecResult) {
 		return &kernel.AudioChars{}
 	}
 	adapter := expr.Const(adapterHandle)
+	var ok bool
 
-	s2, ok, status := e.runEntryStatus(s, "Initialize", au().InitializePC, []*expr.Expr{adapter}, res)
-	s = s2
-	if !ok || status != kernel.StatusSuccess {
-		return
-	}
 	if buf := e.makeAudioBuffer(s); buf != 0 {
 		if s, ok = e.runEntry(s, "Play", au().PlayPC, []*expr.Expr{adapter, expr.Const(buf), expr.Const(256)}, res); !ok {
-			return
+			return s
 		}
 	}
 	if s, ok = e.runISR(s, adapter, res); !ok {
-		return
+		return s
 	}
 	if s, ok = e.drainDPCs(s, res); !ok {
-		return
+		return s
 	}
 	if s, ok = e.runEntry(s, "Stop", au().StopPC, []*expr.Expr{adapter}, res); !ok {
-		return
+		return s
 	}
-	e.runEntry(s, "Halt", au().HaltPC, []*expr.Expr{adapter}, res)
+	s, _ = e.runEntry(s, "Halt", au().HaltPC, []*expr.Expr{adapter}, res)
+	return s
 }
 
 func (e *Executor) runISR(s *vm.State, adapter *expr.Expr, res *ExecResult) (*vm.State, bool) {

@@ -108,9 +108,46 @@ type feedReader struct {
 	pos  int // next byte of Data
 	fork int // next byte of Forks
 	irq  int // next entry of IRQ
+
+	// words and forkBits count SEMANTIC consumption: word() calls and fork
+	// decisions made, including reads past the end of a stream (which answer
+	// zero without advancing the byte cursors). The byte cursors alone cannot
+	// distinguish "read five words of a 4-byte feed" from "read one", and the
+	// persistent-mode snapshot needs the semantic counts to compare and
+	// restore boot prefixes exactly (see snapshot.go).
+	words    int
+	forkBits int
 }
 
 func (r *feedReader) reset(f *Feed) { *r = feedReader{feed: f} }
+
+// clampCursors maps semantic consumption counts onto a concrete feed's
+// byte cursors: the data cursor stops at the stream end (reads past it
+// answered zero without advancing), the fork cursor likewise. This is THE
+// definition of where a cold execution's cursors land after the given
+// consumption — snapshot recording, memo serving, and resume all go
+// through it so they cannot drift apart.
+func clampCursors(f *Feed, words, forkBits int) (dataN, forkN int) {
+	dataN = 4 * words
+	if dataN > len(f.Data) {
+		dataN = len(f.Data)
+	}
+	forkN = forkBits
+	if forkN > len(f.Forks) {
+		forkN = len(f.Forks)
+	}
+	return dataN, forkN
+}
+
+// resumeAt positions the reader over f as if words/forkBits/irqs had
+// already been consumed — the recorded boot-prefix cursors of a snapshot.
+// Valid only for feeds whose effective prefix matches the snapshot's
+// (snapshot.matches), so the byte cursors land exactly where a cold
+// execution of f would have left them.
+func (r *feedReader) resumeAt(f *Feed, words, forkBits, irqs int) {
+	pos, fork := clampCursors(f, words, forkBits)
+	*r = feedReader{feed: f, pos: pos, fork: fork, irq: irqs, words: words, forkBits: forkBits}
+}
 
 // word consumes the next little-endian word; missing bytes read as zero.
 func (r *feedReader) word() uint32 {
@@ -121,11 +158,13 @@ func (r *feedReader) word() uint32 {
 			r.pos++
 		}
 	}
+	r.words++
 	return v
 }
 
 // forkBit consumes the next fork decision.
 func (r *feedReader) forkBit() bool {
+	r.forkBits++
 	if r.fork >= len(r.feed.Forks) {
 		return false
 	}

@@ -36,6 +36,15 @@ type Config struct {
 	Seeds []*Feed
 	// MinimizeBudget bounds the per-crash feed-minimization executions.
 	MinimizeBudget int
+	// Persist enables persistent-mode executors: boot phases (DriverEntry +
+	// Initialize) run once per boot prefix and later executions resume from
+	// the snapshot (Options.Persist; see snapshot.go). Results are
+	// bit-identical to cold-start execution — only the wall clock changes.
+	Persist bool
+	// Dict mines a dictionary of instruction immediates (OID constants,
+	// magic values) from the driver image and enables the mutator's
+	// dictionary-splice operators.
+	Dict bool
 	// Exec configures the per-worker executors.
 	Exec Options
 }
@@ -61,8 +70,27 @@ type Report struct {
 	// TriageExecs counts the extra executions spent verifying and
 	// minimizing crashes.
 	TriageExecs uint64 `json:"triage_execs"`
-	// Instructions is total simulated instructions across all workers.
+	// Instructions is total simulated instructions across all workers. With
+	// persistent mode on, boot instructions a snapshot resume logically
+	// replayed without re-executing are included, so the simulated-time axis
+	// (and the coverage series on it) is identical to a cold-start campaign;
+	// SkippedInstructions reports how many of them never actually ran.
 	Instructions uint64 `json:"instructions"`
+	// Persistent-mode split (Config.Persist): campaign executions that ran
+	// the full boot (cold) versus resumed from a snapshot or memoized boot
+	// (warm). The per-sec figures are PER-WORKER throughput — executions
+	// divided by the worker time spent in that mode, i.e. the inverse mean
+	// execution duration — so cold and warm are directly comparable to
+	// each other at any worker count; multiply by Workers to compare
+	// against the fleet-wide ExecsPerSec. Triage re-executions are not
+	// included in the split.
+	ColdExecs           uint64  `json:"cold_execs"`
+	WarmExecs           uint64  `json:"warm_execs"`
+	ColdExecsPerSec     float64 `json:"cold_execs_per_sec_per_worker"`
+	WarmExecsPerSec     float64 `json:"warm_execs_per_sec_per_worker"`
+	SkippedInstructions uint64  `json:"skipped_instructions"`
+	// DictWords is the mined dictionary size (Config.Dict).
+	DictWords int `json:"dict_words,omitempty"`
 	// Crashes are the deduplicated crashes in discovery order.
 	Crashes []*Crash `json:"crashes"`
 	// CrashFeeds maps crash keys to their minimized reproducer feeds.
@@ -98,6 +126,13 @@ func (r *Report) String() string {
 	fmt.Fprintf(&sb, "fuzz report for driver %q\n", r.Driver)
 	fmt.Fprintf(&sb, "  execs: %d (+%d triage) in %v (%.0f execs/sec, %d workers)\n",
 		r.Execs, r.TriageExecs, r.Elapsed.Round(time.Millisecond), r.ExecsPerSec, r.Workers)
+	if r.Exec.Persist {
+		fmt.Fprintf(&sb, "  persistent: %d cold (%.0f/sec/worker) / %d warm (%.0f/sec/worker), %d boot instructions skipped\n",
+			r.ColdExecs, r.ColdExecsPerSec, r.WarmExecs, r.WarmExecsPerSec, r.SkippedInstructions)
+	}
+	if r.DictWords > 0 {
+		fmt.Fprintf(&sb, "  dictionary: %d mined immediates\n", r.DictWords)
+	}
 	fmt.Fprintf(&sb, "  coverage: %d/%d basic blocks, corpus: %d feeds\n",
 		r.BlocksCovered, r.BlocksStatic, r.CorpusSize)
 	if len(r.Crashes) == 0 {
@@ -136,11 +171,17 @@ type Fuzzer struct {
 	corpus  *Corpus
 	crashes *crashStore
 	queue   *Queue
+	dict    *Dictionary
 
 	execsStarted atomic.Uint64
 	execsDone    atomic.Uint64
 	triageExecs  atomic.Uint64
 	steps        atomic.Uint64
+	coldExecs    atomic.Uint64
+	warmExecs    atomic.Uint64
+	coldNS       atomic.Uint64
+	warmNS       atomic.Uint64
+	skippedSteps atomic.Uint64
 	deadline     time.Time
 	seedCount    int
 }
@@ -173,7 +214,10 @@ func New(img *binimg.Image, cfg Config) *Fuzzer {
 	if cfg.Exec.MaxDPCs == 0 {
 		cfg.Exec.MaxDPCs = def.MaxDPCs
 	}
-	return &Fuzzer{
+	if cfg.Persist {
+		cfg.Exec.Persist = true
+	}
+	f := &Fuzzer{
 		img:     img,
 		cfg:     cfg,
 		Cov:     exerciser.NewCoverage(len(binimg.StaticBlocks(img))),
@@ -181,6 +225,10 @@ func New(img *binimg.Image, cfg Config) *Fuzzer {
 		crashes: newCrashStore(),
 		queue:   NewQueue(cfg.Workers),
 	}
+	if cfg.Dict {
+		f.dict = MineDictionary(img)
+	}
+	return f
 }
 
 // Corpus exposes the campaign's corpus (the hybrid loop lifts its
@@ -228,25 +276,37 @@ func (f *Fuzzer) Run() (*Report, error) {
 
 	elapsed := time.Since(start)
 	rep := &Report{
-		Driver:         f.img.Name,
-		Workers:        f.cfg.Workers,
-		Execs:          f.execsDone.Load(),
-		TriageExecs:    f.triageExecs.Load(),
-		Instructions:   f.steps.Load(),
-		Crashes:        f.crashes.list(),
-		CrashFeeds:     make(map[string]*Feed),
-		CorpusSize:     f.corpus.Len(),
-		BlocksCovered:  f.Cov.Blocks(),
-		BlocksStatic:   f.Cov.TotalStatic,
-		CoverageSeries: f.Cov.Series(),
-		Exec:           f.cfg.Exec,
-		Elapsed:        elapsed,
+		Driver:              f.img.Name,
+		Workers:             f.cfg.Workers,
+		Execs:               f.execsDone.Load(),
+		TriageExecs:         f.triageExecs.Load(),
+		Instructions:        f.steps.Load(),
+		ColdExecs:           f.coldExecs.Load(),
+		WarmExecs:           f.warmExecs.Load(),
+		SkippedInstructions: f.skippedSteps.Load(),
+		Crashes:             f.crashes.list(),
+		CrashFeeds:          make(map[string]*Feed),
+		CorpusSize:          f.corpus.Len(),
+		BlocksCovered:       f.Cov.Blocks(),
+		BlocksStatic:        f.Cov.TotalStatic,
+		CoverageSeries:      f.Cov.Series(),
+		Exec:                f.cfg.Exec,
+		Elapsed:             elapsed,
 	}
 	for _, c := range rep.Crashes {
 		rep.CrashFeeds[c.Key()] = c.Feed
 	}
 	if sec := elapsed.Seconds(); sec > 0 {
 		rep.ExecsPerSec = float64(rep.Execs) / sec
+	}
+	if ns := f.coldNS.Load(); ns > 0 {
+		rep.ColdExecsPerSec = float64(rep.ColdExecs) / (float64(ns) / 1e9)
+	}
+	if ns := f.warmNS.Load(); ns > 0 {
+		rep.WarmExecsPerSec = float64(rep.WarmExecs) / (float64(ns) / 1e9)
+	}
+	if f.dict != nil {
+		rep.DictWords = f.dict.Len()
 	}
 	if f.cfg.CorpusDir != "" {
 		if err := f.corpus.SaveDir(f.cfg.CorpusDir); err != nil {
@@ -260,6 +320,8 @@ func (f *Fuzzer) worker(worker int) {
 	exec := NewExecutor(f.img, f.Cov, f.cfg.Exec)
 	exec.TimeBase = f.steps.Load
 	mu := NewMutator(f.cfg.Seed + int64(worker))
+	mu.Dict = f.dict
+	persist := f.cfg.Exec.Persist
 
 	for {
 		n := f.execsStarted.Add(1)
@@ -281,7 +343,22 @@ func (f *Fuzzer) worker(worker int) {
 			}
 		}
 
+		var t0 time.Time
+		if persist {
+			t0 = time.Now()
+		}
 		res := exec.Run(feed)
+		if persist {
+			d := uint64(time.Since(t0))
+			if res.Warm {
+				f.warmExecs.Add(1)
+				f.warmNS.Add(d)
+				f.skippedSteps.Add(res.SkippedSteps)
+			} else {
+				f.coldExecs.Add(1)
+				f.coldNS.Add(d)
+			}
+		}
 		f.execsDone.Add(1)
 		f.steps.Add(res.Steps)
 

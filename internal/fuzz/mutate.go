@@ -26,11 +26,21 @@ var interesting32 = []uint32{
 
 // Mutator derives new feeds from corpus feeds: bit and byte flips,
 // interesting-value substitution, block insert/delete/duplicate, splice
-// with another corpus feed, fork-decision flips, and interrupt-timing
-// shifts. All randomness flows from the seeded source, so a mutator with a
-// fixed seed is deterministic.
+// with another corpus feed, fork-decision flips, interrupt-timing shifts,
+// and — with a dictionary attached — mined-constant splices. All randomness
+// flows from the seeded source, so a mutator with a fixed seed (and fixed
+// dictionary) is deterministic.
 type Mutator struct {
 	rng *rand.Rand
+
+	// Dict, when non-nil and non-empty, enables two dictionary-splice
+	// operators that inject constants mined from the driver image at
+	// feed-aligned (word) offsets — the offsets the executor's word cursor
+	// actually reads, so a spliced OID lands intact in one injection site
+	// instead of straddling two. Set it before the first Mutate call and
+	// never change it afterwards: the mutation stream is a pure function of
+	// (seed, dictionary), which is what keeps campaigns replayable.
+	Dict *Dictionary
 }
 
 // NewMutator returns a mutator over a deterministic random stream.
@@ -71,8 +81,12 @@ func randIRQTime(r *rand.Rand) uint64 {
 func (mu *Mutator) Mutate(base *Feed, donor *Feed) *Feed {
 	r := mu.rng
 	f := base.Clone()
+	ops := 10
+	if mu.Dict != nil && len(mu.Dict.Words) > 0 {
+		ops = 12 // the two dictionary-splice operators join the rotation
+	}
 	for n := 1 + r.Intn(4); n > 0; n-- {
-		switch r.Intn(10) {
+		switch r.Intn(ops) {
 		case 0: // bit flip
 			if len(f.Data) > 0 {
 				i := r.Intn(len(f.Data))
@@ -142,12 +156,45 @@ func (mu *Mutator) Mutate(base *Feed, donor *Feed) *Feed {
 			} else if len(f.Data) > 0 {
 				f.Data[r.Intn(len(f.Data))] = byte(r.Intn(256))
 			}
+		case 10: // dictionary splice: overwrite a feed-aligned word with a mined constant
+			if len(f.Data) >= 4 {
+				i := r.Intn(len(f.Data)/4) * 4
+				binary.LittleEndian.PutUint32(f.Data[i:], mu.dictWord(r))
+			} else if len(f.Data)+8 <= maxDataLen {
+				// Shorter than one word: pad to the next word boundary first,
+				// so the constant still lands intact in a single injection
+				// site instead of straddling the cursor's word reads.
+				for len(f.Data)%4 != 0 {
+					f.Data = append(f.Data, 0)
+				}
+				var w [4]byte
+				binary.LittleEndian.PutUint32(w[:], mu.dictWord(r))
+				f.Data = append(f.Data, w[:]...)
+			}
+		case 11: // dictionary splice: insert a mined constant at a feed-aligned offset
+			if len(f.Data)+4 <= maxDataLen {
+				i := r.Intn(len(f.Data)/4+1) * 4
+				var w [4]byte
+				binary.LittleEndian.PutUint32(w[:], mu.dictWord(r))
+				f.Data = append(f.Data[:i:i], append(w[:], f.Data[i:]...)...)
+			}
 		}
 	}
 	if len(f.Data) > maxDataLen {
 		f.Data = f.Data[:maxDataLen]
 	}
 	return f
+}
+
+// dictWord draws one dictionary constant, preferring the OID-shaped subset
+// half the time (the Query/Set workload phases consume an OID word
+// directly, so those constants unlock whole handler bodies at once).
+func (mu *Mutator) dictWord(r *rand.Rand) uint32 {
+	d := mu.Dict
+	if len(d.OIDs) > 0 && r.Intn(2) == 0 {
+		return d.OIDs[r.Intn(len(d.OIDs))]
+	}
+	return d.Words[r.Intn(len(d.Words))]
 }
 
 func sortIRQ(irq []uint64) {

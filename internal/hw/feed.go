@@ -27,6 +27,15 @@ type FeedSource interface {
 // write counters, the recent-write window used by bug post-mortems) is kept
 // identical to SymbolicDevice, so checkers and analyses behave the same in
 // both modes.
+//
+// Forkable audit note: the per-path DeviceState forks with the vm.State,
+// but the feed CURSOR deliberately does not live here — it belongs to the
+// FeedSource (the fuzz executor), because one execution is one feed
+// regardless of how often the state forks mid-path. Anything that
+// snapshots a mid-workload state for later resumption must therefore
+// capture the cursor alongside the state; the persistent-mode executor
+// records the semantic word/fork/IRQ consumption counts in its snapshots
+// (fuzz/snapshot.go) for exactly this reason.
 type ConcreteDevice struct {
 	Desc binimg.PCIDescriptor
 	Src  FeedSource

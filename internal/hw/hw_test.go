@@ -1,6 +1,7 @@
 package hw
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/asm"
@@ -124,5 +125,31 @@ func TestSymbolProvenance(t *testing.T) {
 	info := m.Syms.Info(ids[0])
 	if info.Origin != expr.OriginHardware {
 		t.Errorf("origin = %v", info.Origin)
+	}
+}
+
+// TestDeviceStateForkNoAliasing: forking the device half of a state
+// snapshot must deep-copy the recent-write window — a snapshot-then-fork
+// execution pattern appends writes on resumed children, and a shared
+// backing array would let a child overwrite the frozen snapshot's
+// post-mortem evidence.
+func TestDeviceStateForkNoAliasing(t *testing.T) {
+	parent := &DeviceState{RegReads: 3, PortWrites: 1}
+	for i := 0; i < 5; i++ {
+		parent.recordWrite(RegWrite{Addr: uint32(i), Seq: uint64(i)})
+	}
+	before := fmt.Sprintf("%+v", *parent)
+
+	child := parent.Fork().(*DeviceState)
+	child.RegReads = 100
+	child.LastWrites[0].Addr = 0xDEAD // shared backing array would alias
+	for i := 0; i < 40; i++ {
+		child.recordWrite(RegWrite{Addr: 0xBEEF, Seq: 1000 + uint64(i)})
+	}
+	if got := fmt.Sprintf("%+v", *parent); got != before {
+		t.Fatalf("mutating the fork changed the parent:\n%s\nvs\n%s", before, got)
+	}
+	if parent.WroteRegister(0xBEEF) || parent.WroteRegister(0xDEAD) {
+		t.Fatal("child writes visible through the parent")
 	}
 }

@@ -173,6 +173,26 @@ func (m *Machine) ForkState(s *State) *State {
 	return s.Fork(m.newID())
 }
 
+// SnapshotState freezes a deep snapshot of s mid-run and returns it. The
+// running state continues on a fresh COW overlay, exactly as after a Fork;
+// the snapshot is never stepped — it exists to serve ResumeState children.
+// Unlike ForkState it does not count toward the fork statistics (a snapshot
+// is a replay optimization, not an explored branch), and the snapshot keeps
+// the path's loop accounting so resumed children replay exactly as the
+// original path would have continued.
+func (m *Machine) SnapshotState(s *State) *State {
+	snap := s.Fork(m.newID())
+	snap.LoopCounts = s.loopCountsCopy()
+	return snap
+}
+
+// ResumeState clones a frozen snapshot into a fresh runnable state. The
+// snapshot itself is not mutated, so any number of executions can resume
+// from it without deepening its overlay chain (State.ForkFrozen).
+func (m *Machine) ResumeState(snap *State) *State {
+	return snap.ForkFrozen(m.newID())
+}
+
 // inText reports whether pc addresses a decoded instruction.
 func (m *Machine) inText(pc uint32) bool {
 	return pc >= isa.ImageBase && pc < isa.ImageBase+uint32(len(m.instrs))*isa.InstrSize &&

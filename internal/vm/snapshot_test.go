@@ -1,0 +1,118 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/expr"
+	"repro/internal/isa"
+)
+
+// forkable is a minimal Forkable for snapshot tests.
+type forkable struct{ n int }
+
+func (f *forkable) Fork() Forkable { c := *f; return &c }
+
+// TestForkFrozenDoesNotMutateSnapshot is the state-restore invariant behind
+// persistent-mode execution: any number of children can resume from one
+// frozen snapshot, each child's writes stay private, and the snapshot —
+// memory, registers, loop accounting, overlay depth — is bit-identical
+// afterwards. Contrast with Fork, which reassigns the parent's memory onto
+// a fresh overlay each call and so deepens its chain.
+func TestForkFrozenDoesNotMutateSnapshot(t *testing.T) {
+	snap := NewState(1)
+	snap.Mem.WriteBytes(0x100000, []byte{1, 2, 3, 4})
+	snap.Regs[isa.R3] = expr.Const(77)
+	snap.PC = 0x100008
+	snap.ICount = 500
+	snap.Kernel = &forkable{n: 1}
+	snap.HW = &forkable{n: 2}
+	snap.LoopCounts = map[uint32]uint64{0x100000: 9}
+	snap.Meta = map[string]uint64{"k": 1}
+	snap.PushInterrupt(0x100100)
+	snap.PopInterrupt()
+
+	memDepth := snap.Mem.Depth()
+	memObj := snap.Mem
+	traceObj := snap.Trace
+
+	var children []*State
+	for i := 0; i < 8; i++ {
+		c := snap.ForkFrozen(uint64(100 + i))
+		children = append(children, c)
+
+		// Children inherit the replay context...
+		if c.PC != snap.PC || c.ICount != snap.ICount || c.Parent != snap.ID {
+			t.Fatalf("child %d lost context: %+v", i, c)
+		}
+		if v, ok := c.RegConcrete(isa.R3); !ok || v != 77 {
+			t.Fatalf("child %d lost registers", i)
+		}
+		// ...including the loop accounting, which Fork deliberately resets
+		// but a snapshot resume must carry (it continues the same path).
+		if c.LoopCounts[0x100000] != 9 {
+			t.Fatalf("child %d lost loop counts", i)
+		}
+
+		// Child writes stay private.
+		c.Mem.Write(0x100000, 4, expr.Const(uint32(0xAAAA0000+uint32(i))))
+		c.LoopCounts[0x100000] = uint64(i)
+		c.Meta["k"] = uint64(i)
+		c.Kernel.(*forkable).n = 100 + i
+	}
+
+	// The snapshot is untouched: same memory object at the same depth (no
+	// per-resume overlay growth), same contents, same bookkeeping.
+	if snap.Mem != memObj || snap.Mem.Depth() != memDepth {
+		t.Fatalf("snapshot memory mutated: depth %d -> %d", memDepth, snap.Mem.Depth())
+	}
+	if snap.Trace != traceObj {
+		t.Fatal("snapshot trace reassigned")
+	}
+	if got := snap.Mem.Read(0x100000, 4); !got.IsConst() || got.ConstVal() != 0x04030201 {
+		t.Fatalf("snapshot memory corrupted: %v", got)
+	}
+	if snap.LoopCounts[0x100000] != 9 || snap.Meta["k"] != 1 || snap.Kernel.(*forkable).n != 1 {
+		t.Fatal("snapshot bookkeeping corrupted by children")
+	}
+	// Children do not see each other's writes.
+	for i, c := range children {
+		if got := c.Mem.Read(0x100000, 4); got.ConstVal() != 0xAAAA0000+uint32(i) {
+			t.Fatalf("child %d lost its private write: %v", i, got)
+		}
+	}
+}
+
+// TestSnapshotStateFreezesRunningPath: Machine.SnapshotState captures a
+// mid-run state such that (a) the running path continues unaffected, (b)
+// the snapshot keeps the loop accounting, and (c) later writes by the
+// running path never reach the snapshot or its resumed children.
+func TestSnapshotStateFreezesRunningPath(t *testing.T) {
+	img, err := asm.Assemble(".entry e\n.text\ne: movi r1, 0x11\n ret\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(img, expr.NewSymbolTable(), nil)
+	s := m.NewRootState()
+	s.LoopCounts = map[uint32]uint64{0x100000: 3}
+	s.Mem.Write(0x200000, 4, expr.Const(1))
+
+	snap := m.SnapshotState(s)
+	if snap.LoopCounts[0x100000] != 3 {
+		t.Fatal("snapshot lost loop accounting")
+	}
+	// The running path keeps executing and writing...
+	s.Mem.Write(0x200000, 4, expr.Const(2))
+	s.LoopCounts[0x100000] = 99
+	// ...without contaminating the snapshot or a resumed child.
+	c := m.ResumeState(snap)
+	if got := c.Mem.Read(0x200000, 4); got.ConstVal() != 1 {
+		t.Fatalf("resumed child sees the running path's later write: %v", got)
+	}
+	if c.LoopCounts[0x100000] != 3 {
+		t.Fatalf("resumed child loop counts = %d, want the snapshot's 3", c.LoopCounts[0x100000])
+	}
+	if c.ID == snap.ID || c.ID == s.ID {
+		t.Fatal("resumed child did not get a fresh ID")
+	}
+}

@@ -143,29 +143,27 @@ func NewState(id uint64) *State {
 	return s
 }
 
-// Fork clones s into a child with the given ID. The shared memory and
-// trace snapshots are frozen: both the child AND the (possibly still
-// running) parent continue on fresh copy-on-write overlays, so neither can
-// observe the other's subsequent writes. This matters for annotation and
-// interrupt-injection forks, where the parent keeps executing.
-func (s *State) Fork(id uint64) *State {
-	frozenMem := s.Mem
-	s.Mem = frozenMem.Fork()
-	frozenTrace := s.Trace
-	s.Trace = &TraceNode{parent: frozenTrace}
+// cloneChild builds a child of s carrying every inherited field. The
+// memory and trace differ between the two fork flavours — Fork freezes the
+// running parent onto fresh overlays, ForkFrozen forks a frozen parent in
+// place — so the caller supplies them. LoopCounts is the only other field
+// the flavours disagree on (see Fork/ForkFrozen); everything else lives
+// here exactly once, so a new State field cannot be cloned by one flavour
+// and silently dropped by the other.
+func (s *State) cloneChild(id uint64, mem *Memory, trace *TraceNode) *State {
 	c := &State{
 		ID:          id,
 		Parent:      s.ID,
 		Regs:        s.Regs, // array copy
 		PC:          s.PC,
-		Mem:         frozenMem.Fork(),
+		Mem:         mem,
 		Constraints: s.Constraints[:len(s.Constraints):len(s.Constraints)],
 		ICount:      s.ICount,
 		Depth:       s.Depth + 1,
 		InInterrupt: s.InInterrupt,
 		EntryName:   s.EntryName,
 		Phase:       s.Phase,
-		Trace:       &TraceNode{parent: frozenTrace},
+		Trace:       trace,
 		PendFault:   s.PendFault,
 		ctx:         s.ctx,
 	}
@@ -185,6 +183,50 @@ func (s *State) Fork(id uint64) *State {
 		}
 	}
 	return c
+}
+
+// Fork clones s into a child with the given ID. The shared memory and
+// trace snapshots are frozen: both the child AND the (possibly still
+// running) parent continue on fresh copy-on-write overlays, so neither can
+// observe the other's subsequent writes. This matters for annotation and
+// interrupt-injection forks, where the parent keeps executing. The child
+// deliberately does NOT inherit LoopCounts (see that field's comment).
+func (s *State) Fork(id uint64) *State {
+	frozenMem := s.Mem
+	s.Mem = frozenMem.Fork()
+	frozenTrace := s.Trace
+	s.Trace = &TraceNode{parent: frozenTrace}
+	return s.cloneChild(id, frozenMem.Fork(), &TraceNode{parent: frozenTrace})
+}
+
+// ForkFrozen clones a frozen state into a fresh runnable child WITHOUT
+// mutating the receiver. Fork pushes the (possibly still running) parent
+// onto a new COW overlay so both sides can keep writing; ForkFrozen instead
+// requires the receiver to be frozen — captured by Machine.SnapshotState and
+// never stepped again — so every child can fork the same frozen memory and
+// trace, and repeated resumes from one snapshot do not deepen the
+// snapshot's own overlay chain. Unlike Fork, the child inherits LoopCounts:
+// a snapshot resume continues the same contiguous path segment, and
+// bit-identical replay of a cold execution (the persistent-mode fuzz
+// executor's contract) needs the boot segment's loop accounting.
+func (s *State) ForkFrozen(id uint64) *State {
+	c := s.cloneChild(id, s.Mem.Fork(), &TraceNode{parent: s.Trace})
+	c.LoopCounts = s.loopCountsCopy()
+	return c
+}
+
+// loopCountsCopy returns a private copy of the path's loop accounting (nil
+// when empty) — the one piece of state Fork deliberately drops but every
+// snapshot flavour (ForkFrozen, Machine.SnapshotState) must carry.
+func (s *State) loopCountsCopy() map[uint32]uint64 {
+	if len(s.LoopCounts) == 0 {
+		return nil
+	}
+	out := make(map[uint32]uint64, len(s.LoopCounts))
+	for k, v := range s.LoopCounts {
+		out[k] = v
+	}
+	return out
 }
 
 // AddConstraint appends a path constraint.
