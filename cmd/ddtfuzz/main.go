@@ -30,9 +30,20 @@
 //	-engine-workers n  parallel symbolic workers for hybrid engine passes
 //	-json file     write the report as JSON ("-" for stdout)
 //	-expect        compare found classes against the driver's Table 2 set
+//	-manager url   attach to a ddtd campaign manager as a fleet worker:
+//	               lease campaigns, sync corpus deltas both ways, report
+//	               crashes and coverage (most local flags are ignored — the
+//	               lease carries the campaign parameters)
+//	-name s        worker name reported to the manager (default host-pid)
+//	-oneshot       with -manager: exit after the first completed lease (CI)
+//
+// SIGINT/SIGTERM shut down gracefully: a local campaign stops, flushes its
+// corpus and crash reproducers, and prints its report; a manager-attached
+// worker additionally sends its final report before exiting.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -42,6 +53,7 @@ import (
 	"repro/internal/binimg"
 	"repro/internal/core"
 	"repro/internal/fuzz"
+	"repro/internal/manager"
 )
 
 func main() {
@@ -58,7 +70,15 @@ func main() {
 	hybrid := flag.Bool("hybrid", false, "run the hybrid concolic loop")
 	jsonOut := flag.String("json", "", "write JSON report to file (\"-\" for stdout)")
 	expect := flag.Bool("expect", false, "compare against the driver's expected Table 2 bug classes")
+	managerURL := flag.String("manager", "", "attach to a ddtd campaign manager at this base URL")
+	name := flag.String("name", "", "worker name reported to the manager (default host-pid)")
+	oneShot := flag.Bool("oneshot", false, "with -manager: exit after the first completed lease")
 	flag.Parse()
+
+	if *managerURL != "" {
+		runManaged(*managerURL, *name, *workers, *oneShot)
+		return
+	}
 
 	if *execs == 0 && *timeBudget == 0 {
 		fatal(fmt.Errorf("-execs 0 (unbounded) requires a -time budget"))
@@ -101,7 +121,16 @@ func main() {
 		}
 	} else {
 		f := fuzz.New(img, cfg)
+		// Graceful shutdown: the first SIGINT/SIGTERM stops the campaign, so
+		// Run returns normally — flushing the corpus directory and printing
+		// the report for whatever was found before the signal.
+		ctx, cancel := manager.ShutdownContext(context.Background())
+		go func() {
+			<-ctx.Done()
+			f.Stop()
+		}()
 		rep, err = f.Run()
+		cancel()
 		if err != nil && rep == nil {
 			fatal(err)
 		}
@@ -150,6 +179,33 @@ func main() {
 		} else if err := os.WriteFile(*jsonOut, append(b, '\n'), 0o644); err != nil {
 			fatal(err)
 		}
+	}
+}
+
+// runManaged attaches this process to a ddtd campaign manager as a fleet
+// worker: campaigns come from leases, not local flags. SIGINT/SIGTERM stops
+// the in-flight campaign and sends its final report before returning.
+func runManaged(url, name string, procs int, oneShot bool) {
+	if name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	ctx, cancel := manager.ShutdownContext(context.Background())
+	defer cancel()
+	err := manager.RunWorker(ctx, manager.WorkerConfig{
+		Manager: url,
+		Name:    name,
+		Procs:   procs,
+		OneShot: oneShot,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "ddtfuzz: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fatal(err)
 	}
 }
 

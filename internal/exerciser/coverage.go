@@ -9,9 +9,11 @@ import (
 // Figures 2 and 3. Time is deterministic simulated time: total executed
 // instructions across the test session, convertible to "minutes" by a
 // fixed calibration constant.
+// Points are serialized in fuzz reports and manager trend series, so the
+// tags are a stable wire format.
 type CoveragePoint struct {
-	Instructions uint64
-	Blocks       int
+	Instructions uint64 `json:"instructions"`
+	Blocks       int    `json:"blocks"`
 }
 
 // Coverage tracks the set of distinct basic blocks executed and the
@@ -71,6 +73,29 @@ func (c *Coverage) Series() []CoveragePoint {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return append([]CoveragePoint(nil), c.series...)
+}
+
+// Merge folds a batch of covered block leaders into the map at the given
+// instruction count, returning how many were new. This is the fleet-merge
+// hook: the campaign manager folds each worker's reported block delta into
+// one merged map, sampling the series once per batch that added coverage.
+func (c *Coverage) Merge(pcs []uint32, instructions uint64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	added := 0
+	for _, pc := range pcs {
+		if !c.seen[pc] {
+			c.seen[pc] = true
+			added++
+		}
+	}
+	if added > 0 {
+		if n := len(c.series); n > 0 && instructions < c.series[n-1].Instructions {
+			instructions = c.series[n-1].Instructions
+		}
+		c.series = append(c.series, CoveragePoint{Instructions: instructions, Blocks: len(c.seen)})
+	}
+	return added
 }
 
 // Covered reports whether a specific block leader was executed.

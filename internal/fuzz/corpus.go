@@ -9,18 +9,20 @@ import (
 	"sync"
 )
 
-// Entry is one admitted corpus feed with its admission metadata.
+// Entry is one admitted corpus feed with its admission metadata. It doubles
+// as a wire type: workers sync admitted entries (feed + gain) to the
+// campaign manager, so the tags are a stable format (wire_test.go).
 type Entry struct {
-	Feed *Feed
+	Feed *Feed `json:"feed"`
 	// Gain is the number of new coverage blocks the feed discovered when it
 	// was admitted — the weight for seed selection and the eviction score.
-	Gain int
+	Gain int `json:"gain"`
 	// Chosen counts how often the entry seeded a mutation (energy decay).
-	Chosen uint64
+	Chosen uint64 `json:"chosen,omitempty"`
 	// AdmitTick is the corpus admission counter value when this entry was
 	// admitted; recency (distance from the current tick) drives the
 	// exponential energy boost.
-	AdmitTick uint64
+	AdmitTick uint64 `json:"admit_tick,omitempty"`
 }
 
 // AFL-style exponential energy schedule: a feed admitted within the last
@@ -156,6 +158,20 @@ func (c *Corpus) RandomDonor(rng *rand.Rand) *Feed {
 	return c.entries[rng.Intn(len(c.entries))].Feed
 }
 
+// Export returns a copy of the current entries (feed pointers shared,
+// metadata copied) in admission order. This is the corpus-sync export hook:
+// a manager-attached worker diffs successive exports to ship only the
+// entries admitted since its last sync.
+func (c *Corpus) Export() []Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Entry, len(c.entries))
+	for i, e := range c.entries {
+		out[i] = *e
+	}
+	return out
+}
+
 // Snapshot returns the current feeds, highest admission gain first.
 func (c *Corpus) Snapshot() []*Feed {
 	c.mu.Lock()
@@ -224,13 +240,28 @@ func (cs *crashStore) add(c *Crash) bool {
 	return true
 }
 
-// list returns the deduplicated crashes in discovery order.
+// finalize publishes triage results (the minimized feed and the
+// verification verdict) under the store lock. Triage runs after add — dedup
+// must happen before the minimization budget is spent — so these two fields
+// mutate after publication; routing the writes through the lock keeps
+// concurrent list() readers (the manager-worker report loop) race-free.
+func (cs *crashStore) finalize(c *Crash, feed *Feed, reproduced bool) {
+	cs.mu.Lock()
+	c.Feed = feed
+	c.Reproduced = reproduced
+	cs.mu.Unlock()
+}
+
+// list returns the deduplicated crashes in discovery order. The returned
+// structs are copies: safe to read and serialize while triage is still
+// finalizing entries.
 func (cs *crashStore) list() []*Crash {
 	cs.mu.Lock()
 	defer cs.mu.Unlock()
 	out := make([]*Crash, 0, len(cs.order))
 	for _, k := range cs.order {
-		out = append(out, cs.byKey[k])
+		cp := *cs.byKey[k]
+		out = append(out, &cp)
 	}
 	return out
 }

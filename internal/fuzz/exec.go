@@ -60,30 +60,34 @@ func DefaultOptions() Options {
 
 // Crash is one concrete failing execution, deduplicated by fault site and
 // checker class, carrying its replayable feed.
+//
+// Crash is a wire type: workers report crashes to the campaign manager
+// (internal/manager) as JSON, so the field tags below are a stable format —
+// wire_test.go pins them against silent drift.
 type Crash struct {
 	// Class is the Table 2 bug category (checkers.Classify).
-	Class string
+	Class string `json:"class"`
 	// RawClass is the checker's fault class ("memory", "crash", "leak", ...).
-	RawClass string
+	RawClass string `json:"raw_class"`
 	// PC is the fault site.
-	PC uint32
+	PC uint32 `json:"pc"`
 	// Msg is the fault message.
-	Msg string
+	Msg string `json:"msg"`
 	// Site is the fault site used for deduplication: PC when it lies inside
 	// driver text, otherwise the last driver basic block executed (a wild
 	// jump faults at its garbage target; the bug lives at the jump).
-	Site uint32
+	Site uint32 `json:"site"`
 	// Entry names the workload entry being exercised when the fault fired.
-	Entry string
+	Entry string `json:"entry"`
 	// InInterrupt reports whether the fault fired inside an injected ISR.
-	InInterrupt bool
+	InInterrupt bool `json:"in_interrupt,omitempty"`
 	// Feed replays the crash deterministically through an Executor.
-	Feed *Feed `json:"-"`
+	Feed *Feed `json:"feed,omitempty"`
 	// Exec is the global execution index at discovery.
-	Exec uint64
+	Exec uint64 `json:"exec"`
 	// Reproduced is set once the fuzzer re-executed the feed and hit the
 	// same fault site again.
-	Reproduced bool
+	Reproduced bool `json:"reproduced"`
 }
 
 // Key is the deduplication identity: same checker class at the same fault

@@ -182,6 +182,8 @@ type Fuzzer struct {
 	coldNS       atomic.Uint64
 	warmNS       atomic.Uint64
 	skippedSteps atomic.Uint64
+	stopped      atomic.Bool
+	injectShard  atomic.Uint64
 	deadline     time.Time
 	seedCount    int
 }
@@ -240,6 +242,34 @@ func (f *Fuzzer) Corpus() *Corpus { return f.corpus }
 func (f *Fuzzer) AddSeed(feed *Feed) {
 	f.queue.Push(f.seedCount, feed)
 	f.seedCount++
+}
+
+// InjectSeeds queues feeds into the running campaign (round-robin across
+// worker shards). Safe for concurrent use while Run is in flight — this is
+// how a manager-attached worker folds fleet corpus deltas into its own
+// search without restarting the campaign.
+func (f *Fuzzer) InjectSeeds(feeds []*Feed) {
+	for _, feed := range feeds {
+		shard := int(f.injectShard.Add(1))
+		f.queue.Push(shard, feed)
+	}
+}
+
+// Stop asks the campaign to wind down: workers finish their in-flight
+// execution and exit, and Run returns the report of the work done so far.
+// Safe to call from any goroutine (signal handlers, RPC loops) and
+// idempotent.
+func (f *Fuzzer) Stop() { f.stopped.Store(true) }
+
+// Crashes returns the deduplicated crashes found so far, in discovery
+// order. Safe to call while the campaign runs — the periodic manager
+// report reads it mid-flight.
+func (f *Fuzzer) Crashes() []*Crash { return f.crashes.list() }
+
+// Stats reports live campaign progress: completed executions and total
+// simulated instructions. Safe to call while the campaign runs.
+func (f *Fuzzer) Stats() (execs, instructions uint64) {
+	return f.execsDone.Load(), f.steps.Load()
 }
 
 // Run executes the campaign and returns its report.
@@ -324,6 +354,9 @@ func (f *Fuzzer) worker(worker int) {
 	persist := f.cfg.Exec.Persist
 
 	for {
+		if f.stopped.Load() {
+			return
+		}
 		n := f.execsStarted.Add(1)
 		if f.cfg.MaxExecs > 0 && n > f.cfg.MaxExecs {
 			return
@@ -396,18 +429,19 @@ func (f *Fuzzer) triageCrash(exec *Executor, mu *Mutator, worker int, feed *Feed
 		return
 	}
 
-	c.Feed = f.minimize(exec, c)
+	minFeed := f.minimize(exec, c)
 	// Verification: the minimized feed must deterministically reproduce the
-	// same fault site and class.
-	ver := exec.Run(c.Feed)
+	// same fault site and class. finalize publishes both under the store
+	// lock, so concurrent Crashes() readers never see a half-triaged entry.
+	ver := exec.Run(minFeed)
 	f.triageExecs.Add(1)
-	c.Reproduced = ver.Crash != nil && ver.Crash.Key() == c.Key()
+	f.crashes.finalize(c, minFeed, ver.Crash != nil && ver.Crash.Key() == c.Key())
 
 	if f.cfg.CorpusDir != "" {
 		dir := filepath.Join(f.cfg.CorpusDir, "crashes")
 		if err := os.MkdirAll(dir, 0o755); err == nil {
 			name := strings.NewReplacer("@", "-", " ", "-", "/", "-").Replace(c.Key())
-			_ = SaveFeed(c.Feed, filepath.Join(dir, name+".json"))
+			_ = SaveFeed(minFeed, filepath.Join(dir, name+".json"))
 		}
 	}
 }

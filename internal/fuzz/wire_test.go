@@ -1,0 +1,174 @@
+package fuzz
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// These tests pin the JSON wire format of the types that cross process
+// boundaries: Feed (corpus files, reproducers), corpus Entry (worker→manager
+// sync), Crash (crash reports), and Report (ddtfuzz -json output, ddtd
+// ingest). The manager protocol and the on-disk corpus format both ride on
+// these serializations, so a renamed or retagged field is a breaking
+// protocol change — this test is the tripwire.
+
+// jsonKeys returns the top-level keys of v's JSON serialization.
+func jsonKeys(t *testing.T, v any) map[string]bool {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	keys := make(map[string]bool, len(m))
+	for k := range m {
+		keys[k] = true
+	}
+	return keys
+}
+
+func wantKeys(t *testing.T, v any, want ...string) {
+	t.Helper()
+	got := jsonKeys(t, v)
+	for _, k := range want {
+		if !got[k] {
+			t.Errorf("%T: wire key %q missing (got %v)", v, k, got)
+		}
+		delete(got, k)
+	}
+	for k := range got {
+		t.Errorf("%T: unexpected wire key %q — extending the format needs a protocol-doc update", v, k)
+	}
+}
+
+func TestWireFeedKeys(t *testing.T) {
+	f := &Feed{Data: []byte{1, 2, 3, 4}, Forks: []byte{1}, IRQ: []uint64{500}}
+	wantKeys(t, f, "data", "forks", "irq")
+}
+
+func TestWireCrashKeys(t *testing.T) {
+	c := &Crash{
+		Class:       "resource leak",
+		RawClass:    "leak",
+		PC:          0x40,
+		Msg:         "buffer never freed",
+		Site:        0x44,
+		Entry:       "send",
+		InInterrupt: true,
+		Feed:        &Feed{Data: []byte{9}},
+		Exec:        7,
+		Reproduced:  true,
+	}
+	wantKeys(t, c, "class", "raw_class", "pc", "msg", "site", "entry",
+		"in_interrupt", "feed", "exec", "reproduced")
+}
+
+func TestWireEntryKeys(t *testing.T) {
+	e := Entry{Feed: &Feed{Data: []byte{1}}, Gain: 3, Chosen: 2, AdmitTick: 5}
+	wantKeys(t, e, "feed", "gain", "chosen", "admit_tick")
+}
+
+// TestWireCrashRoundTrip: a crash report survives
+// marshal→unmarshal→marshal byte-identically, feed included — the property
+// the manager relies on for content-hash reproducer dedup.
+func TestWireCrashRoundTrip(t *testing.T) {
+	in := &Crash{
+		Class:      "race condition",
+		RawClass:   "race",
+		PC:         0x1234,
+		Msg:        "ISR raced send",
+		Site:       0x1238,
+		Entry:      "isr",
+		Feed:       &Feed{Data: []byte{1, 2, 3, 4, 5, 6, 7, 8}, Forks: []byte{0, 1}, IRQ: []uint64{1000, 2000}},
+		Exec:       42,
+		Reproduced: true,
+	}
+	b1, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Crash
+	if err := json.Unmarshal(b1, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*in, out) {
+		t.Fatalf("crash did not round-trip:\n in: %+v\nout: %+v", *in, out)
+	}
+	b2, err := json.Marshal(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatalf("re-marshal drifted:\n%s\n%s", b1, b2)
+	}
+	if out.Key() != in.Key() {
+		t.Fatalf("dedup key drifted across the wire: %s vs %s", out.Key(), in.Key())
+	}
+}
+
+// TestWireFeedRoundTrip: feeds round-trip exactly, including an empty one
+// (a zero-filled feed is valid and must not decode to nil slices vs empty
+// distinction that changes its hash — Marshal output is the identity).
+func TestWireFeedRoundTrip(t *testing.T) {
+	feeds := []*Feed{
+		{Data: []byte{0xde, 0xad, 0xbe, 0xef}},
+		{Data: []byte{}, Forks: []byte{1, 0, 1}, IRQ: []uint64{1, 2, 3}},
+		{Data: []byte{1}},
+	}
+	for i, f := range feeds {
+		b1, err := f.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := UnmarshalFeed(b1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !f.Equal(g) {
+			t.Fatalf("feed %d did not round-trip", i)
+		}
+		b2, err := g.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b1) != string(b2) {
+			t.Fatalf("feed %d serialization drifted:\n%s\n%s", i, b1, b2)
+		}
+	}
+}
+
+// TestWireReportRoundTrip: the ddtfuzz -json report (the nightly→ddtd
+// ingest format) round-trips with crashes, feeds, and counters intact.
+func TestWireReportRoundTrip(t *testing.T) {
+	in := &Report{
+		Driver:        "rtl8029",
+		Workers:       2,
+		Execs:         5000,
+		Instructions:  123456,
+		Crashes:       []*Crash{{Class: "resource leak", Site: 0x44, Feed: &Feed{Data: []byte{1, 2, 3, 4}}}},
+		CrashFeeds:    map[string]*Feed{"resource leak@0x44": {Data: []byte{1, 2, 3, 4}}},
+		BlocksCovered: 37,
+		BlocksStatic:  50,
+	}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Report
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Driver != in.Driver || out.Execs != in.Execs || out.BlocksCovered != in.BlocksCovered {
+		t.Fatalf("report counters drifted: %+v", out)
+	}
+	if len(out.Crashes) != 1 || out.Crashes[0].Key() != in.Crashes[0].Key() {
+		t.Fatalf("report crashes drifted: %+v", out.Crashes)
+	}
+	if out.CrashFeeds["resource leak@0x44"] == nil {
+		t.Fatal("crash feed map lost in round-trip")
+	}
+}

@@ -1,0 +1,284 @@
+package manager
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fuzz"
+)
+
+func newTestServer(t *testing.T, cfg Config, ttl time.Duration) (*Manager, *httptest.Server) {
+	t.Helper()
+	state, err := OpenState("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := NewScheduler(cfg, ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(state, sched)
+	srv := httptest.NewServer(m.Handler())
+	t.Cleanup(srv.Close)
+	return m, srv
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+}
+
+// TestServerRPCFlow drives the whole worker protocol over real HTTP:
+// connect → poll → sync (corpus up, diff down) → report (crash, coverage)
+// → final report, then checks every status endpoint reflects it.
+func TestServerRPCFlow(t *testing.T) {
+	cfg := Config{Campaigns: []CampaignSpec{{ID: "net", Driver: "rtl8029", Workers: 1, Execs: 100}}}
+	m, srv := newTestServer(t, cfg, time.Minute)
+	ctx := context.Background()
+	c := NewClient(srv.URL, nil)
+
+	conn, err := c.Connect(ctx, "itest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conn.WorkerID == "" || conn.SyncIntervalMS <= 0 {
+		t.Fatalf("bad connect response: %+v", conn)
+	}
+	lease, err := c.Poll(ctx)
+	if err != nil || lease == nil {
+		t.Fatalf("poll: %v, %+v", err, lease)
+	}
+	if lease.Driver != "rtl8029" || lease.Mode != ModeFuzz || lease.Execs != 100 {
+		t.Fatalf("lease = %+v", lease)
+	}
+
+	// Corpus sync: upload one entry, and the diff must NOT echo it back.
+	sresp, err := c.Sync(ctx, &SyncRequest{
+		LeaseID: lease.LeaseID,
+		Driver:  lease.Driver,
+		Added:   []fuzz.Entry{{Feed: feed(1, 2, 3, 4), Gain: 2}},
+		Have:    []string{FeedHash(feed(1, 2, 3, 4))},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sresp.Stop || len(sresp.Seeds) != 0 {
+		t.Fatalf("sync response = %+v, want no echo of our own feed", sresp)
+	}
+	// A second connected worker shows up in /status below.
+	c2 := NewClient(srv.URL, nil)
+	if _, err := c2.Connect(ctx, "peer"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash + coverage report.
+	rresp, err := c.Report(ctx, &ReportRequest{
+		LeaseID:      lease.LeaseID,
+		Driver:       lease.Driver,
+		Crashes:      []CrashReport{{Crash: crash("race condition", 0x44, feed(9, 9, 9, 9))}},
+		NewBlocks:    []uint32{0x10, 0x20, 0x30},
+		BlocksStatic: 50,
+		Execs:        60,
+		Instructions: 600,
+	})
+	if err != nil || rresp.Stop {
+		t.Fatalf("report: %v, %+v", err, rresp)
+	}
+	if _, err := c.Report(ctx, &ReportRequest{
+		LeaseID: lease.LeaseID, Driver: lease.Driver, Final: true,
+		Execs: 100, Instructions: 1000,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Sched.Done() {
+		t.Fatal("final report did not complete the slot")
+	}
+
+	var status StatusPage
+	getJSON(t, srv.URL+"/status", &status)
+	if len(status.Drivers) != 1 || status.Drivers[0].Execs != 100 || status.Drivers[0].BlocksCovered != 3 {
+		t.Fatalf("/status drivers = %+v", status.Drivers)
+	}
+	if len(status.Campaigns) != 1 || status.Campaigns[0].Done != 1 {
+		t.Fatalf("/status campaigns = %+v", status.Campaigns)
+	}
+	if len(status.Workers) != 2 {
+		t.Fatalf("/status workers = %+v", status.Workers)
+	}
+
+	var corpusPage CorpusPage
+	getJSON(t, srv.URL+"/corpus?driver=rtl8029", &corpusPage)
+	if len(corpusPage.Entries) != 1 || corpusPage.Entries[0].Gain != 2 {
+		t.Fatalf("/corpus = %+v", corpusPage)
+	}
+
+	var crashesPage CrashesPage
+	getJSON(t, srv.URL+"/crashes", &crashesPage)
+	if len(crashesPage.Crashes) != 1 {
+		t.Fatalf("/crashes = %+v", crashesPage)
+	}
+	listed := crashesPage.Crashes[0]
+	if len(listed.Reproducers) != 1 || listed.Reproducers[0].Feed != nil {
+		t.Fatalf("crash list must omit reproducer feeds: %+v", listed)
+	}
+
+	var one CrashEntry
+	getJSON(t, srv.URL+"/crash/"+listed.ID, &one)
+	if len(one.Reproducers) != 1 || one.Reproducers[0].Feed == nil {
+		t.Fatalf("/crash/<id> must serve the reproducer feed: %+v", one)
+	}
+	if !one.Reproducers[0].Feed.Equal(feed(9, 9, 9, 9)) {
+		t.Fatal("served reproducer is not the reported feed")
+	}
+
+	var trends TrendsPage
+	getJSON(t, srv.URL+"/trends", &trends)
+	if len(trends.Coverage) == 0 {
+		t.Fatalf("/trends = %+v, want a coverage sample", trends)
+	}
+}
+
+// TestServerHTML: browsers (Accept: text/html) get the minimal status
+// pages; everyone else gets JSON.
+func TestServerHTML(t *testing.T) {
+	m, srv := newTestServer(t, Config{}, time.Minute)
+	m.State.AddCrash("rtl8029", "w", crash("race condition", 0x44, feed(1)))
+	id := m.State.Crashes("")[0].ID
+	for _, path := range []string{"/status", "/corpus", "/crashes", "/crash/" + id, "/trends"} {
+		req, _ := http.NewRequest(http.MethodGet, srv.URL+path, nil)
+		req.Header.Set("Accept", "text/html")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct := resp.Header.Get("Content-Type")
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || !strings.Contains(ct, "text/html") {
+			t.Errorf("GET %s (html) = %d %s", path, resp.StatusCode, ct)
+		}
+		resp, err = http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct = resp.Header.Get("Content-Type")
+		resp.Body.Close()
+		if !strings.Contains(ct, "application/json") {
+			t.Errorf("GET %s (default) = %s, want JSON", path, ct)
+		}
+	}
+}
+
+// TestServerErrors: malformed and invalid requests answer structured JSON
+// errors with the right status codes.
+func TestServerErrors(t *testing.T) {
+	_, srv := newTestServer(t, Config{}, time.Minute)
+	resp, err := http.Post(srv.URL+PathReport, "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON = HTTP %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Post(srv.URL+PathReport, "application/json", strings.NewReader(`{"worker_id":"w"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("driverless report = HTTP %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/crash/doesnotexist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown crash = HTTP %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServerConcurrent hammers the RPC endpoints and every read endpoint
+// at once — the RWMutex-snapshot claim of the serving layer, checked under
+// the race detector in CI.
+func TestServerConcurrent(t *testing.T) {
+	cfg := Config{Campaigns: []CampaignSpec{{ID: "net", Driver: "rtl8029", Workers: 4, Execs: 1000}}}
+	_, srv := newTestServer(t, cfg, time.Minute)
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := NewClient(srv.URL, nil)
+			if _, err := c.Connect(ctx, "hammer"); err != nil {
+				t.Error(err)
+				return
+			}
+			lease, err := c.Poll(ctx)
+			if err != nil || lease == nil {
+				t.Errorf("worker %d: poll: %v %+v", w, err, lease)
+				return
+			}
+			for i := 0; i < 20; i++ {
+				b := byte(w*20 + i)
+				if _, err := c.Sync(ctx, &SyncRequest{
+					LeaseID: lease.LeaseID, Driver: lease.Driver,
+					Added: []fuzz.Entry{{Feed: feed(b, b, b, b), Gain: 1}},
+				}); err != nil {
+					t.Errorf("worker %d: sync: %v", w, err)
+				}
+				if _, err := c.Report(ctx, &ReportRequest{
+					LeaseID: lease.LeaseID, Driver: lease.Driver,
+					Crashes:      []CrashReport{{Crash: crash("race condition", uint32(0x40+w%2*4), feed(b))}},
+					NewBlocks:    []uint32{uint32(b)},
+					BlocksStatic: 100,
+					Execs:        uint64(i * 10),
+					Instructions: uint64(i * 100),
+				}); err != nil {
+					t.Errorf("worker %d: report: %v", w, err)
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				for _, path := range []string{"/status", "/corpus", "/crashes", "/trends"} {
+					resp, err := http.Get(srv.URL + path)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	var crashesPage CrashesPage
+	getJSON(t, srv.URL+"/crashes", &crashesPage)
+	if len(crashesPage.Crashes) != 2 {
+		t.Fatalf("crash entries = %d, want 2 (fleet dedup across 4 workers)", len(crashesPage.Crashes))
+	}
+}

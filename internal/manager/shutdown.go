@@ -1,0 +1,31 @@
+package manager
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// ShutdownContext returns a context canceled on SIGINT or SIGTERM, giving
+// ddtd and manager-attached ddtfuzz workers one graceful-shutdown path: the
+// first signal cancels (flush state, send the final report), a second
+// signal force-exits with the conventional 128+SIGINT status for operators
+// who will not wait for the flush.
+func ShutdownContext(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		select {
+		case <-ch:
+			cancel()
+		case <-ctx.Done():
+			signal.Stop(ch)
+			return
+		}
+		<-ch
+		os.Exit(130)
+	}()
+	return ctx, cancel
+}

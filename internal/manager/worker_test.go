@@ -1,0 +1,252 @@
+package manager
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/fuzz"
+)
+
+// startManager spins up a full manager (in-memory state) over real HTTP.
+func startManager(t *testing.T, cfg Config, ttl time.Duration) (*Manager, *httptest.Server) {
+	t.Helper()
+	state, err := OpenState("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := NewScheduler(cfg, ttl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(state, sched)
+	srv := httptest.NewServer(m.Handler())
+	t.Cleanup(srv.Close)
+	return m, srv
+}
+
+func workerCfg(srv *httptest.Server, name string) WorkerConfig {
+	return WorkerConfig{
+		Manager:      srv.URL,
+		Name:         name,
+		Procs:        2,
+		PollInterval: 50 * time.Millisecond,
+		SyncInterval: 100 * time.Millisecond,
+		OneShot:      true,
+	}
+}
+
+// TestFleetMatchesSingleProcess is the headline acceptance check: two
+// ddtfuzz -manager workers attached to one ddtd, fuzzing rtl8029 with the
+// same budget and seeds as a single-process campaign, find (at least) the
+// same bug set — and the manager holds exactly one crash entry per
+// deduplicated key, however many workers hit it.
+func TestFleetMatchesSingleProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet campaign in -short mode")
+	}
+	const budget = 5_000
+
+	// Reference: the single-process campaign (same as the fuzz package's
+	// tier-1 end-to-end test).
+	img, err := corpus.Build("rtl8029", corpus.Buggy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcfg := fuzz.DefaultConfig()
+	fcfg.Workers = 2
+	fcfg.MaxExecs = budget
+	fcfg.Seed = 1
+	single, err := fuzz.New(img, fcfg).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	singleClasses := single.CountByClass()
+	if len(singleClasses) == 0 {
+		t.Fatal("single-process reference found nothing; budget too small")
+	}
+
+	// Fleet: one campaign, two slots of the same budget (slot seeds 1 and
+	// 2), two worker processes.
+	cfg := Config{Campaigns: []CampaignSpec{
+		{ID: "net", Driver: "rtl8029", Workers: 2, Execs: budget, Seed: 1},
+	}}
+	m, srv := startManager(t, cfg, time.Minute)
+	var wg sync.WaitGroup
+	for _, name := range []string{"w1", "w2"} {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			if err := RunWorker(context.Background(), workerCfg(srv, name)); err != nil {
+				t.Errorf("worker %s: %v", name, err)
+			}
+		}(name)
+	}
+	wg.Wait()
+	if !m.Sched.Done() {
+		t.Fatal("fleet campaign did not complete every slot")
+	}
+
+	crashes := m.State.Crashes("rtl8029")
+	if len(crashes) == 0 {
+		t.Fatal("fleet found no crashes")
+	}
+	// No duplicate crash entries fleet-wide.
+	keys := make(map[string]bool)
+	fleetClasses := make(map[string]bool)
+	for _, e := range crashes {
+		if keys[e.Key] {
+			t.Fatalf("crash key %s has two entries (fleet dedup broken)", e.Key)
+		}
+		keys[e.Key] = true
+		fleetClasses[e.Class] = true
+		if len(e.Reproducers) == 0 || e.Reproducers[0].Feed == nil {
+			t.Fatalf("crash %s has no reproducer feed", e.Key)
+		}
+		// Every served reproducer must replay to the same dedup key.
+		res := fuzz.NewExecutor(img, nil, fuzz.DefaultOptions()).Run(e.Reproducers[0].Feed)
+		if res.Crash == nil || res.Crash.Key() != e.Key {
+			t.Errorf("crash %s: manager-held reproducer did not replay", e.Key)
+		}
+	}
+	// The fleet ran the reference campaign as slot 0 (same seed, same
+	// budget) plus a second slot and corpus sharing: it must cover the
+	// single-process bug set.
+	for class := range singleClasses {
+		if !fleetClasses[class] {
+			t.Errorf("single-process class %q missing from fleet results %v", class, fleetClasses)
+		}
+	}
+	// Progress counters merged: the fleet ran 2 slots of the budget.
+	sums := m.State.Summaries()
+	if len(sums) != 1 || sums[0].Execs < budget {
+		t.Fatalf("fleet summaries = %+v, want >= %d execs merged", sums, budget)
+	}
+}
+
+// TestWorkerLeaseReassignment kills a worker mid-campaign (it takes a
+// lease and vanishes without heartbeating) and checks the campaign is
+// re-issued to — and completed by — a second worker.
+func TestWorkerLeaseReassignment(t *testing.T) {
+	cfg := Config{Campaigns: []CampaignSpec{
+		{ID: "net", Driver: "rtl8029", Workers: 1, Execs: 300, Seed: 3},
+	}}
+	m, srv := startManager(t, cfg, 200*time.Millisecond)
+
+	// The doomed worker: polls the lease, then its process "crashes".
+	ctx := context.Background()
+	dead := NewClient(srv.URL, nil)
+	if _, err := dead.Connect(ctx, "doomed"); err != nil {
+		t.Fatal(err)
+	}
+	lease, err := dead.Poll(ctx)
+	if err != nil || lease == nil {
+		t.Fatalf("doomed worker got no lease: %v %+v", err, lease)
+	}
+
+	// A healthy worker attaches; it can only get the slot after the TTL
+	// reaps the dead lease.
+	done := make(chan error, 1)
+	go func() { done <- RunWorker(ctx, workerCfg(srv, "healthy")) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("healthy worker never completed the re-issued campaign")
+	}
+	if !m.Sched.Done() {
+		t.Fatal("campaign not completed after reassignment")
+	}
+	camps, _ := m.Sched.Status()
+	if len(camps) != 1 || camps[0].Reissues != 1 {
+		t.Fatalf("campaign status = %+v, want exactly 1 reissue", camps)
+	}
+
+	// The dead worker's late final report must not corrupt the done slot,
+	// but its crash evidence (if any) still merges.
+	before := len(m.State.Crashes("rtl8029"))
+	if _, err := dead.Report(ctx, &ReportRequest{
+		LeaseID: lease.LeaseID,
+		Driver:  lease.Driver,
+		Final:   true,
+		Crashes: []CrashReport{{Crash: crash("resource leak", 0xdead, feed(0xaa))}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.State.Crashes("rtl8029")); got != before+1 {
+		t.Fatalf("stale crash evidence dropped: %d -> %d entries", before, got)
+	}
+}
+
+// TestWorkerGracefulShutdown cancels a worker mid-campaign (the SIGINT
+// path: ShutdownContext cancels exactly this way) and checks the final
+// report made it out — results flushed — while the unfinished slot is left
+// for reassignment rather than marked complete.
+func TestWorkerGracefulShutdown(t *testing.T) {
+	cfg := Config{Campaigns: []CampaignSpec{
+		// A wall-clock budget far longer than the test: only shutdown ends it.
+		{ID: "net", Driver: "rtl8029", Workers: 1, Duration: "1h", Seed: 1},
+	}}
+	m, srv := startManager(t, cfg, time.Minute)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	wcfg := workerCfg(srv, "w")
+	wcfg.OneShot = false
+	done := make(chan error, 1)
+	go func() { done <- RunWorker(ctx, wcfg) }()
+
+	// Let it fuzz long enough to have something to report, then "SIGINT".
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		sums := m.State.Summaries()
+		if len(sums) > 0 && sums[0].Execs > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("worker never reported progress")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("worker did not shut down after cancel")
+	}
+
+	// The final (interrupted) report carried the campaign's results...
+	sums := m.State.Summaries()
+	if len(sums) != 1 || sums[0].Execs == 0 {
+		t.Fatalf("no progress merged before shutdown: %+v", sums)
+	}
+	// ...but did not complete the slot: the campaign outlives the worker.
+	if m.Sched.Done() {
+		t.Fatal("interrupted worker completed its slot; the unfinished campaign is lost")
+	}
+}
+
+// TestShutdownContextSignal injects a real SIGINT and checks
+// ShutdownContext cancels — the signal half of the graceful-shutdown path
+// shared by ddtd and ddtfuzz.
+func TestShutdownContextSignal(t *testing.T) {
+	ctx, cancel := ShutdownContext(context.Background())
+	defer cancel()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("SIGINT did not cancel the shutdown context")
+	}
+}
