@@ -12,14 +12,19 @@ package ddt
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/asm"
 	"repro/internal/baseline/sdv"
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/experiments"
+	"repro/internal/expr"
 	"repro/internal/fuzz"
+	"repro/internal/isa"
+	"repro/internal/solver"
 	"repro/internal/vm"
 )
 
@@ -247,7 +252,11 @@ func BenchmarkFullRunRTL8029(b *testing.B) {
 // throughput on the RTL8029 — the number the concolic design rests on: one
 // fuzz execution must be orders of magnitude cheaper than a symbolic
 // exploration of the same workload. b.N is the exec budget; the metric of
-// interest is execs/s (reported explicitly) next to ns/op.
+// interest is execs/s (reported explicitly) next to ns/op. The campaign
+// runs with the full hot path on — persistent-mode snapshot resume over
+// the shared fabric plus superblock dispatch — since that is the
+// production configuration (bit-identity with the slow paths is proved by
+// the determinism suites).
 func BenchmarkFuzzExecsPerSec(b *testing.B) {
 	img, err := corpus.Build("rtl8029", corpus.Buggy)
 	if err != nil {
@@ -257,6 +266,7 @@ func BenchmarkFuzzExecsPerSec(b *testing.B) {
 	cfg.Workers = 4
 	cfg.MaxExecs = uint64(b.N)
 	cfg.MinimizeBudget = 1 // throughput, not triage quality
+	cfg.Persist = true
 	b.ReportAllocs()
 	b.ResetTimer()
 	rep, err := fuzz.New(img, cfg).Run()
@@ -339,6 +349,119 @@ func BenchmarkFuzzPersistentVsColdStart(b *testing.B) {
 				float64(coldT)/float64(warmT), per.WarmExecs, per.Execs, per.SkippedInstructions)
 		})
 	}
+}
+
+// BenchmarkStepLoopConcrete measures the interpreter's concrete hot path:
+// a long straight-line ALU loop stepped to completion, per-instruction
+// dispatch versus superblock dispatch (vm.Machine.StepSpan over the
+// precomputed span table). The headline metrics are ns/instr-general and
+// ns/instr-superblock — the per-instruction cost each mode pays on purely
+// concrete spans — plus their ratio. Bit-identity between the two modes is
+// proved by the vm superblock suite; this benchmark tracks the speed gap.
+func BenchmarkStepLoopConcrete(b *testing.B) {
+	// 32 ALU ops per iteration + loop control, 2000 iterations: ~68k
+	// concrete instructions per program run, re-entering one superblock
+	// from a block start every iteration.
+	var sb strings.Builder
+	sb.WriteString(".entry e\n.text\ne:\n    movi r0, 0\n    movi r1, 0\n    movi r2, 2000\nloop:\n")
+	for j := 0; j < 8; j++ {
+		sb.WriteString("    addi r3, r0, 7\n    xori r4, r3, 0xAA\n    shli r5, r4, 3\n")
+		sb.WriteString("    sub  r6, r5, r3\n    andi r7, r6, 0xFFF\n    add  r0, r0, r7\n")
+	}
+	sb.WriteString("    addi r1, r1, 1\n    bltu r1, r2, loop\n    ret\n")
+	img, err := asm.Assemble(sb.String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	perInstr := map[bool]float64{}
+	for _, disable := range []bool{false, true} {
+		name := "superblock"
+		if disable {
+			name = "general"
+		}
+		b.Run(name, func(b *testing.B) {
+			m := vm.NewMachine(img, expr.NewSymbolTable(), solver.New())
+			m.DisableSuperblocks = disable
+			var instrs uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				s := m.NewRootState()
+				s.PC = img.Entry
+				s.SetReg(isa.LR, expr.Const(vm.ExitAddr))
+				m.MarkBlockStart(s)
+				final, forked, err := m.Run(s, 1_000_000)
+				if err != nil || len(forked) != 0 {
+					b.Fatalf("run: err=%v forks=%d", err, len(forked))
+				}
+				if final.Status != vm.StatusExited {
+					b.Fatalf("status %v", final.Status)
+				}
+				instrs += final.ICount
+			}
+			ns := float64(time.Since(start).Nanoseconds()) / float64(instrs)
+			perInstr[disable] = ns
+			b.ReportMetric(ns, "ns/instr")
+		})
+	}
+	if perInstr[false] > 0 && perInstr[true] > 0 {
+		b.Logf("concrete step loop: superblock %.1f ns/instr, general %.1f ns/instr (%.2fx)",
+			perInstr[false], perInstr[true], perInstr[true]/perInstr[false])
+	}
+}
+
+// BenchmarkFuzzSharedSnapshotFabric measures what the campaign-wide
+// snapshot fabric buys over per-worker snapshot stores: the same 4-worker
+// persistent campaign run with one shared fabric versus private ones
+// (Config.PrivateSnapshots). Reported per mode: us/exec (lower is better —
+// the gate-tracked form), the number of cold boots the fleet paid
+// (cold-execs), and for the shared run the cross-worker hit count. With
+// private stores every worker cold-boots each hot prefix itself; the
+// fabric pays for each roughly once.
+func BenchmarkFuzzSharedSnapshotFabric(b *testing.B) {
+	img, err := corpus.Build("rtl8029", corpus.Buggy)
+	if err != nil {
+		b.Fatal(err)
+	}
+	campaign := func(private bool) (*fuzz.Report, time.Duration) {
+		cfg := fuzz.DefaultConfig()
+		cfg.Workers = 4
+		cfg.MaxExecs = 6_000
+		cfg.MinimizeBudget = 1
+		cfg.Persist = true
+		cfg.PrivateSnapshots = private
+		start := time.Now()
+		rep, err := fuzz.New(img, cfg).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return rep, time.Since(start)
+	}
+	var sharedT, privateT time.Duration
+	var sharedCold, privateCold, sharedHits float64
+	var sharedExecs, privateExecs uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sh, st := campaign(false)
+		pr, pt := campaign(true)
+		sharedT += st
+		privateT += pt
+		sharedCold += float64(sh.ColdExecs)
+		privateCold += float64(pr.ColdExecs)
+		sharedHits += float64(sh.SnapSharedHits)
+		sharedExecs += sh.Execs
+		privateExecs += pr.Execs
+	}
+	b.StopTimer()
+	n := float64(b.N)
+	b.ReportMetric(float64(sharedT.Microseconds())/float64(sharedExecs), "us/exec-shared")
+	b.ReportMetric(float64(privateT.Microseconds())/float64(privateExecs), "us/exec-private")
+	b.ReportMetric(sharedCold/n, "cold-execs-shared")
+	b.ReportMetric(privateCold/n, "cold-execs-private")
+	b.ReportMetric(sharedHits/n, "shared-hits")
+	b.Logf("4-worker persistent campaign: shared fabric %d cold boots (%d cross-worker hits), private caches %d cold boots",
+		uint64(sharedCold/n), uint64(sharedHits/n), uint64(privateCold/n))
 }
 
 // BenchmarkCoverageFuzzVsSymbolicVsHybrid compares coverage over simulated

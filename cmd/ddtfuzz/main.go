@@ -29,6 +29,7 @@
 //	               top feeds are lifted back into symbolic states)
 //	-engine-workers n  parallel symbolic workers for hybrid engine passes
 //	-json file     write the report as JSON ("-" for stdout)
+//	-cpuprofile f  write a pprof CPU profile of the campaign to f
 //	-expect        compare found classes against the driver's Table 2 set
 //	-manager url   attach to a ddtd campaign manager as a fleet worker:
 //	               lease campaigns, sync corpus deltas both ways, report
@@ -48,6 +49,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 
 	"repro"
 	"repro/internal/binimg"
@@ -69,6 +71,7 @@ func main() {
 	corpusDir := flag.String("corpus", "", "corpus directory (seeds in, corpus+crashes out)")
 	hybrid := flag.Bool("hybrid", false, "run the hybrid concolic loop")
 	jsonOut := flag.String("json", "", "write JSON report to file (\"-\" for stdout)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the campaign to this file")
 	expect := flag.Bool("expect", false, "compare against the driver's expected Table 2 bug classes")
 	managerURL := flag.String("manager", "", "attach to a ddtd campaign manager at this base URL")
 	name := flag.String("name", "", "worker name reported to the manager (default host-pid)")
@@ -97,6 +100,18 @@ func main() {
 	cfg.Persist = *persist
 	cfg.Dict = *dict
 	cfg.CorpusDir = *corpusDir
+
+	if *cpuProfile != "" {
+		pf, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fatal(err)
+		}
+		defer pf.Close()
+		defer pprof.StopCPUProfile()
+	}
 
 	var rep *fuzz.Report
 	foundClasses := make(map[string]int) // union across modes, for -expect

@@ -528,7 +528,7 @@ func (e *Engine) runPath(ctx *vm.ExecContext, st *vm.State, entryName string, re
 			cur.Status = vm.StatusKilled
 			return
 		}
-		next, err := ctx.Step(cur)
+		next, err := ctx.StepSpan(cur, e.Opts.MaxStepsPerPath-(cur.ICount-start))
 		// A fault left pending on the stepped state by a hook (the loop
 		// checker) fails the path right here, keeping the original engine's
 		// timing; forked children of the same step die with their parent.

@@ -15,6 +15,7 @@ package expr
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 )
 
@@ -78,9 +79,29 @@ type Expr struct {
 // Small constant cache: the VM allocates constants constantly.
 var smallConsts [1024]*Expr
 
+// Interned common word values beyond the small range: contiguous low-bit
+// masks (0xFFFF, 0xFFFFFFFF, 0x7FFFFFFF, ...) and powers of two (page
+// sizes, alignment, single flag bits). These dominate the constants the
+// step loop's ALU folding and zero/sign extension produce, so interning
+// them keeps purely concrete stepping allocation-free.
+var (
+	maskConsts [33]*Expr // maskConsts[k] = (1<<k)-1, for values >= 1024
+	pow2Consts [32]*Expr // pow2Consts[k] = 1<<k, for values >= 1024
+)
+
+func internConst(c uint32) *Expr {
+	return &Expr{Op: OpConst, C: c, hash: hashNode(OpConst, uint64(c), 0, 0), size: 1}
+}
+
 func init() {
 	for i := range smallConsts {
-		smallConsts[i] = &Expr{Op: OpConst, C: uint32(i), hash: hashNode(OpConst, uint64(i), 0, 0), size: 1}
+		smallConsts[i] = internConst(uint32(i))
+	}
+	for k := 10; k < 32; k++ {
+		pow2Consts[k] = internConst(1 << k)
+	}
+	for k := 11; k <= 32; k++ {
+		maskConsts[k] = internConst(uint32((uint64(1) << k) - 1))
 	}
 }
 
@@ -89,7 +110,13 @@ func Const(c uint32) *Expr {
 	if c < uint32(len(smallConsts)) {
 		return smallConsts[c]
 	}
-	return &Expr{Op: OpConst, C: c, hash: hashNode(OpConst, uint64(c), 0, 0), size: 1}
+	if c&(c+1) == 0 { // contiguous low mask: 2^k - 1
+		return maskConsts[bits.OnesCount32(c)]
+	}
+	if c&(c-1) == 0 { // power of two
+		return pow2Consts[bits.TrailingZeros32(c)]
+	}
+	return internConst(c)
 }
 
 // Bool returns Const(1) if b, else Const(0).

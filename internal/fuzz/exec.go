@@ -43,6 +43,17 @@ type Options struct {
 	// bit-identical to cold execution (see snapshot.go for the soundness
 	// argument and the determinism suite in persist_test.go for the proof).
 	Persist bool
+	// Fabric, when non-nil with Persist on, is the shared snapshot store
+	// this executor publishes to and resumes from — the campaign wires one
+	// fabric into every worker so the fleet cold-boots each prefix once.
+	// Nil with Persist on gives the executor a private fabric (the pre-
+	// fabric behaviour). Never serialized: a fabric holds live state.
+	Fabric *SnapFabric `json:"-"`
+	// NoSuperblocks disables the VM's superblock fast path on this
+	// executor's machine. Execution is bit-identical either way (the
+	// superblock determinism suite proves it); the switch exists for those
+	// proofs and for the step-loop benchmarks.
+	NoSuperblocks bool `json:",omitempty"`
 }
 
 // DefaultOptions mirror the engine's workload configuration, with tighter
@@ -160,10 +171,13 @@ type Executor struct {
 	lastBlock uint32
 	eligBound uint64 // persistent mode: triggers below this could have fired
 
-	// snaps is the persistent-mode snapshot cache (nil when Persist is off).
-	// Like the executor it is single-threaded: the worker pool gives each
-	// worker its own executor, so snapshots are never shared across workers.
-	snaps *snapCache
+	// snaps is the persistent-mode snapshot fabric (nil when Persist is
+	// off): either the campaign-shared fabric from Options.Fabric or a
+	// private one. Snapshots are immutable and resumes fork frozen state,
+	// so sharing across executors is safe; execID attributes this
+	// executor's lookups in the fabric's hit/shared-hit split.
+	snaps  *SnapFabric
+	execID uint64
 }
 
 // NewExecutor builds an executor for the image. cov may be nil (coverage
@@ -181,8 +195,15 @@ func NewExecutor(img *binimg.Image, cov *exerciser.Coverage, opts Options) *Exec
 	}
 	e.k.SymbolPolicy = e.symbolPolicy
 	e.k.ForkPolicy = e.forkPolicy
+	if opts.NoSuperblocks {
+		e.m.DisableSuperblocks = true
+	}
 	if opts.Persist {
-		e.snaps = &snapCache{}
+		e.snaps = opts.Fabric
+		if e.snaps == nil {
+			e.snaps = NewSnapFabric()
+		}
+		e.execID = e.snaps.register()
 	}
 	e.m.OnBlock = func(s *vm.State, pc uint32) {
 		e.lastBlock = pc
@@ -266,11 +287,19 @@ func (e *Executor) forkPolicy(s *vm.State, api string) bool {
 // trigger, so a snapshot knows that a candidate feed's unconsumed trigger
 // at or past the bound can never fire before the snapshot point — the
 // exact validity rule for interrupt schedules (snapshot.matches).
-func (e *Executor) maybeInject(s *vm.State) {
+//
+// It returns the instant's injection eligibility as it stands after any
+// injection it performed. Every eligibility factor — ISR registration,
+// interrupt context, IRQL, injection budget — only changes at span-ending
+// events (API calls, injections, interrupt returns, phase transitions), so
+// the returned value holds for every instant a following StepSpan dispatch
+// executes through, and the caller can maintain eligBound across a whole
+// span with one post-dispatch update.
+func (e *Executor) maybeInject(s *vm.State) bool {
 	trig, ok := e.reader.nextIRQ()
 	pending := ok && s.ICount >= trig && e.intrUsed < e.opts.MaxInterrupts
 	if !pending && e.snaps == nil {
-		return
+		return false
 	}
 	ks := kernel.Of(s)
 	eligible := ks.ISRRegistered && s.InInterrupt == 0 && ks.IRQL < kernel.DeviceLevel &&
@@ -279,11 +308,15 @@ func (e *Executor) maybeInject(s *vm.State) {
 		e.eligBound = s.ICount + 1
 	}
 	if !pending || !eligible {
-		return
+		return eligible
 	}
 	e.reader.takeIRQ()
 	e.intrUsed++
 	e.k.InjectInterrupt(s)
+	// The injection flipped the eligibility factors (interrupt context
+	// active, IRQL raised); re-evaluate for the instants that follow.
+	return ks.ISRRegistered && s.InInterrupt == 0 && ks.IRQL < kernel.DeviceLevel &&
+		e.intrUsed < e.opts.MaxInterrupts
 }
 
 // Run executes one feed through the full workload chain and reports the
@@ -325,6 +358,9 @@ func (e *Executor) Run(feed *Feed) *ExecResult {
 	res.ConsumedData, res.ConsumedForks, res.ConsumedIRQ = e.reader.consumed()
 	if fin != nil {
 		res.Trace = fin.Trace
+		// The final state is never touched again (crash identity, trace, and
+		// cursors are all harvested); recycle its overlay maps.
+		fin.Retire()
 	}
 	return res
 }
@@ -335,7 +371,7 @@ func (e *Executor) lookupSnapshot(feed *Feed) *snapshot {
 	if e.snaps == nil {
 		return nil
 	}
-	return e.snaps.best(feed)
+	return e.snaps.best(feed, e.execID)
 }
 
 // resumeFrom restores the executor's per-execution context to the snapshot
@@ -376,6 +412,7 @@ func (e *Executor) recordSnapshot(stage snapStage, s *vm.State, res *ExecResult)
 		return
 	}
 	sn := e.captureContext(stage, res)
+	sn.owner = e.execID
 	sn.state = e.m.SnapshotState(s)
 	e.snaps.add(sn)
 }
@@ -388,6 +425,7 @@ func (e *Executor) recordTerminal(s *vm.State, res *ExecResult) {
 		return
 	}
 	sn := e.captureContext(stageTerminal, res)
+	sn.owner = e.execID
 	if s != nil {
 		sn.trace = s.Trace
 	}
@@ -611,8 +649,30 @@ func (e *Executor) runEntryStatus(s *vm.State, name string, pc uint32, args []*e
 			s.Status = vm.StatusKilled
 			return s, false, 0
 		}
-		e.maybeInject(s)
-		next, err := e.m.Step(s)
+		elig := e.maybeInject(s)
+		// Span budget: run straight-line code in one dispatch up to the next
+		// per-instruction decision point — the entry step bound, or the next
+		// pending interrupt trigger (its injection instant must be a dispatch
+		// boundary so maybeInject sees it exactly when a per-instruction loop
+		// would). A trigger at or before the current instant never caps: it
+		// either just fired or is blocked by an eligibility factor that
+		// cannot change mid-span.
+		budget := e.opts.MaxStepsPerEntry - (s.ICount - start)
+		if trig, ok := e.reader.nextIRQ(); ok && e.intrUsed < e.opts.MaxInterrupts && trig > s.ICount {
+			if d := trig - s.ICount; d < budget {
+				budget = d
+			}
+		}
+		icount := s.ICount
+		next, err := e.m.StepSpan(s, budget)
+		// Every instant the dispatch executed through shared the eligibility
+		// maybeInject returned (eligibility only changes at span enders), so
+		// one update rolls eligBound forward over the whole span: the last
+		// pre-instruction instant was ICount-1, making ICount the exclusive
+		// bound — exactly what a per-instruction loop would have left.
+		if elig && e.snaps != nil && s.ICount > icount {
+			e.eligBound = s.ICount
+		}
 		// A loop fault raised by OnBlock travels on the state itself.
 		if err == nil && s.PendFault != nil {
 			err = s.PendFault
@@ -633,6 +693,7 @@ func (e *Executor) runEntryStatus(s *vm.State, name string, pc uint32, args []*e
 			// symbolic value), follow the first child and drop the rest.
 			for _, n := range next[1:] {
 				n.Status = vm.StatusKilled
+				n.Retire()
 			}
 			s = next[0]
 		}

@@ -1,0 +1,247 @@
+package fuzz
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/binimg"
+	"repro/internal/corpus"
+	"repro/internal/exerciser"
+)
+
+// TestSuperblockFuzzExecBitIdentity extends the determinism suite to the
+// superblock fast path: for every corpus driver, executing the snapshot-
+// stressing feed schedule with superblocks enabled (default) is
+// bit-identical — steps, coverage, crash identity, consumed cursors, and
+// the full trace event chain — to per-instruction dispatch
+// (Options.NoSuperblocks), in both cold-start and persistent mode. The
+// schedule includes interrupt feeds whose triggers land mid-span, so the
+// budget capping at IRQ instants is exercised.
+func TestSuperblockFuzzExecBitIdentity(t *testing.T) {
+	for _, name := range corpus.Names() {
+		t.Run(name, func(t *testing.T) {
+			for _, persist := range []bool{false, true} {
+				fastOpts := DefaultOptions()
+				fastOpts.Persist = persist
+				slowOpts := DefaultOptions()
+				slowOpts.Persist = persist
+				slowOpts.NoSuperblocks = true
+
+				img, err := corpus.Build(name, corpus.Buggy)
+				if err != nil {
+					t.Fatal(err)
+				}
+				blocks := len(binimg.StaticBlocks(img))
+				fast := NewExecutor(img, exerciser.NewCoverage(blocks), fastOpts)
+				slow := NewExecutor(img, exerciser.NewCoverage(blocks), slowOpts)
+
+				mu := NewMutator(5)
+				for i, f := range persistFeeds(mu, 30) {
+					a := fast.Run(f)
+					b := slow.Run(f)
+					compareExec(t, fmt.Sprintf("persist=%v feed %d", persist, i), a, b)
+				}
+			}
+		})
+	}
+}
+
+// TestFuzzCampaignSuperblocksBitIdentical is the campaign-level half: a
+// full single-worker campaign with the superblock fast path on is
+// bit-identical to one with it off — same crash set, same minimized
+// reproducers, same coverage series, same instruction totals.
+func TestFuzzCampaignSuperblocksBitIdentical(t *testing.T) {
+	img, err := corpus.Build("rtl8029", corpus.Buggy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	campaign := func(noSB bool) *Report {
+		cfg := DefaultConfig()
+		cfg.Workers = 1
+		cfg.MaxExecs = 4_000
+		cfg.Persist = true
+		cfg.Exec.NoSuperblocks = noSB
+		rep, err := New(img, cfg).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	on := campaign(false)
+	off := campaign(true)
+	if !reflect.DeepEqual(crashKeys(on), crashKeys(off)) {
+		t.Fatalf("bug sets differ:\n  superblocks: %v\n  per-instruction: %v", crashKeys(on), crashKeys(off))
+	}
+	if len(on.Crashes) == 0 {
+		t.Fatal("campaign found no crashes — equality is vacuous")
+	}
+	for k, f := range on.CrashFeeds {
+		if !f.Equal(off.CrashFeeds[k]) {
+			t.Fatalf("minimized reproducer for %s differs", k)
+		}
+	}
+	if on.Instructions != off.Instructions {
+		t.Fatalf("simulated instructions %d vs %d", on.Instructions, off.Instructions)
+	}
+	if on.BlocksCovered != off.BlocksCovered || on.CorpusSize != off.CorpusSize {
+		t.Fatalf("coverage/corpus: %d/%d vs %d/%d",
+			on.BlocksCovered, on.CorpusSize, off.BlocksCovered, off.CorpusSize)
+	}
+	if !reflect.DeepEqual(on.CoverageSeries, off.CoverageSeries) {
+		t.Fatal("coverage series diverged")
+	}
+}
+
+// TestSharedSnapshotFabricConcurrent drives N executors against ONE
+// snapshot fabric — the campaign topology — and checks the sharing
+// contract: one executor's cold boot serves every other worker's resume
+// (no duplicate cold boots for an already-published prefix), cross-worker
+// resumes are bit-identical to that worker running cold, and the
+// hit/shared-hit/miss split accounts for every lookup. Runs under -race in
+// CI: the lookups, publications, and cross-executor state forks here are
+// exactly the concurrent surface the fabric adds.
+func TestSharedSnapshotFabricConcurrent(t *testing.T) {
+	img, err := corpus.Build("rtl8029", corpus.Buggy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fabric := NewSnapFabric()
+	opts := DefaultOptions()
+	opts.Persist = true
+	opts.Fabric = fabric
+
+	const workers = 4
+	execs := make([]*Executor, workers)
+	for i := range execs {
+		execs[i] = NewExecutor(img, nil, opts)
+	}
+	zero := &Feed{Data: make([]byte, 64)}
+
+	// Executor 0 publishes the boot snapshots with one cold execution.
+	first := execs[0].Run(zero)
+	if first.Warm {
+		t.Fatal("first execution on an empty fabric was warm")
+	}
+	hits, shared, misses := fabric.Stats()
+	if misses == 0 {
+		t.Fatalf("cold boot not counted as miss (stats %d/%d/%d)", hits, shared, misses)
+	}
+	baseMisses := misses
+
+	// Every worker resumes concurrently from executor 0's snapshots: all
+	// warm, zero new cold boots.
+	results := make([]*ExecResult, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = execs[i].Run(zero)
+		}(i)
+	}
+	wg.Wait()
+
+	want := NewExecutor(img, nil, DefaultOptions()).Run(zero)
+	for i, res := range results {
+		if !res.Warm || res.SkippedSteps == 0 {
+			t.Fatalf("executor %d did not resume from the shared fabric (warm=%v skip=%d)",
+				i, res.Warm, res.SkippedSteps)
+		}
+		compareExec(t, fmt.Sprintf("executor %d shared resume", i), res, want)
+	}
+	hits, shared, misses = fabric.Stats()
+	if misses != baseMisses {
+		t.Fatalf("concurrent warm round cold-booted %d more times", misses-baseMisses)
+	}
+	if shared == 0 {
+		t.Fatal("no lookup was served by another executor's snapshot")
+	}
+	if hits == 0 {
+		t.Fatal("executor 0's own resume not counted as a hit")
+	}
+	if hits+shared != uint64(workers) {
+		t.Fatalf("warm round: hits %d + shared %d != %d lookups", hits, shared, workers)
+	}
+
+	// Hammer the fabric from all workers with a diverse schedule: the
+	// results must match a serial cold executor feed-for-feed.
+	feedsPer := 25
+	coldRes := make([][]*ExecResult, workers)
+	cold := NewExecutor(img, nil, DefaultOptions())
+	schedules := make([][]*Feed, workers)
+	for i := range schedules {
+		schedules[i] = persistFeeds(NewMutator(int64(100+i)), feedsPer)
+		coldRes[i] = make([]*ExecResult, len(schedules[i]))
+		for j, f := range schedules[i] {
+			coldRes[i][j] = cold.Run(f)
+		}
+	}
+	warmRes := make([][]*ExecResult, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			warmRes[i] = make([]*ExecResult, len(schedules[i]))
+			for j, f := range schedules[i] {
+				warmRes[i][j] = execs[i].Run(f)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := range warmRes {
+		for j := range warmRes[i] {
+			compareExec(t, fmt.Sprintf("executor %d feed %d", i, j), warmRes[i][j], coldRes[i][j])
+		}
+	}
+	hits, shared, misses = fabric.Stats()
+	t.Logf("fabric after %d executions: %d hits / %d shared / %d misses",
+		workers*(feedsPer*2+8)+workers+1, hits, shared, misses)
+}
+
+// TestFabricSharding pins the shard-routing invariants the lookup
+// completeness argument rests on: snapshots that consumed data are found
+// via their first-word shard, zero-word snapshots are found from the wild
+// shard by any feed, and identical prefixes dedup inside one shard.
+func TestFabricSharding(t *testing.T) {
+	f := NewSnapFabric()
+	mk := func(words int, data []byte, steps uint64) *snapshot {
+		return &snapshot{stage: stageTerminal, words: words, data: data, steps: steps}
+	}
+	a := mk(1, []byte{9, 9, 9, 9}, 10)
+	w := mk(0, nil, 5)
+	f.add(a)
+	f.add(w)
+
+	if got := f.best(&Feed{Data: []byte{9, 9, 9, 9}}, 0); got != a {
+		t.Fatalf("data-sharded snapshot not found: got %v", got)
+	}
+	// A feed with a different first word cannot match a; the wild-shard
+	// snapshot (zero consumed words matches anything) must serve it.
+	if got := f.best(&Feed{Data: []byte{1, 2, 3, 4}}, 0); got != w {
+		t.Fatalf("wild snapshot not found for unmatched data: got %v", got)
+	}
+	// Dedup: re-adding the same prefix keeps one entry in its shard.
+	f.add(mk(1, []byte{9, 9, 9, 9}, 20))
+	sh := &f.shards[shardIndex([]byte{9, 9, 9, 9})]
+	n := 0
+	for _, sn := range sh.snaps {
+		if sn.words == 1 {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("same prefix kept %d shard entries", n)
+	}
+	// Stats attribution: owner hit vs shared hit vs miss.
+	owner := f.register()
+	other := f.register()
+	a.owner = owner
+	f.best(&Feed{Data: []byte{9, 9, 9, 9}}, owner)
+	f.best(&Feed{Data: []byte{9, 9, 9, 9}}, other)
+	hits, shared, _ := f.Stats()
+	if hits == 0 || shared == 0 {
+		t.Fatalf("hit split not attributed: hits=%d shared=%d", hits, shared)
+	}
+}

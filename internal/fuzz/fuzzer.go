@@ -40,7 +40,15 @@ type Config struct {
 	// Initialize) run once per boot prefix and later executions resume from
 	// the snapshot (Options.Persist; see snapshot.go). Results are
 	// bit-identical to cold-start execution — only the wall clock changes.
+	// All workers share one snapshot fabric, so the fleet cold-boots each
+	// boot prefix once, not once per worker.
 	Persist bool
+	// PrivateSnapshots reverts persistent mode to per-worker snapshot
+	// stores (the pre-fabric behaviour): every worker cold-boots each
+	// prefix itself. An escape hatch and the baseline side of
+	// BenchmarkFuzzSharedSnapshotFabric; results are bit-identical either
+	// way.
+	PrivateSnapshots bool
 	// Dict mines a dictionary of instruction immediates (OID constants,
 	// magic values) from the driver image and enables the mutator's
 	// dictionary-splice operators.
@@ -89,6 +97,13 @@ type Report struct {
 	ColdExecsPerSec     float64 `json:"cold_execs_per_sec_per_worker"`
 	WarmExecsPerSec     float64 `json:"warm_execs_per_sec_per_worker"`
 	SkippedInstructions uint64  `json:"skipped_instructions"`
+	// Snapshot-fabric lookup split (Config.Persist): executions served by a
+	// snapshot the same worker recorded (hits), by another worker's
+	// snapshot (shared hits — the fabric's contribution over private
+	// caches), and cold lookups that found nothing (misses).
+	SnapHits       uint64 `json:"snap_hits,omitempty"`
+	SnapSharedHits uint64 `json:"snap_shared_hits,omitempty"`
+	SnapMisses     uint64 `json:"snap_misses,omitempty"`
 	// DictWords is the mined dictionary size (Config.Dict).
 	DictWords int `json:"dict_words,omitempty"`
 	// Crashes are the deduplicated crashes in discovery order.
@@ -129,6 +144,8 @@ func (r *Report) String() string {
 	if r.Exec.Persist {
 		fmt.Fprintf(&sb, "  persistent: %d cold (%.0f/sec/worker) / %d warm (%.0f/sec/worker), %d boot instructions skipped\n",
 			r.ColdExecs, r.ColdExecsPerSec, r.WarmExecs, r.WarmExecsPerSec, r.SkippedInstructions)
+		fmt.Fprintf(&sb, "  snapshot fabric: %d hits / %d shared hits / %d misses\n",
+			r.SnapHits, r.SnapSharedHits, r.SnapMisses)
 	}
 	if r.DictWords > 0 {
 		fmt.Fprintf(&sb, "  dictionary: %d mined immediates\n", r.DictWords)
@@ -186,6 +203,11 @@ type Fuzzer struct {
 	injectShard  atomic.Uint64
 	deadline     time.Time
 	seedCount    int
+
+	// fabric is the campaign-wide snapshot store every worker executor
+	// shares (nil unless Persist; nil with PrivateSnapshots, where each
+	// executor builds its own).
+	fabric *SnapFabric
 }
 
 // New prepares a campaign. The coverage denominator comes from the image's
@@ -219,6 +241,13 @@ func New(img *binimg.Image, cfg Config) *Fuzzer {
 	if cfg.Persist {
 		cfg.Exec.Persist = true
 	}
+	var fabric *SnapFabric
+	if cfg.Exec.Persist && !cfg.PrivateSnapshots {
+		if cfg.Exec.Fabric == nil {
+			cfg.Exec.Fabric = NewSnapFabric()
+		}
+		fabric = cfg.Exec.Fabric
+	}
 	f := &Fuzzer{
 		img:     img,
 		cfg:     cfg,
@@ -226,6 +255,7 @@ func New(img *binimg.Image, cfg Config) *Fuzzer {
 		corpus:  NewCorpus(cfg.CorpusMax),
 		crashes: newCrashStore(),
 		queue:   NewQueue(cfg.Workers),
+		fabric:  fabric,
 	}
 	if cfg.Dict {
 		f.dict = MineDictionary(img)
@@ -334,6 +364,9 @@ func (f *Fuzzer) Run() (*Report, error) {
 	}
 	if ns := f.warmNS.Load(); ns > 0 {
 		rep.WarmExecsPerSec = float64(rep.WarmExecs) / (float64(ns) / 1e9)
+	}
+	if f.fabric != nil {
+		rep.SnapHits, rep.SnapSharedHits, rep.SnapMisses = f.fabric.Stats()
 	}
 	if f.dict != nil {
 		rep.DictWords = f.dict.Len()

@@ -373,29 +373,30 @@ func crashKeys(r *Report) []string {
 	return out
 }
 
-// TestSnapshotCache covers the cache mechanics in isolation: effective
-// (zero-extended) prefix matching, fork-parity matching, deepest-match
-// preference, and LRU eviction.
+// TestSnapshotCache covers one fabric shard's cache mechanics in
+// isolation: effective (zero-extended) prefix matching, fork-parity
+// matching, deepest-match preference, and LRU eviction. (Sharded lookup
+// and concurrency are covered in fabric_test.go.)
 func TestSnapshotCache(t *testing.T) {
 	mk := func(stage snapStage, words int, data []byte, steps uint64) *snapshot {
 		return &snapshot{stage: stage, words: words, data: data, steps: steps, eligBound: 100}
 	}
-	c := &snapCache{}
+	c := &snapShard{}
 	shallow := mk(stageBooted, 1, []byte{1, 2, 3, 4}, 50)
 	deep := mk(stageInitialized, 2, []byte{1, 2, 3, 4, 0, 0, 0, 0}, 500)
 	c.add(shallow)
 	c.add(deep)
 
 	// A feed matching both prefixes resumes from the deepest snapshot.
-	if got := c.best(&Feed{Data: []byte{1, 2, 3, 4}}); got != deep {
+	if got := c.best(&Feed{Data: []byte{1, 2, 3, 4}}, nil); got != deep {
 		t.Fatalf("best = %+v, want the deeper snapshot", got)
 	}
 	// Zero extension: the deep snapshot consumed two words, the second all
 	// zero; a feed with a nonzero fifth byte only matches the shallow one.
-	if got := c.best(&Feed{Data: []byte{1, 2, 3, 4, 9}}); got != shallow {
+	if got := c.best(&Feed{Data: []byte{1, 2, 3, 4, 9}}, nil); got != shallow {
 		t.Fatalf("zero-extension match failed: %+v", got)
 	}
-	if c.best(&Feed{Data: []byte{9}}) != nil {
+	if c.best(&Feed{Data: []byte{9}}, nil) != nil {
 		t.Fatal("mismatching prefix matched")
 	}
 
@@ -404,19 +405,19 @@ func TestSnapshotCache(t *testing.T) {
 	fk.forkBits = 2
 	fk.forks = []byte{1, 0}
 	c.add(fk)
-	if c.best(&Feed{Forks: []byte{3, 2}}) != fk {
+	if c.best(&Feed{Forks: []byte{3, 2}}, nil) != fk {
 		t.Fatal("fork parity match failed")
 	}
-	if c.best(&Feed{Forks: []byte{0, 0}}) == fk {
+	if c.best(&Feed{Forks: []byte{0, 0}}, nil) == fk {
 		t.Fatal("fork decision mismatch matched")
 	}
 
 	// IRQ bound: a next trigger below the segment's last injection-eligible
 	// instant bypasses; at or past it, the snapshot is usable.
-	if c.best(&Feed{Data: []byte{1, 2, 3, 4}, IRQ: []uint64{99}}) != nil {
+	if c.best(&Feed{Data: []byte{1, 2, 3, 4}, IRQ: []uint64{99}}, nil) != nil {
 		t.Fatal("mid-boot IRQ trigger matched a snapshot")
 	}
-	if c.best(&Feed{Data: []byte{1, 2, 3, 4}, IRQ: []uint64{100}}) != deep {
+	if c.best(&Feed{Data: []byte{1, 2, 3, 4}, IRQ: []uint64{100}}, nil) != deep {
 		t.Fatal("post-boot IRQ trigger should match")
 	}
 
@@ -433,14 +434,14 @@ func TestSnapshotCache(t *testing.T) {
 	}
 
 	// Capacity: the least recently used entry is evicted.
-	c2 := &snapCache{}
+	c2 := &snapShard{}
 	for i := 0; i < snapCacheMax+8; i++ {
 		c2.add(mk(stageTerminal, 1, []byte{byte(i), 0xAA, 0, 0}, 1))
 	}
 	if len(c2.snaps) != snapCacheMax {
 		t.Fatalf("cache size %d, want %d", len(c2.snaps), snapCacheMax)
 	}
-	if c2.best(&Feed{Data: []byte{0, 0xAA, 0, 0}}) != nil {
+	if c2.best(&Feed{Data: []byte{0, 0xAA, 0, 0}}, nil) != nil {
 		t.Fatal("evicted snapshot still matched")
 	}
 }

@@ -58,6 +58,10 @@ type snapshot struct {
 	stage snapStage
 	// state is the frozen post-boot state; nil for stageTerminal.
 	state *vm.State
+	// owner identifies the executor (SnapFabric.register) that recorded the
+	// snapshot, so lookups can split own-snapshot hits from cross-worker
+	// shared hits. Zero for snapshots outside any fabric (unit tests).
+	owner uint64
 
 	// Boot-prefix identity. words/forkBits/irqs are the semantic cursors
 	// (feedReader); data and forks hold the effective consumed streams up to
@@ -158,49 +162,8 @@ func (sn *snapshot) samePrefix(o *snapshot) bool {
 	return sn.matches(&Feed{Data: o.data, Forks: o.forks, IRQ: o.irq})
 }
 
-// snapCacheMax bounds the per-executor snapshot cache. Distinct boot
-// prefixes track the corpus's boot-word diversity, which is small (most
-// mutants inherit their parent's boot prefix); recency eviction keeps the
-// hot prefixes resident.
+// snapCacheMax bounds one fabric shard. Distinct boot prefixes track the
+// corpus's boot-word diversity, which is small (most mutants inherit their
+// parent's boot prefix); recency eviction keeps the hot prefixes resident.
+// The sharded process-wide store lives in fabric.go.
 const snapCacheMax = 64
-
-// snapCache is a small most-recently-used cache of snapshots. It is
-// per-executor and therefore single-threaded, like the executor itself.
-type snapCache struct {
-	snaps []*snapshot
-}
-
-// best returns the deepest (most instructions skipped) snapshot matching f,
-// moving it to the front of the recency order.
-func (c *snapCache) best(f *Feed) *snapshot {
-	bi := -1
-	for i, sn := range c.snaps {
-		if (bi < 0 || sn.steps > c.snaps[bi].steps) && sn.matches(f) {
-			bi = i
-		}
-	}
-	if bi < 0 {
-		return nil
-	}
-	sn := c.snaps[bi]
-	copy(c.snaps[1:bi+1], c.snaps[:bi])
-	c.snaps[0] = sn
-	return sn
-}
-
-// add records a snapshot at the front, dropping an identical-prefix entry
-// of the same stage and evicting the least recently used beyond capacity.
-func (c *snapCache) add(sn *snapshot) {
-	for i, o := range c.snaps {
-		if o.samePrefix(sn) {
-			c.snaps = append(c.snaps[:i], c.snaps[i+1:]...)
-			break
-		}
-	}
-	c.snaps = append(c.snaps, nil)
-	copy(c.snaps[1:], c.snaps)
-	c.snaps[0] = sn
-	if len(c.snaps) > snapCacheMax {
-		c.snaps = c.snaps[:snapCacheMax]
-	}
-}

@@ -31,13 +31,16 @@ func (s *State) IngestFuzzReport(rep *fuzz.Report, worker string) error {
 		s.AddCrash(rep.Driver, worker, &cc)
 	}
 	pt := CoverageTrendPoint{
-		Time:         s.now(),
-		Driver:       rep.Driver,
-		Blocks:       rep.BlocksCovered,
-		Static:       rep.BlocksStatic,
-		Execs:        rep.Execs,
-		Instructions: rep.Instructions,
-		Source:       worker,
+		Time:           s.now(),
+		Driver:         rep.Driver,
+		Blocks:         rep.BlocksCovered,
+		Static:         rep.BlocksStatic,
+		Execs:          rep.Execs,
+		Instructions:   rep.Instructions,
+		Source:         worker,
+		SnapHits:       rep.SnapHits,
+		SnapSharedHits: rep.SnapSharedHits,
+		SnapMisses:     rep.SnapMisses,
 	}
 	s.AppendCoverageTrend(pt)
 	return nil

@@ -103,6 +103,11 @@ type CoverageTrendPoint struct {
 	// Source distinguishes live worker reports from one-shot ingests of
 	// nightly campaign reports ("worker", "ingest").
 	Source string `json:"source,omitempty"`
+	// Snapshot-fabric lookup split carried over from persistent-mode fuzz
+	// reports (fuzz.Report); zero/absent for non-persistent campaigns.
+	SnapHits       uint64 `json:"snap_hits,omitempty"`
+	SnapSharedHits uint64 `json:"snap_shared_hits,omitempty"`
+	SnapMisses     uint64 `json:"snap_misses,omitempty"`
 }
 
 // BenchTrendPoint is one benchmark measurement (trends/bench.jsonl): the

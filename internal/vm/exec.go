@@ -292,7 +292,7 @@ func (c *ExecContext) branch(s *State, in isa.Instr) ([]*State, error) {
 
 	switch {
 	case okTaken && okNot:
-		c.M.Forks.Add(1)
+		c.pendForks++
 		tk := s.Fork(c.M.newID())
 		nt := s.Fork(c.M.newID())
 		tk.AddConstraint(cond)

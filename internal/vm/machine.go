@@ -82,9 +82,25 @@ type Machine struct {
 	// popped (the kernel restores the pre-interrupt IRQL here).
 	OnInterruptReturn func(s *State)
 
+	// DisableSuperblocks forces per-instruction dispatch even when a
+	// caller steps with a budget (StepSpan). Used by the bit-identity
+	// suites and benchmarks to compare the two paths; semantics must be
+	// identical either way.
+	DisableSuperblocks bool
+
 	instrs    []isa.Instr
 	decodeErr []error
-	nextID    atomic.Uint64
+
+	// spanLen[i] is the length of the straight-line span starting at
+	// instruction index i: the number of consecutive validly-decoded,
+	// non-control-flow instructions from i before the next branch, jump,
+	// call, return, HLT, or decode error. Derived once from the immutable
+	// decoded image in NewMachine and shared read-only by every worker.
+	// A span never contains a block entry past its first instruction, so
+	// the fast path (runSpan) owes hooks nothing until it ends or bails.
+	spanLen []uint32
+
+	nextID atomic.Uint64
 
 	// Stats, shared across every ExecContext of this machine.
 	Steps    atomic.Uint64
@@ -108,6 +124,30 @@ type Machine struct {
 type ExecContext struct {
 	M      *Machine
 	Solver *solver.Solver
+
+	// pendSteps/pendForks batch the machine-wide atomic counters: the step
+	// loop bumps these worker-local fields and flushStats publishes them at
+	// every step/span boundary, so the shared cache line is touched once
+	// per dispatch instead of once per instruction. Observers that read
+	// Machine.Steps from inside a step (the OnBlock coverage clocks) are
+	// flushed-to explicitly before the hook fires, so the published value
+	// is always exact at every observation point.
+	pendSteps uint64
+	pendForks uint64
+}
+
+// flushStats publishes the context's batched counter deltas to the shared
+// machine atomics. Exact-count observation points (hook entry, step return)
+// must call this first.
+func (c *ExecContext) flushStats() {
+	if c.pendSteps != 0 {
+		c.M.Steps.Add(c.pendSteps)
+		c.pendSteps = 0
+	}
+	if c.pendForks != 0 {
+		c.M.Forks.Add(c.pendForks)
+		c.pendForks = 0
+	}
 }
 
 // NewMachine decodes the image and prepares an interpreter.
@@ -122,6 +162,21 @@ func NewMachine(img *binimg.Image, syms *expr.SymbolTable, sol *solver.Solver) *
 	}
 	for i := 0; i < n; i++ {
 		m.instrs[i], m.decodeErr[i] = isa.Decode(img.Text[i*isa.InstrSize:])
+	}
+	// Straight-line span table, computed backwards in one pass: an
+	// instruction extends the span of its successor unless it ends a block
+	// itself. Control flow (branches, JMP/JR, CALL/CALLR, RET, HLT) and
+	// undecodable slots get length 0 and always take the general path.
+	m.spanLen = make([]uint32, n)
+	for i := n - 1; i >= 0; i-- {
+		if m.decodeErr[i] != nil || m.instrs[i].Op.IsControlFlow() {
+			continue
+		}
+		if i == n-1 {
+			m.spanLen[i] = 1
+		} else {
+			m.spanLen[i] = m.spanLen[i+1] + 1
+		}
 	}
 	m.root = &ExecContext{M: m, Solver: sol}
 	return m
@@ -169,6 +224,9 @@ func (m *Machine) newID() uint64 {
 // ForkState clones s with a fresh ID (used by kernel annotations that fork
 // over alternative API results). Safe to call from any worker.
 func (m *Machine) ForkState(s *State) *State {
+	// Not batched through ExecContext.pendForks: annotation and invocation
+	// forks happen from coordinator threads outside any step dispatch, where
+	// no context is guaranteed to flush (or even be exclusively ours).
 	m.Forks.Add(1)
 	return s.Fork(m.newID())
 }
@@ -188,9 +246,14 @@ func (m *Machine) SnapshotState(s *State) *State {
 
 // ResumeState clones a frozen snapshot into a fresh runnable state. The
 // snapshot itself is not mutated, so any number of executions can resume
-// from it without deepening its overlay chain (State.ForkFrozen).
+// from it without deepening its overlay chain (State.ForkFrozen). The clone
+// is rebound to this machine's root context immediately: the snapshot may
+// have been recorded by another executor (shared snapshot fabric), and its
+// stale ctx must not route solver work before the first Step rebinds it.
 func (m *Machine) ResumeState(snap *State) *State {
-	return snap.ForkFrozen(m.newID())
+	s := snap.ForkFrozen(m.newID())
+	s.ctx = m.root
+	return s
 }
 
 // inText reports whether pc addresses a decoded instruction.
@@ -226,16 +289,10 @@ func (c *ExecContext) Concretize(s *State, e *expr.Expr, what string) (uint32, e
 	return val, nil
 }
 
-// blockStart is kept per state in Meta to know when to emit block events.
-const metaBlockStart = "block_start"
-
 // MarkBlockStart flags that the next step of s begins a basic block
 // (entry-point invocation, branch target, post-call resumption).
 func (m *Machine) MarkBlockStart(s *State) {
-	if s.Meta == nil {
-		s.Meta = make(map[string]uint64)
-	}
-	s.Meta[metaBlockStart] = 1
+	s.BlockStart = true
 }
 
 func (m *Machine) enterBlock(s *State) {
@@ -243,16 +300,21 @@ func (m *Machine) enterBlock(s *State) {
 	if m.OnBlock != nil {
 		m.OnBlock(s, s.PC)
 	}
-	if s.Meta != nil {
-		delete(s.Meta, metaBlockStart)
-	}
+	s.BlockStart = false
 }
 
 // Step executes one instruction of s under the machine's root context (or
 // the context s is already bound to). Parallel workers call
 // ExecContext.Step directly instead.
 func (m *Machine) Step(s *State) ([]*State, error) {
-	return m.ctxOf(s).Step(s)
+	return m.ctxOf(s).step(s, 1)
+}
+
+// StepSpan is Step with an instruction budget: it may execute up to budget
+// instructions in one dispatch when the state sits on a straight-line span
+// (see runSpan), under the machine's root context.
+func (m *Machine) StepSpan(s *State, budget uint64) ([]*State, error) {
+	return m.ctxOf(s).step(s, budget)
 }
 
 // Step executes one instruction of s and returns the runnable successor
@@ -265,6 +327,19 @@ func (m *Machine) Step(s *State) ([]*State, error) {
 // so the fault stays attributed to the exact state that raised it however
 // the scheduler interleaves paths.
 func (c *ExecContext) Step(s *State) ([]*State, error) {
+	return c.step(s, 1)
+}
+
+// StepSpan executes at least one and at most budget instructions of s in a
+// single dispatch. Callers that interleave per-instruction work (interrupt
+// injection instants, path budgets) pass the distance to their next
+// decision point; semantics are bit-identical to calling Step budget times
+// with no interleaved work. A budget of 0 is treated as 1.
+func (c *ExecContext) StepSpan(s *State, budget uint64) ([]*State, error) {
+	return c.step(s, budget)
+}
+
+func (c *ExecContext) step(s *State, budget uint64) ([]*State, error) {
 	if s.Status != StatusRunning {
 		return nil, nil
 	}
@@ -275,7 +350,8 @@ func (c *ExecContext) Step(s *State) ([]*State, error) {
 		return nil, f
 	}
 	m := c.M
-	m.Steps.Add(1)
+	c.pendSteps++
+	defer c.flushStats()
 
 	// Magic return addresses.
 	switch s.PC {
@@ -306,8 +382,19 @@ func (c *ExecContext) Step(s *State) ([]*State, error) {
 		return nil, Faultf("memory", s.PC, "invalid instruction: %v", err)
 	}
 
-	if s.Meta != nil && s.Meta[metaBlockStart] == 1 {
+	if s.BlockStart {
+		c.flushStats() // OnBlock coverage clocks read Machine.Steps
 		m.enterBlock(s)
+		if s.PendFault != nil {
+			// The block hook raised a fault (loop checker). Per-instruction
+			// semantics execute exactly one more instruction before the
+			// next dispatch surfaces it — a span must not run past that.
+			budget = 1
+		}
+	}
+
+	if budget > 1 && !m.DisableSuperblocks && m.spanLen[idx] > 1 {
+		return c.runSpan(s, idx, budget)
 	}
 
 	in := m.instrs[idx]
@@ -334,7 +421,7 @@ func (c *ExecContext) Run(s *State, maxSteps uint64) (final *State, forked []*St
 			cur.Status = StatusKilled
 			return cur, forked, nil
 		}
-		next, err := c.Step(cur)
+		next, err := c.StepSpan(cur, maxSteps-(cur.ICount-start))
 		if err != nil {
 			return cur, forked, err
 		}

@@ -1,6 +1,9 @@
 package vm
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/expr"
 )
 
@@ -60,18 +63,58 @@ type Memory struct {
 	pages  map[uint32]*page // pageIndex -> locally owned page
 	cache  map[uint32]*page // pageIndex -> resolved ancestor page (read-only)
 	depth  int
+	kids   atomic.Int32 // overlays forked off this one; gates Retire
+}
+
+// pageMapPool recycles the small page/cache maps every overlay allocates.
+// The fuzz executor forks and discards thousands of short-lived overlays
+// per second; pooling the maps keeps that churn off the allocator. Maps are
+// cleared on put so a pooled map is indistinguishable from a fresh one.
+var pageMapPool = sync.Pool{
+	New: func() any { return make(map[uint32]*page) },
+}
+
+func newPageMap() map[uint32]*page {
+	return pageMapPool.Get().(map[uint32]*page)
+}
+
+func putPageMap(m map[uint32]*page) {
+	clear(m)
+	pageMapPool.Put(m)
 }
 
 // NewMemory returns an empty address space.
 func NewMemory() *Memory {
-	return &Memory{pages: make(map[uint32]*page)}
+	return &Memory{pages: newPageMap()}
 }
 
 // Fork pushes a new copy-on-write overlay and returns it. The receiver must
 // be treated as immutable afterwards (the exerciser enforces this: parents
 // are never re-executed directly, only their forked children).
 func (m *Memory) Fork() *Memory {
-	return &Memory{parent: m, pages: make(map[uint32]*page), depth: m.depth + 1}
+	m.kids.Add(1)
+	return &Memory{parent: m, pages: newPageMap(), depth: m.depth + 1}
+}
+
+// Retire recycles the overlay's maps into the shared pool. Only a leaf may
+// retire: an overlay that ever forked a child (kids > 0) stays intact, since
+// descendants resolve reads through it (and may hold its pages in their
+// caches — the pages themselves are never pooled, only the maps). After
+// Retire the memory must not be used again; writes will panic on the nil
+// page map, which makes a use-after-retire loud instead of corrupting a
+// pooled map.
+func (m *Memory) Retire() {
+	if m == nil || m.kids.Load() != 0 {
+		return
+	}
+	if m.pages != nil {
+		putPageMap(m.pages)
+		m.pages = nil
+	}
+	if m.cache != nil {
+		putPageMap(m.cache)
+		m.cache = nil
+	}
 }
 
 // Depth returns the length of the overlay chain, for memory accounting
@@ -94,7 +137,7 @@ func (m *Memory) lookup(idx uint32) *page {
 	for anc := m.parent; anc != nil; anc = anc.parent {
 		if p, ok := anc.pages[idx]; ok {
 			if m.cache == nil {
-				m.cache = make(map[uint32]*page)
+				m.cache = newPageMap()
 			}
 			m.cache[idx] = p
 			return p
@@ -145,10 +188,28 @@ func (m *Memory) Read(addr uint32, size uint32) *expr.Expr {
 	case 1:
 		return m.LoadByte(addr)
 	case 2:
+		if off := addr & 0xFFF; off <= PageSize-2 {
+			if p := m.lookup(addr >> 12); p == nil {
+				return expr.Const(0)
+			} else if len(p.sym) == 0 {
+				// Fully concrete page: assemble the word directly. This is
+				// exactly what the Or/Shl constant folds below produce, one
+				// interned Const instead of a chain of intermediate nodes.
+				return expr.Const(uint32(p.data[off]) | uint32(p.data[off+1])<<8)
+			}
+		}
 		b0 := m.LoadByte(addr)
 		b1 := m.LoadByte(addr + 1)
 		return expr.Or(b0, expr.Shl(b1, expr.Const(8)))
 	case 4:
+		if off := addr & 0xFFF; off <= PageSize-4 {
+			if p := m.lookup(addr >> 12); p == nil {
+				return expr.Const(0)
+			} else if len(p.sym) == 0 {
+				return expr.Const(uint32(p.data[off]) | uint32(p.data[off+1])<<8 |
+					uint32(p.data[off+2])<<16 | uint32(p.data[off+3])<<24)
+			}
+		}
 		return expr.ConcatBytes(
 			m.LoadByte(addr), m.LoadByte(addr+1), m.LoadByte(addr+2), m.LoadByte(addr+3))
 	}

@@ -1,0 +1,187 @@
+package vm
+
+import (
+	"repro/internal/expr"
+	"repro/internal/isa"
+)
+
+// runSpan executes up to budget instructions of the straight-line span that
+// starts at instruction index idx, without re-entering the step dispatcher
+// per instruction. The span table guarantees every instruction in
+// [idx, idx+spanLen[idx]) is validly decoded and non-control-flow, so:
+//
+//   - no instruction in the span can be a block entry (those only follow
+//     control transfers), so no hook or trace event is owed between
+//     instructions unless an instruction itself produces one;
+//   - every instruction advances PC sequentially, so PC can be tracked as
+//     an index and materialized only when needed;
+//   - pure register ops (MOV/MOVI/ALU) over concrete values can run in a
+//     scratch array of concrete words with no expr allocation at all.
+//
+// Anything else — memory ops, port I/O, a symbolic operand — falls back to
+// the general exec for that one instruction with the architectural state
+// (PC, ICount, registers) synced first, so events it emits carry exactly
+// the sequence numbers the per-instruction path would have produced. If
+// that instruction ends the straight-line guarantees (fault, status
+// change, pending fault from a hook), runSpan bails out immediately and
+// the caller resumes mid-span at the precise next instruction.
+//
+// The preamble in step has already credited one step for the first
+// instruction (mirroring the per-instruction path); runSpan credits the
+// rest. Net effect: executing N span instructions is bit-identical to N
+// Step calls, with one shared-atomic flush and one dispatch instead of N.
+func (c *ExecContext) runSpan(s *State, idx uint32, budget uint64) ([]*State, error) {
+	m := c.M
+	maxN := uint64(m.spanLen[idx])
+	if budget < maxN {
+		maxN = budget
+	}
+	base := s.ICount
+	i := idx
+	executed := uint64(0) // instructions completed in this dispatch
+	counted := uint64(1)  // step credits granted (preamble pre-credited one)
+
+	// Scratch register file: concrete values mirrored out of s.Regs.
+	// known marks registers whose scratch value is valid; dirty marks
+	// scratch values newer than s.Regs.
+	var conc [isa.NumRegs]uint32
+	var known, dirty uint32
+	loadScratch := func() {
+		known, dirty = 0, 0
+		for r := range s.Regs {
+			if e := s.Regs[r]; e.IsConst() {
+				conc[r] = e.ConstVal()
+				known |= 1 << r
+			}
+		}
+	}
+	flushRegs := func() {
+		for r := 0; dirty != 0; r++ {
+			if dirty&(1<<r) != 0 {
+				s.Regs[r] = expr.Const(conc[r])
+				dirty &^= 1 << r
+			}
+		}
+	}
+	creditTo := func(n uint64) {
+		if n > counted {
+			c.pendSteps += n - counted
+			counted = n
+		}
+	}
+	loadScratch()
+
+	for executed < maxN {
+		in := &m.instrs[i]
+		if fastExec(in, &conc, &known, &dirty) {
+			executed++
+			i++
+			continue
+		}
+
+		// General path for this one instruction: make the architectural
+		// state exact first, exactly as the per-instruction dispatcher
+		// would see it.
+		flushRegs()
+		s.PC = isa.ImageBase + i*isa.InstrSize
+		s.ICount = base + executed
+		creditTo(executed + 1)
+		s.ICount++
+		executed++
+		out, err := c.exec(s, *in)
+		if err != nil || len(out) != 1 || out[0] != s ||
+			s.Status != StatusRunning || s.BlockStart || s.PendFault != nil ||
+			s.PC != isa.ImageBase+(i+1)*isa.InstrSize {
+			// The instruction ended the span's straight-line guarantees
+			// (fault, status change, hook-raised pending fault) — bail out.
+			// State is already fully synced; the caller's next dispatch
+			// resumes at the exact instruction the per-instruction path
+			// would execute next.
+			return out, err
+		}
+		loadScratch()
+		i++
+	}
+
+	flushRegs()
+	s.PC = isa.ImageBase + i*isa.InstrSize
+	s.ICount = base + executed
+	creditTo(executed)
+	return []*State{s}, nil
+}
+
+// fastExec executes one pure register instruction over the scratch
+// concrete register file, or reports false if the instruction needs the
+// general path (memory, I/O, or a source register that is not concrete).
+// The arithmetic replicates the expr constant folds bit for bit — this is
+// what makes the fast path invisible to every observer.
+func fastExec(in *isa.Instr, conc *[isa.NumRegs]uint32, known, dirty *uint32) bool {
+	var v uint32
+	switch in.Op {
+	case isa.NOP:
+		return true
+	case isa.MOVI:
+		v = in.Imm
+	case isa.MOV:
+		if *known&(1<<in.Rs1) == 0 {
+			return false
+		}
+		v = conc[in.Rs1]
+	case isa.ADD, isa.SUB, isa.MUL, isa.DIVU, isa.REMU,
+		isa.AND, isa.OR, isa.XOR, isa.SHL, isa.SHR, isa.SAR:
+		if *known&(1<<in.Rs1) == 0 || *known&(1<<in.Rs2) == 0 {
+			return false
+		}
+		v = aluConcrete(in.Op, conc[in.Rs1], conc[in.Rs2])
+	case isa.ADDI, isa.ANDI, isa.ORI, isa.XORI,
+		isa.SHLI, isa.SHRI, isa.SARI, isa.MULI:
+		if *known&(1<<in.Rs1) == 0 {
+			return false
+		}
+		v = aluConcrete(in.Op, conc[in.Rs1], in.Imm)
+	default:
+		// Memory, stack, and port instructions always take the general
+		// path: they need the COW memory, checker hooks, and trace events.
+		return false
+	}
+	conc[in.Rd] = v
+	*known |= 1 << in.Rd
+	*dirty |= 1 << in.Rd
+	return true
+}
+
+// aluConcrete mirrors the expr package's constant-fold semantics for every
+// two-operand ALU operation (register and immediate forms share these).
+func aluConcrete(op isa.Opcode, x, y uint32) uint32 {
+	switch op {
+	case isa.ADD, isa.ADDI:
+		return x + y
+	case isa.SUB:
+		return x - y
+	case isa.MUL, isa.MULI:
+		return x * y
+	case isa.DIVU:
+		if y == 0 {
+			return 0xFFFFFFFF
+		}
+		return x / y
+	case isa.REMU:
+		if y == 0 {
+			return x
+		}
+		return x % y
+	case isa.AND, isa.ANDI:
+		return x & y
+	case isa.OR, isa.ORI:
+		return x | y
+	case isa.XOR, isa.XORI:
+		return x ^ y
+	case isa.SHL, isa.SHLI:
+		return x << (y & 31)
+	case isa.SHR, isa.SHRI:
+		return x >> (y & 31)
+	case isa.SAR, isa.SARI:
+		return uint32(int32(x) >> (y & 31))
+	}
+	panic("vm: aluConcrete on non-ALU opcode")
+}

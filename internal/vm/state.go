@@ -109,6 +109,13 @@ type State struct {
 	// Trace accumulates per-path events as a persistent chain.
 	Trace *TraceNode
 
+	// BlockStart marks that the next instruction begins a basic block: the
+	// step loop emits an EvBlock event and fires the OnBlock hook before
+	// executing it. A dedicated field rather than a Meta key — it is set and
+	// tested on every control transfer, and the map alloc + lookup showed up
+	// in step-loop profiles.
+	BlockStart bool
+
 	// Meta carries engine-specific scratch (e.g. scheduling priority).
 	Meta map[string]uint64
 
@@ -164,6 +171,7 @@ func (s *State) cloneChild(id uint64, mem *Memory, trace *TraceNode) *State {
 		EntryName:   s.EntryName,
 		Phase:       s.Phase,
 		Trace:       trace,
+		BlockStart:  s.BlockStart,
 		PendFault:   s.PendFault,
 		ctx:         s.ctx,
 	}
@@ -227,6 +235,19 @@ func (s *State) loopCountsCopy() map[uint32]uint64 {
 		out[k] = v
 	}
 	return out
+}
+
+// Retire releases pooled resources held by a state that no caller will
+// touch again (a discarded fork sibling, a finished fuzz execution after
+// its trace has been harvested). It is an optimization, never a
+// correctness requirement: unreferenced states are collected either way,
+// Retire just returns their overlay maps to the pool. Only leaves retire —
+// Memory.Retire refuses if the overlay has forked children.
+func (s *State) Retire() {
+	if s == nil {
+		return
+	}
+	s.Mem.Retire()
 }
 
 // AddConstraint appends a path constraint.
