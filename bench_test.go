@@ -10,6 +10,7 @@ package ddt
 // the same run yields both the reproduction data and its cost.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -205,7 +206,7 @@ func BenchmarkSchedulerHeuristics(b *testing.B) {
 	}
 	for i := 0; i < b.N; i++ {
 		eng := core.NewEngine(img, core.DefaultOptions())
-		rep, err := eng.TestDriver()
+		rep, err := eng.TestDriver(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -242,7 +243,7 @@ func BenchmarkFullRunRTL8029(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng := core.NewEngine(img, core.DefaultOptions())
-		if _, err := eng.TestDriver(); err != nil {
+		if _, err := eng.TestDriver(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -269,7 +270,7 @@ func BenchmarkFuzzExecsPerSec(b *testing.B) {
 	cfg.Persist = true
 	b.ReportAllocs()
 	b.ResetTimer()
-	rep, err := fuzz.New(img, cfg).Run()
+	rep, err := fuzz.New(img, cfg).Run(context.Background())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -306,7 +307,7 @@ func BenchmarkFuzzPersistentVsColdStart(b *testing.B) {
 				cfg.MinimizeBudget = 1
 				cfg.Persist = persist
 				start := time.Now()
-				rep, err := fuzz.New(img, cfg).Run()
+				rep, err := fuzz.New(img, cfg).Run(context.Background())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -432,7 +433,7 @@ func BenchmarkFuzzSharedSnapshotFabric(b *testing.B) {
 		cfg.Persist = true
 		cfg.PrivateSnapshots = private
 		start := time.Now()
-		rep, err := fuzz.New(img, cfg).Run()
+		rep, err := fuzz.New(img, cfg).Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -480,13 +481,13 @@ func BenchmarkCoverageFuzzVsSymbolicVsHybrid(b *testing.B) {
 		fcfg := fuzz.DefaultConfig()
 		fcfg.Workers = 2
 		fcfg.MaxExecs = execBudget
-		frep, err := fuzz.New(img, fcfg).Run()
+		frep, err := fuzz.New(img, fcfg).Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
 		// Pure symbolic.
 		eng := core.NewEngine(img, core.DefaultOptions())
-		srep, err := eng.TestDriver()
+		srep, err := eng.TestDriver(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -494,7 +495,7 @@ func BenchmarkCoverageFuzzVsSymbolicVsHybrid(b *testing.B) {
 		hcfg := fuzz.DefaultConfig()
 		hcfg.Workers = 2
 		hcfg.MaxExecs = execBudget
-		hrep, err := fuzz.Hybrid(img, hcfg, core.DefaultOptions(), 1)
+		hrep, err := fuzz.Hybrid(context.Background(), img, hcfg, core.DefaultOptions(), 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -526,7 +527,7 @@ func BenchmarkFullRunPro1000(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		eng := core.NewEngine(img, core.DefaultOptions())
-		if _, err := eng.TestDriver(); err != nil {
+		if _, err := eng.TestDriver(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -560,7 +561,7 @@ func BenchmarkExploreParallelSpeedup(b *testing.B) {
 		opts.Pipeline = s.pipeline
 		eng := core.NewEngine(img, opts)
 		start := time.Now()
-		if _, err := eng.TestDriver(); err != nil {
+		if _, err := eng.TestDriver(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 		return time.Since(start)

@@ -13,9 +13,11 @@
 //	-fixed           use the corrected corpus variant
 //	-no-annotations  disable the NDIS/WDM interface annotations (§5.1 ablation)
 //	-no-interrupts   disable symbolic interrupt injection
-//	-workers n       parallel exploration workers (1 = sequential, deterministic)
+//	-workers n       parallel campaign workers (1 = sequential, deterministic)
 //	-pipeline        with -workers > 1, explore across workload phases without
 //	                 barriers (prints per-phase concurrency stats)
+//	-seed n          campaign random seed (uniform across commands)
+//	-timeout d       campaign wall-clock bound (0 = none)
 //	-expect          with -corpus, compare the found bug classes against the
 //	                 driver's expected Table 2 set; exit 0 on an exact match
 //	                 (even though bugs were found), 3 on any regression —
@@ -25,6 +27,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -33,6 +36,7 @@ import (
 	"sort"
 
 	"repro"
+	"repro/internal/campaign"
 )
 
 func main() {
@@ -41,8 +45,7 @@ func main() {
 	fixed := flag.Bool("fixed", false, "use the corrected corpus variant")
 	noAnnot := flag.Bool("no-annotations", false, "disable interface annotations")
 	noIntr := flag.Bool("no-interrupts", false, "disable symbolic interrupts")
-	workers := flag.Int("workers", 1, "parallel exploration workers (1 = sequential, deterministic)")
-	pipeline := flag.Bool("pipeline", false, "with -workers > 1, drop workload phase barriers (cross-phase pipelined exploration)")
+	cf := campaign.RegisterFlags(flag.CommandLine, campaign.FlagsAll)
 	expect := flag.Bool("expect", false, "with -corpus, exit 3 unless the found bug classes exactly match the driver's expected set")
 	traceDir := flag.String("traces", "", "directory to write executable traces into")
 	verbose := flag.Bool("v", false, "print solved inputs per bug")
@@ -61,13 +64,12 @@ func main() {
 	}
 
 	cfg := ddt.DefaultConfig()
+	cfg.Options = cf.Options()
 	cfg.Annotations = !*noAnnot
 	cfg.SymbolicInterrupts = !*noIntr
-	cfg.Workers = *workers
-	cfg.Pipeline = *pipeline
 
 	sess := ddt.NewSession(img, cfg)
-	rep, err := sess.Run()
+	rep, err := sess.Run(context.Background())
 	if err != nil {
 		fatal(err)
 	}

@@ -15,12 +15,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/experiments"
@@ -38,7 +40,9 @@ func main() {
 	fz := flag.Bool("fuzz", false, "fuzzer throughput and mode comparison")
 	par := flag.Bool("parallel", false, "parallel exploration scaling and solver-cache stats")
 	pipe := flag.Bool("pipeline", false, "cross-phase pipelined exploration: barriered vs pipelined wall clock and per-phase concurrency")
-	workers := flag.Int("workers", 1, "engine exploration workers for full-session sections")
+	// -pipeline is this command's report-section selector, so only the
+	// non-conflicting subset of the uniform campaign flag surface registers.
+	cf := campaign.RegisterFlags(flag.CommandLine, campaign.FlagWorkers|campaign.FlagSeed|campaign.FlagTimeout)
 	flag.Parse()
 
 	all := !*t1 && !*t2 && !*f2 && !*f3 && !*dv && !*sdvF && !*abl && !*fz && !*par && !*pipe
@@ -105,13 +109,13 @@ func main() {
 		fmt.Println()
 	}
 	if all || *fz {
-		check(fuzzSection())
+		check(fuzzSection(cf.Seed, cf.Timeout))
 	}
 	if all || *par {
-		check(parallelSection(*workers))
+		check(parallelSection(cf.Workers))
 	}
 	if all || *pipe {
-		check(pipelineSection(*workers))
+		check(pipelineSection(cf.Workers))
 	}
 }
 
@@ -138,7 +142,7 @@ func pipelineSection(flagWorkers int) error {
 			opts.Pipeline = pipelined
 			eng := core.NewEngine(img, opts)
 			start := time.Now()
-			rep, err := eng.TestDriver()
+			rep, err := eng.TestDriver(context.Background())
 			if err != nil {
 				return err
 			}
@@ -182,7 +186,7 @@ func parallelSection(flagWorkers int) error {
 		opts.Workers = w
 		eng := core.NewEngine(img, opts)
 		start := time.Now()
-		rep, err := eng.TestDriver()
+		rep, err := eng.TestDriver(context.Background())
 		if err != nil {
 			return err
 		}
@@ -196,7 +200,7 @@ func parallelSection(flagWorkers int) error {
 // fuzzSection reports the concolic fuzzing subsystem's two headline
 // numbers: concrete execution throughput (vs one symbolic session) and the
 // coverage of fuzz / symbolic / hybrid exploration under equal budgets.
-func fuzzSection() error {
+func fuzzSection(seed int64, timeout time.Duration) error {
 	fmt.Println("== Concolic fuzzing: throughput and mode comparison ==")
 	img, err := corpus.Build("rtl8029", corpus.Buggy)
 	if err != nil {
@@ -205,7 +209,9 @@ func fuzzSection() error {
 	fcfg := fuzz.DefaultConfig()
 	fcfg.Workers = 4
 	fcfg.MaxExecs = 10_000
-	frep, err := fuzz.New(img, fcfg).Run()
+	fcfg.Seed = seed
+	fcfg.Duration = timeout
+	frep, err := fuzz.New(img, fcfg).Run(context.Background())
 	if err != nil {
 		return err
 	}
@@ -220,16 +226,18 @@ func fuzzSection() error {
 	hcfg := fuzz.DefaultConfig()
 	hcfg.Workers = 2
 	hcfg.MaxExecs = 2_000
-	pf, err := fuzz.New(pcnet, hcfg).Run()
+	hcfg.Seed = seed
+	hcfg.Duration = timeout
+	pf, err := fuzz.New(pcnet, hcfg).Run(context.Background())
 	if err != nil {
 		return err
 	}
 	eng := core.NewEngine(pcnet, core.DefaultOptions())
-	ps, err := eng.TestDriver()
+	ps, err := eng.TestDriver(context.Background())
 	if err != nil {
 		return err
 	}
-	ph, err := fuzz.Hybrid(pcnet, hcfg, core.DefaultOptions(), 1)
+	ph, err := fuzz.Hybrid(context.Background(), pcnet, hcfg, core.DefaultOptions(), 1)
 	if err != nil {
 		return err
 	}

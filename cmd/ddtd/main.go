@@ -25,6 +25,8 @@
 //	-lease-ttl d      lease expiry without a worker heartbeat (default 30s)
 //	-flush-every d    periodic index flush (default 5s)
 //	-exit-when-done   exit 0 once every campaign slot completes (CI mode)
+//	-timeout d        shut down gracefully after this long (0 = run until
+//	                  signaled; uniform campaign flag name)
 //	-ingest-fuzz f    one-shot: merge a ddtfuzz JSON report (repeatable)
 //	-ingest-bench f   one-shot: append go-bench output to the bench trend
 //	-import dir       one-shot: import a seed-*.json corpus directory
@@ -42,6 +44,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/fuzz"
 	"repro/internal/manager"
 )
@@ -59,6 +62,7 @@ func main() {
 	leaseTTL := flag.Duration("lease-ttl", manager.DefaultLeaseTTL, "lease expiry without a heartbeat")
 	flushEvery := flag.Duration("flush-every", 5*time.Second, "periodic state index flush")
 	exitWhenDone := flag.Bool("exit-when-done", false, "exit once every campaign slot completes")
+	cf := campaign.RegisterFlags(flag.CommandLine, campaign.FlagTimeout)
 	var ingestFuzz multiFlag
 	flag.Var(&ingestFuzz, "ingest-fuzz", "one-shot: merge a ddtfuzz JSON report (repeatable)")
 	ingestBench := flag.String("ingest-bench", "", "one-shot: append go-bench output to the bench trend")
@@ -102,6 +106,13 @@ func main() {
 
 	ctx, cancel := manager.ShutdownContext(context.Background())
 	defer cancel()
+	// The uniform -timeout bound: the daemon drains exactly like a SIGINT
+	// when it expires.
+	if cf.Timeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, cf.Timeout)
+		defer tcancel()
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {

@@ -13,10 +13,14 @@
 //
 //	-driver name   fuzz an in-tree evaluation driver instead of a file
 //	-fixed         use the corrected corpus variant
-//	-workers n     parallel fuzzing workers (default 4)
-//	-execs n       execution budget (default 20000; 0 = unbounded, needs -time)
-//	-time d        wall-clock budget, e.g. 30s (0 = none)
+//	-workers n     parallel fuzzing workers (default 1: deterministic)
+//	-execs n       execution budget (default 20000; 0 = unbounded, needs
+//	               -timeout)
+//	-timeout d     wall-clock budget, e.g. 30s (0 = none); -time is a
+//	               deprecated alias
 //	-seed n        base RNG seed (deterministic per worker)
+//	-pipeline      with -hybrid, dissolve workload phase barriers in the
+//	               symbolic engine passes
 //	-persist       persistent-mode executors: snapshot the initialized boot
 //	               state per boot prefix and resume later executions from it
 //	               (bit-identical results, multi-x execs/sec; the report
@@ -53,6 +57,7 @@ import (
 
 	"repro"
 	"repro/internal/binimg"
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/fuzz"
 	"repro/internal/manager"
@@ -61,11 +66,9 @@ import (
 func main() {
 	driver := flag.String("driver", "", "fuzz an in-tree evaluation driver")
 	fixed := flag.Bool("fixed", false, "use the corrected corpus variant")
-	workers := flag.Int("workers", 4, "parallel fuzzing workers")
+	cf := campaign.RegisterFlags(flag.CommandLine, campaign.FlagsAll)
 	engineWorkers := flag.Int("engine-workers", 1, "parallel symbolic workers for the hybrid loop's engine passes")
-	execs := flag.Uint64("execs", 20_000, "execution budget (0 = unbounded, needs -time)")
-	timeBudget := flag.Duration("time", 0, "wall-clock budget (0 = none)")
-	seed := flag.Int64("seed", 1, "base RNG seed")
+	execs := flag.Uint64("execs", 20_000, "execution budget (0 = unbounded, needs -timeout)")
 	persist := flag.Bool("persist", false, "persistent-mode executors (snapshot/resume initialized boot states)")
 	dict := flag.Bool("dict", false, "mine an immediate dictionary from the driver image for splice mutations")
 	corpusDir := flag.String("corpus", "", "corpus directory (seeds in, corpus+crashes out)")
@@ -76,15 +79,16 @@ func main() {
 	managerURL := flag.String("manager", "", "attach to a ddtd campaign manager at this base URL")
 	name := flag.String("name", "", "worker name reported to the manager (default host-pid)")
 	oneShot := flag.Bool("oneshot", false, "with -manager: exit after the first completed lease")
+	campaign.DeprecatedAlias(flag.CommandLine, "time", "timeout")
 	flag.Parse()
 
 	if *managerURL != "" {
-		runManaged(*managerURL, *name, *workers, *oneShot)
+		runManaged(*managerURL, *name, cf.Workers, *oneShot)
 		return
 	}
 
-	if *execs == 0 && *timeBudget == 0 {
-		fatal(fmt.Errorf("-execs 0 (unbounded) requires a -time budget"))
+	if *execs == 0 && cf.Timeout == 0 {
+		fatal(fmt.Errorf("-execs 0 (unbounded) requires a -timeout budget"))
 	}
 
 	img, err := loadImage(*driver, *fixed, flag.Args())
@@ -93,10 +97,8 @@ func main() {
 	}
 
 	cfg := fuzz.DefaultConfig()
-	cfg.Workers = *workers
+	cfg.Options = cf.Options()
 	cfg.MaxExecs = *execs
-	cfg.Duration = *timeBudget
-	cfg.Seed = *seed
 	cfg.Persist = *persist
 	cfg.Dict = *dict
 	cfg.CorpusDir = *corpusDir
@@ -118,7 +120,8 @@ func main() {
 	if *hybrid {
 		eopts := core.DefaultOptions()
 		eopts.Workers = *engineWorkers
-		h, err := fuzz.Hybrid(img, cfg, eopts, 2)
+		eopts.Pipeline = cf.Pipeline
+		h, err := fuzz.Hybrid(context.Background(), img, cfg, eopts, 2)
 		if err != nil && h == nil {
 			fatal(err)
 		}
@@ -140,11 +143,7 @@ func main() {
 		// Run returns normally — flushing the corpus directory and printing
 		// the report for whatever was found before the signal.
 		ctx, cancel := manager.ShutdownContext(context.Background())
-		go func() {
-			<-ctx.Done()
-			f.Stop()
-		}()
-		rep, err = f.Run()
+		rep, err = f.Run(ctx)
 		cancel()
 		if err != nil && rep == nil {
 			fatal(err)

@@ -52,18 +52,30 @@
 package ddt
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/analysis"
 	"repro/internal/binimg"
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/fuzz"
 	"repro/internal/trace"
 )
 
-// Config selects DDT's testing options, mirroring the paper's setup.
+// Config selects DDT's testing options, mirroring the paper's setup. The
+// campaign envelope (workers, pipeline mode, wall-clock bound, stop
+// conditions) is the embedded campaign.Options — the same envelope
+// FuzzConfig embeds, so every mode is configured the same way. For the
+// symbolic workload: Workers 0 or 1 is the sequential engine (fully
+// deterministic); N>1 explores the frontier with N goroutines sharing one
+// solver query cache — same bug classes, schedule-dependent path order.
+// Pipeline (with Workers > 1) removes the workload phase barriers while
+// each path still visits its phases in order. Duration bounds the whole
+// session; StopAtFirstBug stops at the first recorded bug.
 type Config struct {
+	campaign.Options
 	// Annotations enables the stock NDIS/WDM interface annotations (§3.4):
 	// symbolic registry values, forked allocation failures, symbolic entry
 	// arguments. Disabling them is the §5.1 ablation: races and
@@ -80,19 +92,14 @@ type Config struct {
 	MaxStates        int
 	MaxStepsPerPath  uint64
 	MaxPathsPerEntry int
-	// Workers is the number of parallel exploration workers. 0 or 1 is the
-	// sequential engine (fully deterministic); N>1 explores the symbolic
-	// frontier with N goroutines sharing one solver query cache — same bug
-	// classes, schedule-dependent path order.
-	Workers int
-	// Pipeline, with Workers > 1, removes the workload phase barriers: a
-	// path that completes phase k immediately seeds phase k+1, so Send
-	// paths explore while slower Initialize paths are still in flight.
-	// Each path still visits its phases in order. Ignored when Workers <= 1.
-	Pipeline bool
 	// Registry overrides the simulated registry hive.
 	Registry map[string]uint32
 }
+
+// CampaignOptions is the shared campaign execution envelope embedded by
+// Config and FuzzConfig (workers, budgets, seed, stop conditions, shared
+// coverage).
+type CampaignOptions = campaign.Options
 
 // DefaultConfig mirrors the paper's evaluation configuration.
 func DefaultConfig() Config {
@@ -109,6 +116,7 @@ func DefaultConfig() Config {
 
 func (c Config) options() core.Options {
 	o := core.DefaultOptions()
+	o.Options = c.Options
 	o.Annotations = c.Annotations
 	o.SymbolicInterrupts = c.SymbolicInterrupts
 	o.VerifierChecks = c.VerifierChecks
@@ -121,8 +129,6 @@ func (c Config) options() core.Options {
 	if c.MaxPathsPerEntry > 0 {
 		o.MaxPathsPerEntry = c.MaxPathsPerEntry
 	}
-	o.Workers = c.Workers
-	o.Pipeline = c.Pipeline
 	o.Registry = c.Registry
 	return o
 }
@@ -152,10 +158,11 @@ func Inspect(img *Image) DriverInfo { return binimg.Analyze(img) }
 
 // Test runs the full DDT workload — load, initialize, data path, query/set,
 // interrupts, DPCs, halt — against the driver image and reports every bug
-// found, each with an executable trace.
-func Test(img *Image, cfg Config) (*Report, error) {
+// found, each with an executable trace. Canceling ctx stops the session
+// mid-run and returns the bugs found so far.
+func Test(ctx context.Context, img *Image, cfg Config) (*Report, error) {
 	eng := core.NewEngine(img, cfg.options())
-	return eng.TestDriver()
+	return eng.TestDriver(ctx)
 }
 
 // Session is a reusable handle over one engine run, for callers that want
@@ -170,8 +177,8 @@ func NewSession(img *Image, cfg Config) *Session {
 	return &Session{eng: core.NewEngine(img, cfg.options()), cfg: cfg}
 }
 
-// Run executes the workload.
-func (s *Session) Run() (*Report, error) { return s.eng.TestDriver() }
+// Run executes the workload. Canceling ctx stops the session mid-run.
+func (s *Session) Run(ctx context.Context) (*Report, error) { return s.eng.TestDriver(ctx) }
 
 // Engine exposes the underlying engine for advanced use (custom phases,
 // direct state inspection). Most callers won't need it.
@@ -233,9 +240,11 @@ func DefaultFuzzConfig() FuzzConfig { return fuzz.DefaultConfig() }
 
 // Fuzz runs a coverage-guided concrete fuzzing campaign against the driver
 // image: the same workload phases as Test, driven by mutated feeds instead
-// of symbolic values.
-func Fuzz(img *Image, cfg FuzzConfig) (*FuzzReport, error) {
-	return fuzz.New(img, cfg).Run()
+// of symbolic values. Canceling ctx stops the campaign; results of
+// executions still in flight at cancellation are not admitted, so the
+// report is frozen when Fuzz returns.
+func Fuzz(ctx context.Context, img *Image, cfg FuzzConfig) (*FuzzReport, error) {
+	return fuzz.New(img, cfg).Run(ctx)
 }
 
 // ReplayFeed deterministically re-executes one feed under the default
@@ -260,8 +269,9 @@ func UnmarshalFeed(b []byte) (*Feed, error) { return fuzz.UnmarshalFeed(b) }
 // HybridTest runs the two-way concolic loop: a symbolic pass seeds the
 // fuzzer with solved bug inputs, the fuzzer explores concretely, and its
 // most interesting feeds are lifted back into symbolic boot states.
-func HybridTest(img *Image, fcfg FuzzConfig, cfg Config) (*HybridReport, error) {
-	return fuzz.Hybrid(img, fcfg, cfg.options(), 2)
+// Canceling ctx stops whichever stage is in flight.
+func HybridTest(ctx context.Context, img *Image, fcfg FuzzConfig, cfg Config) (*HybridReport, error) {
+	return fuzz.Hybrid(ctx, img, fcfg, cfg.options(), 2)
 }
 
 // CorpusDriver assembles one of the in-tree evaluation drivers (Table 1):

@@ -1,6 +1,7 @@
 package ddt
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -20,7 +21,7 @@ func TestFacadeQuickstartFlow(t *testing.T) {
 		t.Errorf("inspect: %+v", info)
 	}
 
-	rep, err := Test(img2, DefaultConfig())
+	rep, err := Test(context.Background(), img2, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +36,7 @@ func TestFacadeSessionTraceReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 	sess := NewSession(img, DefaultConfig())
-	rep, err := sess.Run()
+	rep, err := sess.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestFacadeConfigBounds(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.MaxPathsPerEntry = 4
 	cfg.MaxStates = 16
-	rep, err := Test(img, cfg)
+	rep, err := Test(context.Background(), img, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestFacadeFixedVariantIsClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := Test(img, DefaultConfig())
+	rep, err := Test(context.Background(), img, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

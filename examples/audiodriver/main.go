@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,7 +19,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	report, err := ddt.Test(img, ddt.DefaultConfig())
+	report, err := ddt.Test(context.Background(), img, ddt.DefaultConfig())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cleanRep, err := ddt.Test(fixed, ddt.DefaultConfig())
+	cleanRep, err := ddt.Test(context.Background(), fixed, ddt.DefaultConfig())
 	if err != nil {
 		log.Fatal(err)
 	}

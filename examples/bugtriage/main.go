@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,7 +18,7 @@ func main() {
 		log.Fatal(err)
 	}
 	sess := ddt.NewSession(img, ddt.DefaultConfig())
-	report, err := sess.Run()
+	report, err := sess.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -59,7 +60,7 @@ func main() {
 		},
 	})
 
-	report, err := sess.Run()
+	report, err := sess.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,7 +22,7 @@ func main() {
 	// allocation failures, symbolic OIDs and packets), symbolic interrupts.
 	fmt.Println("=== full DDT (annotations + symbolic interrupts) ===")
 	sess := ddt.NewSession(img, ddt.DefaultConfig())
-	full, err := sess.Run()
+	full, err := sess.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func main() {
 	fmt.Println("\n=== default mode (no annotations) ===")
 	cfg := ddt.DefaultConfig()
 	cfg.Annotations = false
-	noAnnot, err := ddt.Test(img, cfg)
+	noAnnot, err := ddt.Test(context.Background(), img, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,7 +24,7 @@ func main() {
 	fmt.Printf("driver %q: %d KB binary, %d functions, %d kernel APIs used\n\n",
 		info.Name, info.FileSize/1024, info.NumFunctions, info.KernelImports)
 
-	report, err := ddt.Test(img, ddt.DefaultConfig())
+	report, err := ddt.Test(context.Background(), img, ddt.DefaultConfig())
 	if err != nil {
 		log.Fatal(err)
 	}

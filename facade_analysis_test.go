@@ -1,6 +1,7 @@
 package ddt
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -11,7 +12,7 @@ func TestFacadeAnalyzeBugAndTree(t *testing.T) {
 		t.Fatal(err)
 	}
 	sess := NewSession(img, DefaultConfig())
-	rep, err := sess.Run()
+	rep, err := sess.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

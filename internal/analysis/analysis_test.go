@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -30,7 +31,7 @@ func rtl8029Bugs(t *testing.T) []*core.Bug {
 		t.Fatal(err)
 	}
 	e := core.NewEngine(img, core.DefaultOptions())
-	if _, err := e.TestDriver(); err != nil {
+	if _, err := e.TestDriver(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	return e.Bugs()
@@ -132,7 +133,7 @@ func TestExecutionTree(t *testing.T) {
 		t.Fatal(err)
 	}
 	e := core.NewEngine(img, core.DefaultOptions())
-	if _, err := e.TestDriver(); err != nil {
+	if _, err := e.TestDriver(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	var files []*trace.File

@@ -14,6 +14,7 @@
 package driververifier
 
 import (
+	"context"
 	"repro/internal/binimg"
 	"repro/internal/core"
 )
@@ -41,7 +42,7 @@ func Run(img *binimg.Image, opts Options) (*core.Report, error) {
 		eopts.StopAtFirstBug = true
 		eopts.VerifierChecks = true
 		eng := core.NewEngine(img, eopts)
-		rep, err := eng.TestDriver()
+		rep, err := eng.TestDriver(context.Background())
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,92 @@
+package campaign
+
+import (
+	"flag"
+	"fmt"
+	"time"
+)
+
+// Uniform CLI defaults shared by every campaign-running command. One
+// worker keeps campaigns deterministic by default; raise -workers for
+// throughput.
+const (
+	// DefaultWorkers is the uniform -workers default.
+	DefaultWorkers = 1
+	// DefaultSeed is the uniform -seed default.
+	DefaultSeed = 1
+)
+
+// FlagMask selects which of the uniform campaign flags a command
+// registers. Commands that repurpose a name (ddtbench's -pipeline is a
+// report-section selector) simply leave that bit out.
+type FlagMask uint
+
+const (
+	// FlagWorkers registers -workers.
+	FlagWorkers FlagMask = 1 << iota
+	// FlagPipeline registers -pipeline.
+	FlagPipeline
+	// FlagSeed registers -seed.
+	FlagSeed
+	// FlagTimeout registers -timeout.
+	FlagTimeout
+
+	// FlagsAll registers the full uniform surface.
+	FlagsAll = FlagWorkers | FlagPipeline | FlagSeed | FlagTimeout
+)
+
+// Flags holds the parsed uniform campaign flags. Register the surface
+// with RegisterFlags, then fold the result into mode options with
+// Options.
+type Flags struct {
+	// Workers is the parsed -workers value.
+	Workers int
+	// Pipeline is the parsed -pipeline value.
+	Pipeline bool
+	// Seed is the parsed -seed value.
+	Seed int64
+	// Timeout is the parsed -timeout value.
+	Timeout time.Duration
+}
+
+// RegisterFlags registers the selected subset of the uniform campaign
+// flag surface (-workers, -pipeline, -seed, -timeout) on fs with the
+// uniform names and defaults, and returns the destination struct.
+func RegisterFlags(fs *flag.FlagSet, mask FlagMask) *Flags {
+	f := &Flags{Workers: DefaultWorkers, Seed: DefaultSeed}
+	if mask&FlagWorkers != 0 {
+		fs.IntVar(&f.Workers, "workers", DefaultWorkers, "parallel campaign workers (1 = deterministic sequential)")
+	}
+	if mask&FlagPipeline != 0 {
+		fs.BoolVar(&f.Pipeline, "pipeline", false, "with -workers > 1, dissolve workload phase barriers")
+	}
+	if mask&FlagSeed != 0 {
+		fs.Int64Var(&f.Seed, "seed", DefaultSeed, "campaign random seed")
+	}
+	if mask&FlagTimeout != 0 {
+		fs.DurationVar(&f.Timeout, "timeout", 0, "campaign wall-clock bound (0 = none)")
+	}
+	return f
+}
+
+// DeprecatedAlias re-registers the already-registered flag named
+// canonical under old, so legacy invocations keep working for one
+// release. Both names write the same value; the usage string marks the
+// alias deprecated. Panics if canonical is not registered on fs.
+func DeprecatedAlias(fs *flag.FlagSet, old, canonical string) {
+	g := fs.Lookup(canonical)
+	if g == nil {
+		panic(fmt.Sprintf("campaign.DeprecatedAlias: flag -%s not registered", canonical))
+	}
+	fs.Var(g.Value, old, "deprecated alias of -"+canonical)
+}
+
+// Options folds the parsed flags into a campaign options envelope.
+func (f *Flags) Options() Options {
+	return Options{
+		Workers:  f.Workers,
+		Pipeline: f.Pipeline,
+		Seed:     f.Seed,
+		Duration: f.Timeout,
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/corpus"
@@ -13,7 +14,7 @@ func runDDT(t *testing.T, driver string, v corpus.Variant, opts Options) *Report
 		t.Fatalf("build %s: %v", driver, err)
 	}
 	e := NewEngine(img, opts)
-	rep, err := e.TestDriver()
+	rep, err := e.TestDriver(context.Background())
 	if err != nil {
 		t.Fatalf("test %s: %v", driver, err)
 	}

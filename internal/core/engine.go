@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -8,6 +9,7 @@ import (
 
 	"repro/internal/annot"
 	"repro/internal/binimg"
+	"repro/internal/campaign"
 	"repro/internal/checkers"
 	"repro/internal/exerciser"
 	"repro/internal/expr"
@@ -18,8 +20,23 @@ import (
 	"repro/internal/vm"
 )
 
-// Options configure one DDT run.
+// Options configure one DDT run. The campaign envelope (workers, pipeline
+// mode, stop conditions, wall-clock bound, shared coverage) is the embedded
+// campaign.Options — the same envelope fuzz.Config and ddt.Config embed —
+// and the remaining fields are the symbolic engine's own knobs.
+//
+// Envelope semantics for the symbolic engine: Workers 0 or 1 runs the
+// engine sequentially, bit-identical to the pre-parallel engine; N>1 pops
+// the frontier from N workers, each with its own vm.ExecContext and solver
+// over one shared query cache — the explored path SET is then
+// schedule-dependent, but every reported bug remains a sound,
+// solver-witnessed path, and completed paths are canonically ordered by
+// state ID before KeepStates selection. Pipeline (with Workers > 1)
+// dissolves the cross-path workload phase barriers while preserving
+// per-path phase order. Duration bounds the whole TestDriver session.
+// Seed and MaxExecs are accepted for envelope uniformity and unused here.
 type Options struct {
+	campaign.Options
 	// Annotations enables the stock NDIS/WDM annotation sets. Off is DDT's
 	// default mode (§3.4); the §5.1 ablation toggles this.
 	Annotations bool
@@ -40,27 +57,6 @@ type Options struct {
 	KeepStates int
 	// LoopThreshold is the infinite-loop heuristic's per-block repeat bound.
 	LoopThreshold uint64
-	// Workers is the number of parallel exploration workers. 0 or 1 runs
-	// the engine sequentially, bit-identical to the pre-parallel engine.
-	// N>1 pops the frontier from N goroutines, each with its own
-	// vm.ExecContext and solver, all sharing one thread-safe query cache;
-	// the explored path SET is then schedule-dependent (the per-phase path
-	// budget is a global bound, and the min-block-count heuristic sees
-	// interleaved counts), but every reported bug remains a sound,
-	// solver-witnessed path, and completed paths are canonically ordered
-	// by state ID before KeepStates selection.
-	Workers int
-	// Pipeline, with Workers > 1, dissolves the workload phase barriers:
-	// instead of draining every phase-k path before any phase-k+1 path
-	// starts, one persistent worker pool explores a phase-aware frontier
-	// and a path that completes phase k immediately seeds its successors
-	// into phase k+1 (up to KeepStates per phase), so Send paths explore
-	// while slower Initialize paths are still in flight. Per-path phase
-	// ORDER is preserved — a state only reaches phase k+1 because an
-	// ancestor completed an earlier phase — only the cross-path barrier is
-	// gone. Ignored when Workers <= 1 (the barriered engine stays
-	// bit-identical to the golden sequential semantics).
-	Pipeline bool
 	// Registry overrides/extends the default registry hive.
 	Registry map[string]uint32
 	// Heuristic overrides the default min-block-count scheduler.
@@ -70,14 +66,6 @@ type Options struct {
 	// is how the Driver Verifier baseline runs: concrete stress testing
 	// with in-guest checks only.
 	ConcreteHardware bool
-	// StopAtFirstBug terminates the run after the first bug, as Driver
-	// Verifier's crash-on-first-failure behaviour does (§5.1: "looking for
-	// the next bug would typically require first fixing the found bug").
-	StopAtFirstBug bool
-	// Coverage, when non-nil, replaces the engine's own coverage recorder.
-	// The concolic fuzzing loop passes a shared (thread-safe) recorder here
-	// so the fuzzer and the engine accumulate into one coverage map.
-	Coverage *exerciser.Coverage
 	// SymbolSeed, when non-nil, pins the first symbols minted on each path
 	// to a concrete input prefix (see kernel.Kernel.SymbolSeed). The hybrid
 	// loop uses it to make the engine fork outward from a high-novelty fuzz
@@ -120,12 +108,15 @@ type Engine struct {
 	// parallel worker's solver answer through it.
 	cache *solver.Cache
 
-	// mu guards the result accounting shared by workers: bugs, bugKeys,
-	// paths, PhaseResult mutation, phaseStats, and the merged worker
-	// solver stats.
+	// findings is the campaign-wide bug-deduplication ledger; the campaign
+	// runner watches it for the StopAtFirstBug condition.
+	findings *campaign.Findings
+
+	// mu guards the result accounting shared by workers: bugs, paths,
+	// PhaseResult mutation, phaseStats, and the merged worker solver
+	// stats.
 	mu            sync.Mutex
 	bugs          []*Bug
-	bugKeys       map[string]bool
 	paths         int
 	workerQueries uint64 // solver queries by retired parallel workers
 	phaseStats    []PhaseStat
@@ -161,17 +152,17 @@ func NewEngine(img *binimg.Image, opts Options) *Engine {
 	cache := solver.NewCache(0)
 	m := vm.NewMachine(img, expr.NewSymbolTable(), solver.NewWithCache(cache))
 	e := &Engine{
-		Img:     img,
-		Opts:    opts,
-		M:       m,
-		K:       kernel.New(m),
-		Dev:     hw.New(img.Device),
-		Mem:     checkers.NewMemoryChecker(),
-		Loop:    checkers.NewLoopChecker(opts.LoopThreshold),
-		Sched:   exerciser.NewScheduler(opts.MaxStates),
-		Cov:     exerciser.NewCoverage(len(binimg.StaticBlocks(img))),
-		cache:   cache,
-		bugKeys: make(map[string]bool),
+		Img:      img,
+		Opts:     opts,
+		M:        m,
+		K:        kernel.New(m),
+		Dev:      hw.New(img.Device),
+		Mem:      checkers.NewMemoryChecker(),
+		Loop:     checkers.NewLoopChecker(opts.LoopThreshold),
+		Sched:    exerciser.NewScheduler(opts.MaxStates),
+		Cov:      exerciser.NewCoverage(len(binimg.StaticBlocks(img))),
+		cache:    cache,
+		findings: campaign.NewFindings(),
 	}
 	if opts.Coverage != nil {
 		e.Cov = opts.Coverage
@@ -292,14 +283,9 @@ func (e *Engine) recordBug(s *vm.State, fault *vm.Fault) {
 		ICount:      s.ICount,
 		InInterrupt: s.InInterrupt > 0,
 	}
-	key := b.Key()
-	e.mu.Lock()
-	if e.bugKeys[key] {
-		e.mu.Unlock()
+	if !e.findings.Admit(b.Key()) {
 		return
 	}
-	e.bugKeys[key] = true
-	e.mu.Unlock()
 
 	b.Trace = s.Trace.Path()
 	b.Trace = append(b.Trace, vm.Event{Kind: vm.EvBug, Seq: s.ICount, PC: fault.PC, Name: b.Class + ": " + fault.Msg})
@@ -344,18 +330,60 @@ type PhaseResult struct {
 
 // Explore runs all queued states to completion, recording coverage and
 // bugs. Initial states must already be pushed (via e.Sched.Push) and set up
-// with kernel.Invoke. With Opts.Workers > 1 the frontier is explored by a
-// concurrent worker pool; otherwise sequentially, exactly as the original
-// single-threaded engine did.
-func (e *Engine) Explore(entryName string) PhaseResult {
+// with kernel.Invoke. The frontier is drained by a campaign.Runner over a
+// barrierFrontier: with Opts.Workers > 1 a concurrent worker pool, each
+// worker owning a vm.ExecContext with a private solver over the shared
+// query cache (the per-phase path budget can overshoot by at most
+// Workers-1 in-flight paths); otherwise a single worker on the root
+// solver, bit-identical to the original single-threaded engine. ctx
+// cancels the phase mid-run.
+func (e *Engine) Explore(ctx context.Context, entryName string) PhaseResult {
 	var res PhaseResult
 	dbgStart := time.Now()
 	bugsBefore := e.bugCount()
-	if e.Opts.Workers > 1 {
-		e.exploreParallel(entryName, &res)
-	} else {
-		e.exploreSequential(entryName, &res)
+
+	workers := e.Opts.Workers
+	if workers < 1 {
+		workers = 1
 	}
+	ectxs := make([]*vm.ExecContext, workers)
+	if workers == 1 {
+		ectxs[0] = e.M.NewContext(nil) // root solver, shared cache
+	} else {
+		for w := range ectxs {
+			ectxs[w] = e.M.NewContext(solver.NewWithCache(e.cache))
+		}
+	}
+
+	r := campaign.NewRunner(
+		campaign.Options{Workers: workers, StopAtFirstBug: e.Opts.StopAtFirstBug},
+		&barrierFrontier{e: e, res: &res},
+		func(w int, st *vm.State) { e.runPath(ectxs[w], st, entryName, &res) },
+	)
+	r.BindFindings(e.findings)
+	if workers > 1 {
+		// A single worker is never parked while it executes, so pushes only
+		// need wake-ups when other workers may be waiting.
+		e.notify = r.Wake
+	}
+	r.Run(ctx)
+	e.notify = nil
+
+	if workers > 1 {
+		e.mu.Lock()
+		for _, c := range ectxs {
+			e.workerQueries += c.Solver.Stats.Queries
+		}
+		// Completion order is schedule-dependent; canonicalize by state ID
+		// so KeepStates selection (and everything downstream) is ordered by
+		// a property of the path, not of the race.
+		sort.Slice(res.Succeeded, func(i, j int) bool {
+			return res.Succeeded[i].ID < res.Succeeded[j].ID
+		})
+		e.mu.Unlock()
+		dbgPhases.workerPaths(r.Summary().PerWorker)
+	}
+
 	// Frontier left over when the path budget is hit is abandoned —
 	// bounded-exploration coverage loss, never unsoundness.
 	for {
@@ -378,123 +406,34 @@ func (e *Engine) Explore(entryName string) PhaseResult {
 	return res
 }
 
-func (e *Engine) exploreSequential(entryName string, res *PhaseResult) {
-	ctx := e.M.NewContext(nil) // root solver, shared cache
-	for res.Exited < e.Opts.MaxPathsPerEntry {
-		if e.Opts.StopAtFirstBug && e.bugCount() > 0 {
-			break
-		}
-		st := e.Sched.Pop()
-		if st == nil {
-			break
-		}
-		e.runPath(ctx, st, entryName, res)
+// barrierFrontier is the barriered engine's frontier policy: one entry
+// phase over the shared scheduler, stopping when the per-phase path budget
+// trips. The campaign runner owns all pool coordination.
+type barrierFrontier struct {
+	e   *Engine
+	res *PhaseResult
+}
+
+// Next pops the next frontier state, or stops the phase at its budget.
+func (f *barrierFrontier) Next(w int) (*vm.State, campaign.Verdict) {
+	f.e.mu.Lock()
+	exited := f.res.Exited
+	f.e.mu.Unlock()
+	if exited >= f.e.Opts.MaxPathsPerEntry {
+		return nil, campaign.Stop
 	}
-}
-
-// exploreParallel drains the frontier with a pool of workers, each owning a
-// vm.ExecContext with a private solver over the shared query cache. A
-// worker blocks when the frontier is momentarily empty while paths are
-// still running (they may fork new work); the pool stops when the frontier
-// is empty and no path is in flight, or a phase bound trips. The per-phase
-// path budget can overshoot by at most Workers-1 in-flight paths.
-func (e *Engine) exploreParallel(entryName string, res *PhaseResult) {
-	run := newParallelRun()
-	e.notify = run.wake
-	defer func() { e.notify = nil }()
-
-	var wg sync.WaitGroup
-	perWorker := make([]int, e.Opts.Workers)
-	for w := 0; w < e.Opts.Workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			ctx := e.M.NewContext(solver.NewWithCache(e.cache))
-			for {
-				st := run.next(e, res)
-				if st == nil {
-					break
-				}
-				e.runPath(ctx, st, entryName, res)
-				perWorker[w]++
-				run.done()
-			}
-			e.mu.Lock()
-			e.workerQueries += ctx.Solver.Stats.Queries
-			e.mu.Unlock()
-		}(w)
+	if st := f.e.Sched.Pop(); st != nil {
+		return st, campaign.Dispatch
 	}
-	wg.Wait()
-	dbgPhases.workerPaths(perWorker)
-
-	// Completion order is schedule-dependent; canonicalize by state ID so
-	// KeepStates selection (and everything downstream) is ordered by a
-	// property of the path, not of the race.
-	e.mu.Lock()
-	sort.Slice(res.Succeeded, func(i, j int) bool {
-		return res.Succeeded[i].ID < res.Succeeded[j].ID
-	})
-	e.mu.Unlock()
+	return nil, campaign.Drained
 }
 
-// parallelRun coordinates the worker pool of one Explore call.
-type parallelRun struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	running int
-	stopped bool
-}
+// Retire is a no-op: runPath does its own result accounting.
+func (f *barrierFrontier) Retire(w int, st *vm.State) {}
 
-func newParallelRun() *parallelRun {
-	r := &parallelRun{}
-	r.cond = sync.NewCond(&r.mu)
-	return r
-}
-
-// wake unblocks workers waiting for frontier work (called after a push).
-func (r *parallelRun) wake() {
-	r.mu.Lock()
-	r.cond.Broadcast()
-	r.mu.Unlock()
-}
-
-// next hands one frontier state to a worker, or nil when the phase is over.
-func (r *parallelRun) next(e *Engine, res *PhaseResult) *vm.State {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for {
-		if r.stopped {
-			return nil
-		}
-		e.mu.Lock()
-		exited := res.Exited
-		nbugs := len(e.bugs)
-		e.mu.Unlock()
-		if exited >= e.Opts.MaxPathsPerEntry || (e.Opts.StopAtFirstBug && nbugs > 0) {
-			r.stopped = true
-			r.cond.Broadcast()
-			return nil
-		}
-		if st := e.Sched.Pop(); st != nil {
-			r.running++
-			return st
-		}
-		if r.running == 0 {
-			r.stopped = true
-			r.cond.Broadcast()
-			return nil
-		}
-		r.cond.Wait()
-	}
-}
-
-// done retires a worker's current path and re-examines the pool state.
-func (r *parallelRun) done() {
-	r.mu.Lock()
-	r.running--
-	r.cond.Broadcast()
-	r.mu.Unlock()
-}
+// Idle confirms the drain: an empty frontier with no path in flight ends
+// the phase.
+func (f *barrierFrontier) Idle(w int) bool { return true }
 
 // pushState queues a forked sibling and, during a parallel explore, wakes
 // a blocked worker for it. During a pipelined run the push goes through

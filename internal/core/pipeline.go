@@ -1,9 +1,10 @@
 package core
 
 import (
-	"sync"
+	"context"
 
 	"repro/internal/binimg"
+	"repro/internal/campaign"
 	"repro/internal/exerciser"
 	"repro/internal/expr"
 	"repro/internal/kernel"
@@ -31,11 +32,12 @@ import (
 //     carried by a workq.Queue — the engine-side consumer the workq package
 //     was generalized for: promotions land on the completing worker's own
 //     shard (locality), idle workers steal.
-//   - pipeLedger is the per-(entry, phase) budget ledger replacing the
+//   - pipeLedger is the per-(entry, phase) campaign.Ledger replacing the
 //     barriered engine's per-Explore bounds: exited paths are budgeted per
 //     phase (MaxPathsPerEntry each), promotions per phase (KeepStates).
-//   - pipeRun is the condvar-coordinated pool: workers prefer seeds, then
-//     frontier states; the run ends when every phase has drained.
+//   - pipeRun is the campaign.Frontier policy: workers prefer seeds, then
+//     frontier states; the campaign.Runner owns the pool, and the run ends
+//     when every phase has drained.
 //
 // Per-path soundness is unchanged: a state only ever reaches phase k+1 by
 // being forked from a base that completed an earlier phase successfully
@@ -160,8 +162,8 @@ func isrPhase() phaseSpec {
 // file must change the other, and TestPipelinedFindsSameBugs is the tripwire.
 func (e *Engine) phasePlan() []phaseSpec {
 	plan := []phaseSpec{{
-		name: "DriverEntry",
-		gate: true,
+		name:       "DriverEntry",
+		gate:       true,
 		applicable: func(*Engine, *vm.State) bool { return true },
 		invoke: func(e *Engine, base *vm.State, phase int) []*vm.State {
 			st := e.M.ForkState(base)
@@ -253,81 +255,82 @@ type pipeSeed struct {
 	phase int
 }
 
-// pipeLedger is one phase's budget ledger and occupancy accounting, all
-// guarded by pipeRun.mu.
+// pipeLedger is one phase's campaign budget ledger plus the pipeline's own
+// phase bookkeeping, all guarded by the runner's coordinator lock.
 type pipeLedger struct {
+	campaign.Ledger
 	spec phaseSpec
-
-	seedsIn      int // bases invoked (or queued to be invoked) into this phase
-	pendingSeeds int // seeds waiting in the workq
-	expanding    int // seeds currently being expanded into invocation states
-	queued       int // states waiting in the frontier
-	inflight     int // states currently being stepped
-	exited       int // completed paths (per-phase MaxPathsPerEntry budget)
-	succeeded    int // paths that exited with StatusSuccess
-	promoted     int // successes seeded onward (per-phase KeepStates budget)
-	peakInFlight int
-	peakQueued   int
 
 	// bases are this phase's input states, kept for the zero-success
 	// fallback (bounded: promotions into a phase are KeepStates-capped).
 	bases []*vm.State
-	done  bool
 }
 
-// activity counts everything that can still produce work for this phase.
-func (l *pipeLedger) activity() int {
-	return l.pendingSeeds + l.expanding + l.queued + l.inflight
+// pipeItem is one unit of pipelined work: either a seed to expand or a
+// frontier state to run. The executor fills the output half (out / res)
+// and Retire folds it into the ledgers.
+type pipeItem struct {
+	seed *pipeSeed
+	st   *vm.State
+
+	out []*vm.State // invocation states produced by a seed expansion
+	res PhaseResult // path result produced by running st
 }
 
-// pipeRun coordinates the persistent worker pool of one pipelined session.
+// pipeRun is the pipelined explorer's campaign.Frontier: the phase-aware
+// work-selection policy over one campaign.Runner-owned worker pool.
 type pipeRun struct {
 	e       *Engine
-	mu      sync.Mutex
-	cond    *sync.Cond
+	r       *campaign.Runner[*pipeItem]
 	phases  []*pipeLedger
+	ledgers []*campaign.Ledger // the campaign view of phases, same order
 	seeds   *workq.Queue[pipeSeed]
-	stopped bool
+	ectxs   []*vm.ExecContext
+	// perPaths counts retired paths per worker (seeds excluded) for the
+	// debug reporter; slot w is only touched by worker w.
+	perPaths []int
 }
 
 // testDriverPipelined is TestDriver without phase barriers: one persistent
-// worker pool over the phase-aware frontier, from DriverEntry to Halt.
-func (e *Engine) testDriverPipelined() (*Report, error) {
+// campaign.Runner pool over the phase-aware frontier, from DriverEntry to
+// Halt.
+func (e *Engine) testDriverPipelined(ctx context.Context) (*Report, error) {
 	if e.Opts.Heuristic == nil {
 		// Phase-weighted pick over the mixed-phase frontier.
 		e.Sched.SetHeuristic(exerciser.NewPhaseMinBlockCount(e.Sched.Counts()))
 	}
 	p := &pipeRun{e: e, seeds: workq.New[pipeSeed](e.Opts.Workers)}
-	p.cond = sync.NewCond(&p.mu)
 	for _, sp := range e.phasePlan() {
-		p.phases = append(p.phases, &pipeLedger{spec: sp})
+		l := &pipeLedger{spec: sp}
+		l.Name = sp.name
+		p.phases = append(p.phases, l)
+		p.ledgers = append(p.ledgers, &l.Ledger)
 	}
+	p.ectxs = make([]*vm.ExecContext, e.Opts.Workers)
+	for w := range p.ectxs {
+		p.ectxs[w] = e.M.NewContext(solver.NewWithCache(e.cache))
+	}
+	p.perPaths = make([]int, e.Opts.Workers)
+	p.r = campaign.NewRunner[*pipeItem](
+		campaign.Options{Workers: e.Opts.Workers, StopAtFirstBug: e.Opts.StopAtFirstBug},
+		p, p.exec)
+	p.r.BindFindings(e.findings)
 	e.pipe = p
 
-	boot := e.NewBootState()
-	p.mu.Lock()
-	p.enqueueSeed(0, boot, 0)
-	p.mu.Unlock()
-
-	var wg sync.WaitGroup
-	perWorker := make([]int, e.Opts.Workers)
-	for w := 0; w < e.Opts.Workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			ctx := e.M.NewContext(solver.NewWithCache(e.cache))
-			p.worker(w, ctx, &perWorker[w])
-			e.mu.Lock()
-			e.workerQueries += ctx.Solver.Stats.Queries
-			e.mu.Unlock()
-		}(w)
-	}
-	wg.Wait()
+	p.enqueueSeed(0, e.NewBootState(), 0)
+	p.r.Run(ctx)
 	e.pipe = nil
-	dbgPhases.workerPaths(perWorker)
 
-	// A StopAtFirstBug stop can leave frontier states behind; abandon them
-	// exactly as the barriered engine abandons an over-budget frontier.
+	e.mu.Lock()
+	for _, c := range p.ectxs {
+		e.workerQueries += c.Solver.Stats.Queries
+	}
+	e.mu.Unlock()
+	dbgPhases.workerPaths(p.perPaths)
+
+	// A StopAtFirstBug (or canceled) stop can leave frontier states behind;
+	// abandon them exactly as the barriered engine abandons an over-budget
+	// frontier.
 	for {
 		st := e.Sched.Pop()
 		if st == nil {
@@ -340,130 +343,92 @@ func (e *Engine) testDriverPipelined() (*Report, error) {
 	for _, l := range p.phases {
 		e.phaseStats = append(e.phaseStats, PhaseStat{
 			Name:         l.spec.name,
-			Exited:       l.exited,
-			Succeeded:    l.succeeded,
-			Promoted:     l.promoted,
-			SeedsIn:      l.seedsIn,
-			PeakInFlight: l.peakInFlight,
-			PeakQueued:   l.peakQueued,
+			Exited:       l.Exited,
+			Succeeded:    l.Succeeded,
+			Promoted:     l.Promoted,
+			SeedsIn:      l.SeedsIn,
+			PeakInFlight: l.PeakInFlight,
+			PeakQueued:   l.PeakQueued,
 		})
 	}
 	e.mu.Unlock()
 	return e.Report(), nil
 }
 
-// worker is one pool member's loop: seeds first (they create work and are
-// shard-local), then frontier states, until the run drains or stops.
-func (p *pipeRun) worker(w int, ctx *vm.ExecContext, retired *int) {
-	for {
-		seed, st := p.next(w)
-		switch {
-		case seed != nil:
-			// Fork + invoke outside the coordinator lock; only the push and
-			// ledger update re-enter it.
-			states := p.phases[seed.phase].spec.invoke(p.e, seed.base, seed.phase)
-			p.seedExpanded(w, seed.phase, states)
-		case st != nil:
-			var res PhaseResult
-			p.e.runPath(ctx, st, p.phases[st.Phase].spec.name, &res)
-			*retired++
-			p.pathDone(w, st, &res)
-		default:
-			return
-		}
+// exec runs one work item outside the coordinator lock: expand a seed into
+// its invocation states, or step a frontier state to completion.
+func (p *pipeRun) exec(w int, it *pipeItem) {
+	switch {
+	case it.seed != nil:
+		it.out = p.phases[it.seed.phase].spec.invoke(p.e, it.seed.base, it.seed.phase)
+	case it.st != nil:
+		p.e.runPath(p.ectxs[w], it.st, p.phases[it.st.Phase].spec.name, &it.res)
+		p.perPaths[w]++
 	}
 }
 
-// next hands the worker its next work item: a seed to expand, a frontier
-// state to run, or (nil, nil) when the session is over. Blocks while other
-// workers may still produce work.
-func (p *pipeRun) next(w int) (*pipeSeed, *vm.State) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+// Next hands the worker its next work item: seeds first (they create work
+// and are shard-local), then frontier states. Called under the runner's
+// coordinator lock.
+func (p *pipeRun) Next(w int) (*pipeItem, campaign.Verdict) {
+	if s, ok := p.seeds.Pop(w); ok {
+		l := p.phases[s.phase]
+		l.PendingSeeds--
+		l.Expanding++
+		return &pipeItem{seed: &s}, campaign.Dispatch
+	}
 	for {
-		if p.stopped {
-			return nil, nil
+		st := p.e.Sched.Pop()
+		if st == nil {
+			break
 		}
-		if p.e.Opts.StopAtFirstBug && p.e.bugCount() > 0 {
-			p.stop()
-			return nil, nil
-		}
-		if s, ok := p.seeds.Pop(w); ok {
-			l := p.phases[s.phase]
-			l.pendingSeeds--
-			l.expanding++
-			return &s, nil
-		}
-		for {
-			st := p.e.Sched.Pop()
-			if st == nil {
-				break
-			}
-			l := p.phases[st.Phase]
-			l.queued--
-			if l.exited >= p.e.Opts.MaxPathsPerEntry {
-				// Per-(entry, phase) path budget exhausted: abandon the rest
-				// of this phase's frontier (coverage loss, never
-				// unsoundness) — the barriered engine's post-Explore kill.
-				st.Status = vm.StatusKilled
-				continue
-			}
-			l.inflight++
-			if l.inflight > l.peakInFlight {
-				l.peakInFlight = l.inflight
-			}
-			return nil, st
-		}
-		if p.totalActivity() == 0 {
-			p.reap(w)
-			if p.allDone() {
-				p.stop()
-				return nil, nil
-			}
-			// reap fired a fallback: new seeds exist, grab one.
+		l := p.phases[st.Phase]
+		l.Queued--
+		if l.Exited >= p.e.Opts.MaxPathsPerEntry {
+			// Per-(entry, phase) path budget exhausted: abandon the rest
+			// of this phase's frontier (coverage loss, never
+			// unsoundness) — the barriered engine's post-Explore kill.
+			st.Status = vm.StatusKilled
 			continue
 		}
-		p.cond.Wait()
+		l.BeginFlight()
+		return &pipeItem{st: st}, campaign.Dispatch
+	}
+	return nil, campaign.Drained
+}
+
+// Retire folds one completed item into the ledgers. Called under the
+// runner's coordinator lock.
+func (p *pipeRun) Retire(w int, it *pipeItem) {
+	switch {
+	case it.seed != nil:
+		p.seedExpanded(w, it.seed.phase, it.out)
+	case it.st != nil:
+		p.pathDone(w, it.st, &it.res)
 	}
 }
 
-// stop ends the run and releases every blocked worker. Caller holds mu.
-func (p *pipeRun) stop() {
-	p.stopped = true
-	p.cond.Broadcast()
-}
-
-// totalActivity sums the live work across phases. Caller holds mu.
-func (p *pipeRun) totalActivity() int {
-	n := 0
-	for _, l := range p.phases {
-		n += l.activity()
-	}
-	return n
-}
-
-// allDone reports whether every phase has drained. Caller holds mu.
-func (p *pipeRun) allDone() bool {
-	for _, l := range p.phases {
-		if !l.done {
-			return false
-		}
-	}
-	return true
+// Idle is consulted when the frontier is drained and nothing is in flight:
+// advance the drain cascade (which may fire a zero-success fallback) and
+// end the campaign once every phase is done. Called under the runner's
+// coordinator lock.
+func (p *pipeRun) Idle(w int) bool {
+	p.reap(w)
+	return campaign.AllDone(p.ledgers)
 }
 
 // enqueueSeed queues "invoke base into phase" on the worker's own workq
-// shard and records base as a fallback input of that phase. Caller holds mu.
+// shard and records base as a fallback input of that phase. Caller holds
+// the coordinator lock (or the pool has not started yet).
 func (p *pipeRun) enqueueSeed(w int, base *vm.State, phase int) {
 	l := p.phases[phase]
-	l.seedsIn++
-	l.pendingSeeds++
+	l.SeedsIn++
+	l.PendingSeeds++
 	l.bases = append(l.bases, base)
 	if h := p.e.testOnSeed; h != nil {
 		h(base, phase)
 	}
 	p.seeds.Push(w, pipeSeed{base: base, phase: phase})
-	p.cond.Broadcast()
 }
 
 // seedOnward promotes base past fromPhase into the next phase that applies
@@ -471,7 +436,7 @@ func (p *pipeRun) enqueueSeed(w int, base *vm.State, phase int) {
 // phase that does not apply (e.g. a network driver that never registered
 // an Initialize handler) ends the workload for this base, exactly as the
 // barriered loop's "!initialized" early return refuses to exercise the
-// data path on an uninitialized adapter. Caller holds mu.
+// data path on an uninitialized adapter. Caller holds the coordinator lock.
 func (p *pipeRun) seedOnward(w int, base *vm.State, fromPhase int) {
 	for j := fromPhase + 1; j < len(p.phases); j++ {
 		if p.phases[j].spec.applicable(p.e, base) {
@@ -485,61 +450,49 @@ func (p *pipeRun) seedOnward(w int, base *vm.State, fromPhase int) {
 }
 
 // seedExpanded pushes a seed's invocation states into the frontier and
-// retires the expansion.
+// retires the expansion. Caller holds the coordinator lock.
 func (p *pipeRun) seedExpanded(w, phase int, states []*vm.State) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	l := p.phases[phase]
-	l.expanding--
+	l.Expanding--
 	for _, st := range states {
 		if p.e.Sched.Push(st) {
-			l.queued++
-			if l.queued > l.peakQueued {
-				l.peakQueued = l.queued
-			}
+			l.AddQueued(1)
 		}
 	}
 	p.reap(w)
-	p.cond.Broadcast()
 }
 
 // pushForked accounts a mid-path fork landing in the frontier (called via
-// Engine.pushState from a worker's runPath).
+// Engine.pushState from a worker's runPath, outside the coordinator lock).
 func (p *pipeRun) pushForked(n *vm.State) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.e.Sched.Push(n) {
-		l := p.phases[n.Phase]
-		l.queued++
-		if l.queued > l.peakQueued {
-			l.peakQueued = l.queued
+	p.r.Locked(func() {
+		if p.e.Sched.Push(n) {
+			p.phases[n.Phase].AddQueued(1)
 		}
-	}
-	p.cond.Broadcast()
+	})
 }
 
 // pathDone retires one explored path: budget accounting, promotion of a
 // success into the next phase (KeepStates-capped, on the completing
-// worker's shard), and the drain cascade.
+// worker's shard), and the drain cascade. Caller holds the coordinator
+// lock.
 func (p *pipeRun) pathDone(w int, st *vm.State, res *PhaseResult) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	l := p.phases[st.Phase]
-	l.inflight--
-	l.exited += res.Exited
+	l.InFlight--
+	l.Exited += res.Exited
 	// The completed state is the tail of runPath's depth-first descent —
 	// a fork descendant of st in the same phase — not necessarily st.
 	done := st
 	success := len(res.Succeeded) > 0
 	if success {
 		done = res.Succeeded[0]
-		l.succeeded++
+		l.Succeeded++
 	}
 	if h := p.e.testOnPathDone; h != nil {
 		h(done, st.Phase, success)
 	}
-	if success && l.promoted < p.e.Opts.KeepStates {
-		l.promoted++
+	if success && l.Promoted < p.e.Opts.KeepStates {
+		l.Promoted++
 		// Promoted bases must not leak DPC/IRQL context into the next
 		// phase (the barriered loop normalizes carried states the same way).
 		ks := kernel.Of(done)
@@ -548,7 +501,6 @@ func (p *pipeRun) pathDone(w int, st *vm.State, res *PhaseResult) {
 		p.seedOnward(w, done, st.Phase)
 	}
 	p.reap(w)
-	p.cond.Broadcast()
 }
 
 // reap advances the drain cascade: phases complete strictly in order
@@ -556,21 +508,21 @@ func (p *pipeRun) pathDone(w int, st *vm.State, res *PhaseResult) {
 // already-done-prefixed phase with no remaining activity as done. A
 // non-gate phase that drains with zero successes passes its input bases
 // through to the next applicable phase — the barriered loop's fallback.
-// Caller holds mu.
+// Caller holds the coordinator lock.
 func (p *pipeRun) reap(w int) {
 	for i, l := range p.phases {
-		if l.done {
+		if l.Done {
 			continue
 		}
-		if l.activity() > 0 {
+		if l.Activity() > 0 {
 			// Not drained; later phases can still be seeded by this one.
 			return
 		}
-		l.done = true
+		l.Done = true
 		dbgPhases.printf("pipeline phase %-20s drained: exited=%-4d succ=%-3d promoted=%d\n",
-			l.spec.name, l.exited, l.succeeded, l.promoted)
+			l.spec.name, l.Exited, l.Succeeded, l.Promoted)
 		dbgPhases.gauges("pipeline", p.gaugeRows())
-		if !l.spec.gate && l.seedsIn > 0 && l.succeeded == 0 {
+		if !l.spec.gate && l.SeedsIn > 0 && l.Succeeded == 0 {
 			for _, b := range l.bases {
 				p.seedOnward(w, b, i)
 			}
@@ -581,15 +533,15 @@ func (p *pipeRun) reap(w int) {
 }
 
 // gaugeRows snapshots the per-phase occupancy for the debug reporter.
-// Caller holds mu.
+// Caller holds the coordinator lock.
 func (p *pipeRun) gaugeRows() []phaseGauge {
 	rows := make([]phaseGauge, 0, len(p.phases))
 	for _, l := range p.phases {
 		rows = append(rows, phaseGauge{
 			Name:     l.spec.name,
-			Queued:   l.queued + l.pendingSeeds,
-			InFlight: l.inflight + l.expanding,
-			Exited:   l.exited,
+			Queued:   l.Queued + l.PendingSeeds,
+			InFlight: l.InFlight + l.Expanding,
+			Exited:   l.Exited,
 		})
 	}
 	return rows

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"sync"
 	"testing"
@@ -124,7 +125,7 @@ func TestPipelinedPhaseOrdering(t *testing.T) {
 		}
 	}
 
-	rep, err := e.TestDriver()
+	rep, err := e.TestDriver(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

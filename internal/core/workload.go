@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -23,10 +24,16 @@ func (e *Engine) pipelined() bool {
 }
 
 // TestDriver runs the complete workload against the image and returns the
-// bug report. This is the top-level "Test Now button" (§1).
-func (e *Engine) TestDriver() (*Report, error) {
+// bug report. This is the top-level "Test Now button" (§1). ctx cancels
+// the session mid-run; Opts.Duration, when set, bounds its wall-clock time.
+func (e *Engine) TestDriver(ctx context.Context) (*Report, error) {
+	if e.Opts.Duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.Opts.Duration)
+		defer cancel()
+	}
 	if e.pipelined() {
-		return e.testDriverPipelined()
+		return e.testDriverPipelined(ctx)
 	}
 	boot := e.NewBootState()
 
@@ -34,7 +41,7 @@ func (e *Engine) TestDriver() (*Report, error) {
 	entry := e.M.ForkState(boot)
 	e.K.Invoke(entry, "DriverEntry", e.Img.Entry)
 	e.Sched.Push(entry)
-	res := e.Explore("DriverEntry")
+	res := e.Explore(ctx, "DriverEntry")
 	if len(res.Succeeded) == 0 {
 		// A driver whose load entry always fails or crashes: report what
 		// we found.
@@ -44,9 +51,9 @@ func (e *Engine) TestDriver() (*Report, error) {
 
 	switch e.Img.Device.Class {
 	case binimg.ClassNetwork:
-		bases = e.networkWorkload(bases)
+		bases = e.networkWorkload(ctx, bases)
 	case binimg.ClassAudio:
-		bases = e.audioWorkload(bases)
+		bases = e.audioWorkload(ctx, bases)
 	default:
 		// No class-specific data path: still exercise halt if registered.
 	}
@@ -63,7 +70,7 @@ func (e *Engine) TestDriver() (*Report, error) {
 // pipeline.go (phasePlan) for the barrier-free explorer. Any phase added,
 // reordered, or re-argumented here must be mirrored there — see the
 // phasePlan comment for why the two cannot share one definition.
-func (e *Engine) phase(bases []*vm.State, name string, pcOf func(ks *kernel.KState) uint32,
+func (e *Engine) phase(ctx context.Context, bases []*vm.State, name string, pcOf func(ks *kernel.KState) uint32,
 	argsOf func(s *vm.State) []*expr.Expr, prep func(s *vm.State)) ([]*vm.State, bool) {
 
 	any := false
@@ -106,7 +113,7 @@ func (e *Engine) phase(bases []*vm.State, name string, pcOf func(ks *kernel.KSta
 	if !any {
 		return bases, false
 	}
-	res := e.Explore(name)
+	res := e.Explore(ctx, name)
 	if len(res.Succeeded) == 0 {
 		return bases, false
 	}
@@ -132,7 +139,7 @@ func (e *Engine) phase(bases []*vm.State, name string, pcOf func(ks *kernel.KSta
 // network entry points.
 const adapterHandle uint32 = 0x7000_0001
 
-func (e *Engine) networkWorkload(bases []*vm.State) []*vm.State {
+func (e *Engine) networkWorkload(ctx context.Context, bases []*vm.State) []*vm.State {
 	mp := func(ks *kernel.KState) *kernel.MiniportChars {
 		if ks.Miniport == nil {
 			return &kernel.MiniportChars{}
@@ -143,7 +150,7 @@ func (e *Engine) networkWorkload(bases []*vm.State) []*vm.State {
 	// Initialize. Interrupt registration happens inside; the boundary hook
 	// begins injecting as soon as the ISR is registered — this is the
 	// window where the RTL8029 init race lives.
-	bases, initialized := e.phase(bases, "Initialize",
+	bases, initialized := e.phase(ctx, bases, "Initialize",
 		func(ks *kernel.KState) uint32 { return mp(ks).InitializePC },
 		func(s *vm.State) []*expr.Expr { return []*expr.Expr{expr.Const(adapterHandle)} },
 		nil)
@@ -154,7 +161,7 @@ func (e *Engine) networkWorkload(bases []*vm.State) []*vm.State {
 	}
 
 	// Send one packet with symbolic contents and symbolic (bounded) length.
-	bases, _ = e.phase(bases, "Send",
+	bases, _ = e.phase(ctx, bases, "Send",
 		func(ks *kernel.KState) uint32 { return mp(ks).SendPC },
 		func(s *vm.State) []*expr.Expr {
 			pkt := e.makeSymbolicPacket(s)
@@ -179,15 +186,15 @@ func (e *Engine) networkWorkload(bases []*vm.State) []*vm.State {
 			return []*expr.Expr{expr.Const(adapterHandle), oid, expr.Const(buf), expr.Const(64)}
 		}
 	}
-	bases, _ = e.phase(bases, "QueryInformation",
+	bases, _ = e.phase(ctx, bases, "QueryInformation",
 		func(ks *kernel.KState) uint32 { return mp(ks).QueryInfoPC },
 		infoArgs(kernel.OIDGenSupportedList), nil)
-	bases, _ = e.phase(bases, "SetInformation",
+	bases, _ = e.phase(ctx, bases, "SetInformation",
 		func(ks *kernel.KState) uint32 { return mp(ks).SetInfoPC },
 		infoArgs(kernel.OIDGenCurrentPacketFil), nil)
 
 	// Direct ISR delivery (device interrupt while otherwise idle).
-	bases, _ = e.phase(bases, "ISR",
+	bases, _ = e.phase(ctx, bases, "ISR",
 		func(ks *kernel.KState) uint32 {
 			if ks.ISRRegistered {
 				return ks.ISRPC
@@ -198,17 +205,17 @@ func (e *Engine) networkWorkload(bases []*vm.State) []*vm.State {
 		func(s *vm.State) { kernel.Of(s).IRQL = kernel.DeviceLevel })
 
 	// Drain queued DPCs (timer callbacks) at DISPATCH_LEVEL.
-	bases = e.drainDPCs(bases)
+	bases = e.drainDPCs(ctx, bases)
 
 	// Halt: everything must be released afterwards.
-	bases, _ = e.phase(bases, "Halt",
+	bases, _ = e.phase(ctx, bases, "Halt",
 		func(ks *kernel.KState) uint32 { return mp(ks).HaltPC },
 		func(s *vm.State) []*expr.Expr { return []*expr.Expr{expr.Const(adapterHandle)} },
 		nil)
 	return bases
 }
 
-func (e *Engine) audioWorkload(bases []*vm.State) []*vm.State {
+func (e *Engine) audioWorkload(ctx context.Context, bases []*vm.State) []*vm.State {
 	au := func(ks *kernel.KState) *kernel.AudioChars {
 		if ks.Audio == nil {
 			return &kernel.AudioChars{}
@@ -216,7 +223,7 @@ func (e *Engine) audioWorkload(bases []*vm.State) []*vm.State {
 		return ks.Audio
 	}
 
-	bases, initialized := e.phase(bases, "Initialize",
+	bases, initialized := e.phase(ctx, bases, "Initialize",
 		func(ks *kernel.KState) uint32 { return au(ks).InitializePC },
 		func(s *vm.State) []*expr.Expr { return []*expr.Expr{expr.Const(adapterHandle)} },
 		nil)
@@ -225,7 +232,7 @@ func (e *Engine) audioWorkload(bases []*vm.State) []*vm.State {
 	}
 
 	// Play a small sound: the paper's audio workload (§5.2).
-	bases, _ = e.phase(bases, "Play",
+	bases, _ = e.phase(ctx, bases, "Play",
 		func(ks *kernel.KState) uint32 { return au(ks).PlayPC },
 		func(s *vm.State) []*expr.Expr {
 			buf := e.makeAudioBuffer(s)
@@ -233,7 +240,7 @@ func (e *Engine) audioWorkload(bases []*vm.State) []*vm.State {
 		},
 		nil)
 
-	bases, _ = e.phase(bases, "ISR",
+	bases, _ = e.phase(ctx, bases, "ISR",
 		func(ks *kernel.KState) uint32 {
 			if ks.ISRRegistered {
 				return ks.ISRPC
@@ -243,14 +250,14 @@ func (e *Engine) audioWorkload(bases []*vm.State) []*vm.State {
 		func(s *vm.State) []*expr.Expr { return []*expr.Expr{expr.Const(adapterHandle)} },
 		func(s *vm.State) { kernel.Of(s).IRQL = kernel.DeviceLevel })
 
-	bases = e.drainDPCs(bases)
+	bases = e.drainDPCs(ctx, bases)
 
-	bases, _ = e.phase(bases, "Stop",
+	bases, _ = e.phase(ctx, bases, "Stop",
 		func(ks *kernel.KState) uint32 { return au(ks).StopPC },
 		func(s *vm.State) []*expr.Expr { return []*expr.Expr{expr.Const(adapterHandle)} },
 		nil)
 
-	bases, _ = e.phase(bases, "Halt",
+	bases, _ = e.phase(ctx, bases, "Halt",
 		func(ks *kernel.KState) uint32 { return au(ks).HaltPC },
 		func(s *vm.State) []*expr.Expr { return []*expr.Expr{expr.Const(adapterHandle)} },
 		nil)
@@ -259,7 +266,7 @@ func (e *Engine) audioWorkload(bases []*vm.State) []*vm.State {
 
 // drainDPCs dispatches pending timer/DPC callbacks at DISPATCH_LEVEL with
 // the DPC flag set (where the Intel Pro/100 spinlock bug manifests).
-func (e *Engine) drainDPCs(bases []*vm.State) []*vm.State {
+func (e *Engine) drainDPCs(ctx context.Context, bases []*vm.State) []*vm.State {
 	var out []*vm.State
 	ran := false
 	for _, base := range bases {
@@ -281,7 +288,7 @@ func (e *Engine) drainDPCs(bases []*vm.State) []*vm.State {
 	if !ran {
 		return bases
 	}
-	res := e.Explore("DPC")
+	res := e.Explore(ctx, "DPC")
 	for _, s := range res.Succeeded {
 		ks := kernel.Of(s)
 		ks.InDpc = false

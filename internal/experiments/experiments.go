@@ -4,6 +4,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -91,7 +92,7 @@ func Table2() ([]Table2Row, error) {
 		}
 		start := time.Now()
 		eng := core.NewEngine(img, core.DefaultOptions())
-		rep, err := eng.TestDriver()
+		rep, err := eng.TestDriver(context.Background())
 		if err != nil {
 			return nil, err
 		}
@@ -139,7 +140,7 @@ func Coverage() ([]CoverageRun, error) {
 		}
 		start := time.Now()
 		eng := core.NewEngine(img, core.DefaultOptions())
-		rep, err := eng.TestDriver()
+		rep, err := eng.TestDriver(context.Background())
 		if err != nil {
 			return nil, err
 		}
@@ -247,7 +248,7 @@ func RunSDVComparison() (*SDVComparison, error) {
 
 	start = time.Now()
 	eng := core.NewEngine(sampleImg, core.DefaultOptions())
-	rep, err := eng.TestDriver()
+	rep, err := eng.TestDriver(context.Background())
 	if err != nil {
 		return nil, err
 	}
@@ -275,7 +276,7 @@ func RunSDVComparison() (*SDVComparison, error) {
 
 	start = time.Now()
 	eng2 := core.NewEngine(synImg, core.DefaultOptions())
-	rep2, err := eng2.TestDriver()
+	rep2, err := eng2.TestDriver(context.Background())
 	if err != nil {
 		return nil, err
 	}
@@ -287,7 +288,7 @@ func RunSDVComparison() (*SDVComparison, error) {
 		return nil, err
 	}
 	eng3 := core.NewEngine(fixedImg, core.DefaultOptions())
-	rep3, err := eng3.TestDriver()
+	rep3, err := eng3.TestDriver(context.Background())
 	if err != nil {
 		return nil, err
 	}
@@ -327,14 +328,14 @@ func Ablation() ([]AblationRow, error) {
 			return nil, err
 		}
 		with := core.NewEngine(img, core.DefaultOptions())
-		repW, err := with.TestDriver()
+		repW, err := with.TestDriver(context.Background())
 		if err != nil {
 			return nil, err
 		}
 		opts := core.DefaultOptions()
 		opts.Annotations = false
 		without := core.NewEngine(img, opts)
-		repN, err := without.TestDriver()
+		repN, err := without.TestDriver(context.Background())
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package fuzz
 
 import (
+	"context"
 	"encoding/binary"
 
 	"repro/internal/binimg"
@@ -129,13 +130,14 @@ func (h *HybridReport) TotalBugKeys() int {
 // models seed the fuzz corpus, a fuzzing campaign, then symbolic passes
 // forked from the liftTop highest-gain fuzz feeds. All three share one
 // coverage map, so the combined coverage-over-time series is directly
-// comparable with either mode alone.
-func Hybrid(img *binimg.Image, fcfg Config, eopts core.Options, liftTop int) (*HybridReport, error) {
+// comparable with either mode alone. ctx cancels whichever stage is in
+// flight; the report covers the work completed so far.
+func Hybrid(ctx context.Context, img *binimg.Image, fcfg Config, eopts core.Options, liftTop int) (*HybridReport, error) {
 	fz := New(img, fcfg)
 
 	eopts.Coverage = fz.Cov
 	eng := core.NewEngine(img, eopts)
-	srep, err := eng.TestDriver()
+	srep, err := eng.TestDriver(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -148,7 +150,7 @@ func Hybrid(img *binimg.Image, fcfg Config, eopts core.Options, liftTop int) (*H
 	// clamp pins those onto the tail of the axis.)
 	fz.steps.Store(srep.Instructions)
 
-	frep, runErr := fz.Run()
+	frep, runErr := fz.Run(ctx)
 	if runErr != nil && frep == nil {
 		return nil, runErr
 	}
@@ -176,7 +178,7 @@ func Hybrid(img *binimg.Image, fcfg Config, eopts core.Options, liftTop int) (*H
 		lopts := eopts // Coverage already points at the shared fz.Cov
 		lopts.SymbolSeed = LiftFeed(feed, 0)
 		leng := core.NewEngine(img, lopts)
-		lrep, err := leng.TestDriver()
+		lrep, err := leng.TestDriver(ctx)
 		if err != nil {
 			continue
 		}

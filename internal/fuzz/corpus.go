@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+
+	"repro/internal/campaign"
 )
 
 // Entry is one admitted corpus feed with its admission metadata. It doubles
@@ -216,27 +218,32 @@ func LoadDir(dir string) ([]*Feed, error) {
 	return out, nil
 }
 
-// crashStore deduplicates crashes by fault site and checker class.
+// crashStore stores deduplicated crashes by fault site and checker class.
+// The dedup authority is the campaign findings ledger, shared with the
+// campaign runner so StopAtFirstBug fires on the first admitted crash.
 type crashStore struct {
-	mu    sync.Mutex
-	byKey map[string]*Crash
-	order []string
+	findings *campaign.Findings
+	mu       sync.Mutex
+	byKey    map[string]*Crash
+	order    []string
 }
 
-func newCrashStore() *crashStore {
-	return &crashStore{byKey: make(map[string]*Crash)}
+func newCrashStore(findings *campaign.Findings) *crashStore {
+	return &crashStore{findings: findings, byKey: make(map[string]*Crash)}
 }
 
-// add records a crash; it reports whether the key was new.
+// add records a crash; it reports whether the key was new. Admission goes
+// through the findings ledger, so only one goroutine ever stores a given
+// key.
 func (cs *crashStore) add(c *Crash) bool {
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
 	k := c.Key()
-	if _, ok := cs.byKey[k]; ok {
+	if !cs.findings.Admit(k) {
 		return false
 	}
+	cs.mu.Lock()
 	cs.byKey[k] = c
 	cs.order = append(cs.order, k)
+	cs.mu.Unlock()
 	return true
 }
 

@@ -1,6 +1,7 @@
 package fuzz
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"sync"
@@ -63,7 +64,7 @@ func TestFuzzCampaignSuperblocksBitIdentical(t *testing.T) {
 		cfg.MaxExecs = 4_000
 		cfg.Persist = true
 		cfg.Exec.NoSuperblocks = noSB
-		rep, err := New(img, cfg).Run()
+		rep, err := New(img, cfg).Run(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

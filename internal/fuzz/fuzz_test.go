@@ -1,7 +1,9 @@
 package fuzz
 
 import (
+	"context"
 	"path/filepath"
+	"repro/internal/campaign"
 	"testing"
 
 	"repro/internal/core"
@@ -205,7 +207,7 @@ func TestCorpusEnergyDecay(t *testing.T) {
 }
 
 func TestCrashDedup(t *testing.T) {
-	cs := newCrashStore()
+	cs := newCrashStore(campaign.NewFindings())
 	a := &Crash{Class: "segmentation fault", Site: 0x100100, PC: 0x0}
 	b := &Crash{Class: "segmentation fault", Site: 0x100100, PC: 0xdeadbeef} // other wild target, same site
 	c := &Crash{Class: "memory corruption", Site: 0x100100}
@@ -293,7 +295,7 @@ func TestFuzzFindsRTL8029Bugs(t *testing.T) {
 	cfg.MaxExecs = 5_000
 	cfg.CorpusDir = filepath.Join(t.TempDir(), "corpus")
 	f := New(img, cfg)
-	rep, err := f.Run()
+	rep, err := f.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -348,7 +350,7 @@ func TestFuzzFixedVariantClean(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Workers = 2
 	cfg.MaxExecs = 3_000
-	rep, err := New(img, cfg).Run()
+	rep, err := New(img, cfg).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -365,7 +367,7 @@ func TestBridgeFromBug(t *testing.T) {
 		t.Fatal(err)
 	}
 	eng := core.NewEngine(img, core.DefaultOptions())
-	rep, err := eng.TestDriver()
+	rep, err := eng.TestDriver(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -435,7 +437,7 @@ func TestHybridLoop(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Workers = 2
 	cfg.MaxExecs = 3_000
-	h, err := Hybrid(img, cfg, core.DefaultOptions(), 1)
+	h, err := Hybrid(context.Background(), img, cfg, core.DefaultOptions(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}

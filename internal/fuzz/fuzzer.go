@@ -1,32 +1,35 @@
 package fuzz
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/binimg"
+	"repro/internal/campaign"
 	"repro/internal/exerciser"
 )
 
-// Config configures one fuzzing campaign.
+// Config configures one fuzzing campaign. The campaign envelope (workers,
+// exec/time budgets, seed, stop conditions, shared coverage) is the
+// embedded campaign.Options — the same envelope core.Options and
+// ddt.Config embed — and the remaining fields are the fuzzer's own knobs.
+//
+// Envelope semantics for the fuzzer: Workers is the parallel fuzzing
+// goroutine count; MaxExecs bounds total executions (0 with Duration also
+// 0 applies a default exec budget); Duration bounds wall-clock time; Seed
+// derives the per-worker random streams (Seed+workerID — a single-worker
+// run with a fixed seed is fully reproducible); StopAtFirstBug ends the
+// campaign at the first deduplicated crash; Coverage, when non-nil,
+// replaces the fuzzer's own recorder. Pipeline is accepted for envelope
+// uniformity and ignored (the fuzzer has no phase barriers to dissolve).
 type Config struct {
-	// Workers is the number of parallel fuzzing goroutines.
-	Workers int
-	// MaxExecs bounds total executions (0: no exec bound).
-	MaxExecs uint64
-	// Duration bounds wall-clock time (0: no time bound). With neither
-	// bound set, a default exec budget applies.
-	Duration time.Duration
-	// Seed makes the campaign's random streams deterministic (per worker:
-	// Seed+workerID). A single-worker run with a fixed seed is fully
-	// reproducible.
-	Seed int64
+	campaign.Options
 	// CorpusDir, when set, is loaded as initial seeds and receives the
 	// final corpus plus every crash reproducer.
 	CorpusDir string
@@ -60,9 +63,11 @@ type Config struct {
 // DefaultConfig returns a small deterministic campaign configuration.
 func DefaultConfig() Config {
 	return Config{
-		Workers:        4,
-		MaxExecs:       20_000,
-		Seed:           1,
+		Options: campaign.Options{
+			Workers:  4,
+			MaxExecs: 20_000,
+			Seed:     1,
+		},
 		MinimizeBudget: 48,
 		Exec:           DefaultOptions(),
 	}
@@ -185,12 +190,18 @@ type Fuzzer struct {
 	// hybrid loop can hand the same recorder to a symbolic engine.
 	Cov *exerciser.Coverage
 
-	corpus  *Corpus
-	crashes *crashStore
-	queue   *Queue
-	dict    *Dictionary
+	corpus   *Corpus
+	crashes  *crashStore
+	queue    *Queue
+	dict     *Dictionary
+	findings *campaign.Findings
 
-	execsStarted atomic.Uint64
+	// runner is the active campaign runner, published before workers start
+	// so Stop can reach a Run already in flight.
+	runner atomic.Pointer[campaign.Runner[*Feed]]
+	// stopped remembers a Stop that arrived before Run built the runner.
+	stopped atomic.Bool
+
 	execsDone    atomic.Uint64
 	triageExecs  atomic.Uint64
 	steps        atomic.Uint64
@@ -199,9 +210,7 @@ type Fuzzer struct {
 	coldNS       atomic.Uint64
 	warmNS       atomic.Uint64
 	skippedSteps atomic.Uint64
-	stopped      atomic.Bool
 	injectShard  atomic.Uint64
-	deadline     time.Time
 	seedCount    int
 
 	// fabric is the campaign-wide snapshot store every worker executor
@@ -248,14 +257,19 @@ func New(img *binimg.Image, cfg Config) *Fuzzer {
 		}
 		fabric = cfg.Exec.Fabric
 	}
+	findings := campaign.NewFindings()
 	f := &Fuzzer{
-		img:     img,
-		cfg:     cfg,
-		Cov:     exerciser.NewCoverage(len(binimg.StaticBlocks(img))),
-		corpus:  NewCorpus(cfg.CorpusMax),
-		crashes: newCrashStore(),
-		queue:   NewQueue(cfg.Workers),
-		fabric:  fabric,
+		img:      img,
+		cfg:      cfg,
+		Cov:      exerciser.NewCoverage(len(binimg.StaticBlocks(img))),
+		corpus:   NewCorpus(cfg.CorpusMax),
+		crashes:  newCrashStore(findings),
+		queue:    NewQueue(cfg.Workers),
+		findings: findings,
+		fabric:   fabric,
+	}
+	if cfg.Coverage != nil {
+		f.Cov = cfg.Coverage
 	}
 	if cfg.Dict {
 		f.dict = MineDictionary(img)
@@ -289,7 +303,16 @@ func (f *Fuzzer) InjectSeeds(feeds []*Feed) {
 // execution and exit, and Run returns the report of the work done so far.
 // Safe to call from any goroutine (signal handlers, RPC loops) and
 // idempotent.
-func (f *Fuzzer) Stop() { f.stopped.Store(true) }
+//
+// Deprecated: cancel the context passed to Run instead. Both paths share
+// the same quiescence contract — results of executions still in flight at
+// cancellation are not admitted, so the report is frozen when Run returns.
+func (f *Fuzzer) Stop() {
+	f.stopped.Store(true)
+	if r := f.runner.Load(); r != nil {
+		r.Stop()
+	}
+}
 
 // Crashes returns the deduplicated crashes found so far, in discovery
 // order. Safe to call while the campaign runs — the periodic manager
@@ -302,12 +325,12 @@ func (f *Fuzzer) Stats() (execs, instructions uint64) {
 	return f.execsDone.Load(), f.steps.Load()
 }
 
-// Run executes the campaign and returns its report.
-func (f *Fuzzer) Run() (*Report, error) {
+// Run executes the campaign over a campaign.Runner and returns its
+// report. ctx cancels the campaign mid-run with the same quiescence
+// contract as Stop: in-flight executions finish but their results are not
+// admitted, so corpus, crashes, and coverage are frozen when Run returns.
+func (f *Fuzzer) Run(ctx context.Context) (*Report, error) {
 	start := time.Now()
-	if f.cfg.Duration > 0 {
-		f.deadline = start.Add(f.cfg.Duration)
-	}
 
 	// Initial seeds: explicit, persisted corpus, and the all-zero feed
 	// (the deterministic "quiet hardware" baseline path).
@@ -324,15 +347,37 @@ func (f *Fuzzer) Run() (*Report, error) {
 		f.queue.Push(i, s)
 	}
 
-	var wg sync.WaitGroup
-	for w := 0; w < f.cfg.Workers; w++ {
-		wg.Add(1)
-		go func(worker int) {
-			defer wg.Done()
-			f.worker(worker)
-		}(w)
+	// Per-worker executors and mutators, allocated up front: worker w's
+	// random stream is Seed+w regardless of scheduling.
+	execs := make([]*Executor, f.cfg.Workers)
+	mus := make([]*Mutator, f.cfg.Workers)
+	for w := range execs {
+		ex := NewExecutor(f.img, f.Cov, f.cfg.Exec)
+		ex.TimeBase = f.steps.Load
+		execs[w] = ex
+		mu := NewMutator(f.cfg.Seed + int64(w))
+		mu.Dict = f.dict
+		mus[w] = mu
 	}
-	wg.Wait()
+
+	var r *campaign.Runner[*Feed]
+	r = campaign.NewRunner(
+		campaign.Options{
+			Workers:        f.cfg.Workers,
+			MaxExecs:       f.cfg.MaxExecs,
+			Duration:       f.cfg.Duration,
+			StopAtFirstBug: f.cfg.StopAtFirstBug,
+		},
+		fuzzFrontier{f},
+		func(w int, feed *Feed) { f.execOne(r, execs[w], mus[w], w, feed) },
+	)
+	r.BindFindings(f.findings)
+	f.runner.Store(r)
+	if f.stopped.Load() {
+		// A Stop that raced ahead of Run: wind down immediately.
+		r.Stop()
+	}
+	r.Run(ctx)
 
 	elapsed := time.Since(start)
 	rep := &Report{
@@ -379,67 +424,72 @@ func (f *Fuzzer) Run() (*Report, error) {
 	return rep, nil
 }
 
-func (f *Fuzzer) worker(worker int) {
-	exec := NewExecutor(f.img, f.Cov, f.cfg.Exec)
-	exec.TimeBase = f.steps.Load
-	mu := NewMutator(f.cfg.Seed + int64(worker))
-	mu.Dict = f.dict
+// fuzzFrontier is the fuzzer's campaign.Frontier: the triage queue first
+// (fresh seeds and neighbors of fresh coverage); a nil item tells the
+// executor to synthesize a feed itself (corpus mutation or generation),
+// outside the coordinator lock so mutation stays parallel. The frontier
+// never drains — the campaign ends on a budget, cancellation, or Stop.
+type fuzzFrontier struct{ f *Fuzzer }
+
+// Next pops the worker's triage shard (stealing when empty); nil means
+// "synthesize".
+func (q fuzzFrontier) Next(w int) (*Feed, campaign.Verdict) {
+	return q.f.queue.Pop(w), campaign.Dispatch
+}
+
+// Retire is a no-op: execOne does its own result accounting.
+func (q fuzzFrontier) Retire(w int, feed *Feed) {}
+
+// Idle is unreachable: Next always dispatches.
+func (q fuzzFrontier) Idle(w int) bool { return true }
+
+// execOne runs one campaign execution: synthesize the feed if the
+// frontier handed none, execute, and admit the results — unless the
+// campaign was canceled while the execution was in flight (the quiescence
+// contract: post-cancel results are dropped, not admitted).
+func (f *Fuzzer) execOne(r *campaign.Runner[*Feed], exec *Executor, mu *Mutator, worker int, feed *Feed) {
+	if feed == nil {
+		if base := f.corpus.Choose(mu.rng); base != nil {
+			feed = mu.Mutate(base, f.corpus.RandomDonor(mu.rng))
+		} else {
+			feed = mu.Generate()
+		}
+	}
+
 	persist := f.cfg.Exec.Persist
+	var t0 time.Time
+	if persist {
+		t0 = time.Now()
+	}
+	res := exec.Run(feed)
+	if persist {
+		d := uint64(time.Since(t0))
+		if res.Warm {
+			f.warmExecs.Add(1)
+			f.warmNS.Add(d)
+			f.skippedSteps.Add(res.SkippedSteps)
+		} else {
+			f.coldExecs.Add(1)
+			f.coldNS.Add(d)
+		}
+	}
+	f.execsDone.Add(1)
+	f.steps.Add(res.Steps)
 
-	for {
-		if f.stopped.Load() {
-			return
-		}
-		n := f.execsStarted.Add(1)
-		if f.cfg.MaxExecs > 0 && n > f.cfg.MaxExecs {
-			return
-		}
-		if !f.deadline.IsZero() && time.Now().After(f.deadline) {
-			return
-		}
-
-		// Triage queue first (fresh seeds and neighbors of fresh coverage),
-		// then gain-weighted corpus mutation, then generation from scratch.
-		feed := f.queue.Pop(worker)
-		if feed == nil {
-			if base := f.corpus.Choose(mu.rng); base != nil {
-				feed = mu.Mutate(base, f.corpus.RandomDonor(mu.rng))
-			} else {
-				feed = mu.Generate()
-			}
-		}
-
-		var t0 time.Time
-		if persist {
-			t0 = time.Now()
-		}
-		res := exec.Run(feed)
-		if persist {
-			d := uint64(time.Since(t0))
-			if res.Warm {
-				f.warmExecs.Add(1)
-				f.warmNS.Add(d)
-				f.skippedSteps.Add(res.SkippedSteps)
-			} else {
-				f.coldExecs.Add(1)
-				f.coldNS.Add(d)
-			}
-		}
-		f.execsDone.Add(1)
-		f.steps.Add(res.Steps)
-
-		if res.Crash != nil {
-			f.triageCrash(exec, mu, worker, feed, res)
-			continue
-		}
-		if res.NewBlocks > 0 {
-			admitted := trimFeed(feed, res)
-			if f.corpus.Add(admitted, res.NewBlocks) {
-				// Focused follow-up: queue close mutants of the novel feed
-				// on this worker's shard (peers steal when idle).
-				for i := 0; i < 3; i++ {
-					f.queue.Push(worker, mu.Mutate(admitted, nil))
-				}
+	if r.Canceled() {
+		return
+	}
+	if res.Crash != nil {
+		f.triageCrash(exec, mu, worker, feed, res)
+		return
+	}
+	if res.NewBlocks > 0 {
+		admitted := trimFeed(feed, res)
+		if f.corpus.Add(admitted, res.NewBlocks) {
+			// Focused follow-up: queue close mutants of the novel feed
+			// on this worker's shard (peers steal when idle).
+			for i := 0; i < 3; i++ {
+				f.queue.Push(worker, mu.Mutate(admitted, nil))
 			}
 		}
 	}

@@ -1,6 +1,7 @@
 package fuzz
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"strings"
@@ -254,7 +255,7 @@ func TestSnapshotInvalidation(t *testing.T) {
 		// snapshots so the persistent executor reproduces the same fault the
 		// cold executor does.
 		eng := core.NewEngine(img, core.DefaultOptions())
-		srep, err := eng.TestDriver()
+		srep, err := eng.TestDriver(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -300,7 +301,7 @@ func fuzzCampaign(t *testing.T, img *binimg.Image, persist, dict bool, execs uin
 	cfg.MaxExecs = execs
 	cfg.Persist = persist
 	cfg.Dict = dict
-	rep, err := New(img, cfg).Run()
+	rep, err := New(img, cfg).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -232,13 +232,19 @@ func (c *Client) runFuzzLease(ctx context.Context, cfg WorkerConfig, lease *Camp
 	sentBlocks := make(map[uint32]bool)
 	static := f.Cov.TotalStatic
 
+	// The campaign context: canceled when the manager directs a stop
+	// (scheduler rebalance) or the worker itself shuts down. Cancellation is
+	// the only stop path — the fuzzer quiesces and Run returns.
+	runCtx, stopRun := context.WithCancel(ctx)
+	defer stopRun()
+
 	type result struct {
 		rep *fuzz.Report
 		err error
 	}
 	done := make(chan result, 1)
 	go func() {
-		rep, err := f.Run()
+		rep, err := f.Run(runCtx)
 		done <- result{rep, err}
 	}()
 
@@ -307,7 +313,7 @@ func (c *Client) runFuzzLease(ctx context.Context, cfg WorkerConfig, lease *Camp
 			return err
 		}
 		if (sresp.Stop || rresp.Stop) && !final {
-			f.Stop()
+			stopRun()
 		}
 		return nil
 	}
@@ -319,10 +325,9 @@ wait:
 	for {
 		select {
 		case <-ctx.Done():
-			// Graceful shutdown: stop the campaign, wait for the workers to
-			// drain, then send the final report below.
-			interrupted = true
-			f.Stop()
+			// Graceful shutdown: runCtx inherits the cancellation, so the
+			// campaign is already quiescing — wait for the workers to drain,
+			// then send the final report below.
 			res = <-done
 			break wait
 		case <-ticker.C:
@@ -332,6 +337,12 @@ wait:
 		case res = <-done:
 			break wait
 		}
+	}
+	// Worker shutdown, not a manager-directed stop: the select may observe
+	// the drained campaign before the canceled context, so decide from the
+	// context itself.
+	if ctx.Err() != nil {
+		interrupted = true
 	}
 	if res.err != nil {
 		return res.err
@@ -377,7 +388,7 @@ func (c *Client) runSymbolicLease(ctx context.Context, cfg WorkerConfig, lease *
 	done := make(chan result, 1)
 	go func() {
 		eng := core.NewEngine(img, opts)
-		rep, err := eng.TestDriver()
+		rep, err := eng.TestDriver(ctx)
 		done <- result{rep, err}
 	}()
 
@@ -389,9 +400,9 @@ wait:
 	for {
 		select {
 		case <-ctxDone:
-			// The engine has no mid-run stop hook; symbolic sessions are
-			// budget-bounded, so wait for completion and report then. Disarm
-			// the channel so the wait doesn't spin on the closed Done.
+			// The engine observes the context mid-run and returns its
+			// partial report; wait for that result below. Disarm the channel
+			// so the wait doesn't spin on the closed Done.
 			ctxDone = nil
 		case <-ticker.C:
 			if _, err := c.Report(ctx, &ReportRequest{LeaseID: lease.LeaseID, Driver: lease.Driver}); err != nil {

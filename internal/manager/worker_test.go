@@ -62,7 +62,7 @@ func TestFleetMatchesSingleProcess(t *testing.T) {
 	fcfg.Workers = 2
 	fcfg.MaxExecs = budget
 	fcfg.Seed = 1
-	single, err := fuzz.New(img, fcfg).Run()
+	single, err := fuzz.New(img, fcfg).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

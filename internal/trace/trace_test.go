@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -16,7 +17,7 @@ func findBugs(t *testing.T, driver string) (*core.Engine, []*core.Bug) {
 		t.Fatalf("build: %v", err)
 	}
 	e := core.NewEngine(img, core.DefaultOptions())
-	if _, err := e.TestDriver(); err != nil {
+	if _, err := e.TestDriver(context.Background()); err != nil {
 		t.Fatalf("test: %v", err)
 	}
 	if len(e.Bugs()) == 0 {
