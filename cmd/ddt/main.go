@@ -13,6 +13,10 @@
 //	-fixed           use the corrected corpus variant
 //	-no-annotations  disable the NDIS/WDM interface annotations (§5.1 ablation)
 //	-no-interrupts   disable symbolic interrupt injection
+//	-scenario name   workload scenario: "linear" forces the classic straight-line
+//	                 phase plan, "pnp" the PnP/power scenario graph (suspend/
+//	                 resume, surprise removal, IRP cancellation); the default
+//	                 picks per driver class (storage: pnp, others: linear)
 //	-workers n       parallel campaign workers (1 = sequential, deterministic)
 //	-pipeline        with -workers > 1, explore across workload phases without
 //	                 barriers (prints per-phase concurrency stats)
@@ -45,6 +49,7 @@ func main() {
 	fixed := flag.Bool("fixed", false, "use the corrected corpus variant")
 	noAnnot := flag.Bool("no-annotations", false, "disable interface annotations")
 	noIntr := flag.Bool("no-interrupts", false, "disable symbolic interrupts")
+	scenario := flag.String("scenario", "", `workload scenario: "linear" or "pnp" (default: per driver class)`)
 	cf := campaign.RegisterFlags(flag.CommandLine, campaign.FlagsAll)
 	expect := flag.Bool("expect", false, "with -corpus, exit 3 unless the found bug classes exactly match the driver's expected set")
 	traceDir := flag.String("traces", "", "directory to write executable traces into")
@@ -67,6 +72,12 @@ func main() {
 	cfg.Options = cf.Options()
 	cfg.Annotations = !*noAnnot
 	cfg.SymbolicInterrupts = !*noIntr
+	switch *scenario {
+	case "", "linear", "pnp":
+		cfg.Scenario = *scenario
+	default:
+		fatal(fmt.Errorf("-scenario must be \"linear\" or \"pnp\", got %q", *scenario))
+	}
 
 	sess := ddt.NewSession(img, cfg)
 	rep, err := sess.Run(context.Background())

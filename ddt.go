@@ -94,6 +94,12 @@ type Config struct {
 	MaxPathsPerEntry int
 	// Registry overrides the simulated registry hive.
 	Registry map[string]uint32
+	// Scenario selects the workload shape: "linear" runs the classic
+	// straight-line phase plan; "pnp" runs the scenario graph with
+	// PnP/power alternatives (suspend/resume, surprise removal, IRP
+	// cancellation racing the ISR) on classes that define them. Empty
+	// picks the class default (storage: "pnp"; everything else: "linear").
+	Scenario string
 }
 
 // CampaignOptions is the shared campaign execution envelope embedded by
@@ -130,6 +136,7 @@ func (c Config) options() core.Options {
 		o.MaxPathsPerEntry = c.MaxPathsPerEntry
 	}
 	o.Registry = c.Registry
+	o.Scenario = c.Scenario
 	return o
 }
 

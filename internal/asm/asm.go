@@ -311,6 +311,8 @@ func (a *assembler) deviceDirective(rest string) error {
 				a.device.Class = binimg.ClassAudio
 			case "other":
 				a.device.Class = binimg.ClassOther
+			case "storage":
+				a.device.Class = binimg.ClassStorage
 			default:
 				return a.errf("unknown device class %q", v)
 			}

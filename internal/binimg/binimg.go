@@ -26,6 +26,7 @@ const (
 	ClassNetwork DeviceClass = iota
 	ClassAudio
 	ClassOther
+	ClassStorage // appended after ClassOther to keep wire values stable
 )
 
 func (c DeviceClass) String() string {
@@ -34,6 +35,8 @@ func (c DeviceClass) String() string {
 		return "network"
 	case ClassAudio:
 		return "audio"
+	case ClassStorage:
+		return "storage"
 	default:
 		return "other"
 	}

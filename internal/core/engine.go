@@ -71,7 +71,20 @@ type Options struct {
 	// loop uses it to make the engine fork outward from a high-novelty fuzz
 	// feed instead of from scratch.
 	SymbolSeed func(idx uint64, name string, origin expr.Origin) (uint32, bool)
+	// Scenario selects the workload plan shape: "" picks the class default
+	// (the PnP/power scenario graph for storage-class drivers, the linear
+	// plan otherwise), ScenarioLinear forces the degenerate linear plan,
+	// ScenarioPnP forces the scenario graph where the driver class
+	// registers PnP/power dispatch handlers (storage; other classes fall
+	// back to their linear plan).
+	Scenario string
 }
+
+// Scenario values for Options.Scenario.
+const (
+	ScenarioLinear = "linear"
+	ScenarioPnP    = "pnp"
+)
 
 // DefaultOptions mirror the paper's configuration: annotations on,
 // symbolic interrupts on, Driver Verifier cooperating.
@@ -216,16 +229,37 @@ func (e *Engine) boundaryHook(s *vm.State, api, when string) []*vm.State {
 	if !ks.ISRRegistered || s.InInterrupt > 0 {
 		return nil
 	}
-	if s.Meta != nil && s.Meta[metaIntrCount] >= e.Opts.MaxIntrInjections {
+	if !e.intrBudgetLeft(s) {
 		return nil
 	}
 	alt := e.M.ForkState(s)
-	if alt.Meta == nil {
-		alt.Meta = make(map[string]uint64)
-	}
-	alt.Meta[metaIntrCount]++
-	alt.Meta[metaInjectISR] = 1
+	chargeIntr(alt)
 	return []*vm.State{alt}
+}
+
+// intrBudgetLeft reports whether a path may absorb another injected
+// interrupt. The count is path-global: it accumulates across workload
+// phases, so a path that took MaxIntrInjections interrupts anywhere keeps
+// rejecting injections for the rest of the workload.
+func (e *Engine) intrBudgetLeft(s *vm.State) bool {
+	if s.Meta == nil {
+		// No charges yet: count is zero, so MaxIntrInjections=0 really
+		// means no injections at all.
+		return e.Opts.MaxIntrInjections > 0
+	}
+	return s.Meta[metaIntrCount] < e.Opts.MaxIntrInjections
+}
+
+// chargeIntr charges one interrupt injection against the path's budget and
+// arms the inject-at-entry flag. Always increment, never assign: the state
+// inherited its base's accumulated count on fork, and assigning would
+// silently reset the cross-phase cap at every phase entry.
+func chargeIntr(s *vm.State) {
+	if s.Meta == nil {
+		s.Meta = make(map[string]uint64)
+	}
+	s.Meta[metaIntrCount]++
+	s.Meta[metaInjectISR] = 1
 }
 
 // DefaultRegistry returns the stock simulated registry hive shared by
@@ -542,14 +576,10 @@ func (e *Engine) InvokeEntry(base *vm.State, name string, pc uint32, args ...*ex
 	e.K.InvokeSym(st, name, pc, args...)
 	e.Sched.Push(st)
 
-	if e.Opts.SymbolicInterrupts && kernel.Of(st).ISRRegistered {
+	if e.Opts.SymbolicInterrupts && kernel.Of(st).ISRRegistered && e.intrBudgetLeft(base) {
 		alt := e.M.ForkState(base)
 		e.K.InvokeSym(alt, name, pc, args...)
-		if alt.Meta == nil {
-			alt.Meta = make(map[string]uint64)
-		}
-		alt.Meta[metaIntrCount] = 1
-		alt.Meta[metaInjectISR] = 1
+		chargeIntr(alt)
 		e.Sched.Push(alt)
 	}
 }

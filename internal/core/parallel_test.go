@@ -8,11 +8,15 @@ import (
 	"repro/internal/corpus"
 )
 
-// seedGolden pins the exact results of the pre-parallel (seed) sequential
-// engine, captured before the Machine/ExecContext refactor. A workers=1
+// seedGolden pins the exact results of the sequential engine. A workers=1
 // run must reproduce them bit-for-bit: same bug set, same path count, same
-// coverage, same fork/instruction/query totals. Any drift here means the
-// refactor changed sequential semantics, not just structure.
+// coverage, same fork/instruction/query totals. Any drift here means a
+// change altered sequential semantics, not just structure.
+//
+// Re-pinned when the interrupt-injection budget became path-global: the
+// old per-phase counter reset granted every phase a fresh entry-sibling
+// fork, so the fixed budget explores fewer (now correctly capped) paths.
+// Bug sets and coverage are unchanged.
 var seedGolden = map[string]struct {
 	bugs    []string
 	paths   int
@@ -24,7 +28,7 @@ var seedGolden = map[string]struct {
 }{
 	"amd-pcnet": {
 		bugs:  []string{"resource leak@0x1000f8", "resource leak@0x100298"},
-		paths: 111, covered: 339, static: 413, forks: 111, instr: 5214, queries: 132,
+		paths: 91, covered: 339, static: 413, forks: 91, instr: 4729, queries: 102,
 	},
 	"rtl8029": {
 		bugs: []string{
@@ -34,7 +38,7 @@ var seedGolden = map[string]struct {
 			"segmentation fault@0x1004b0",
 			"segmentation fault@0x100630",
 		},
-		paths: 481, covered: 222, static: 265, forks: 660, instr: 13024, queries: 1241,
+		paths: 473, covered: 222, static: 265, forks: 652, instr: 12734, queries: 1229,
 	},
 }
 

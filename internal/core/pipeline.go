@@ -7,6 +7,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/exerciser"
 	"repro/internal/expr"
+	"repro/internal/hw"
 	"repro/internal/kernel"
 	"repro/internal/solver"
 	"repro/internal/vm"
@@ -48,7 +49,8 @@ import (
 // Gate phases (DriverEntry, Initialize) keep their stronger semantics: no
 // success means the rest of the workload is not exercised.
 
-// phaseSpec describes one workload phase to the pipelined explorer.
+// phaseSpec describes one workload phase to both graph walkers (the
+// barriered runGraph and the pipelined explorer).
 type phaseSpec struct {
 	name string
 	// gate phases stop the workload when they produce no success.
@@ -60,6 +62,23 @@ type phaseSpec struct {
 	// the interrupt-at-entry sibling where the barriered phase loop makes
 	// one — tagging each with the phase index. It does not push them.
 	invoke func(e *Engine, base *vm.State, phase int) []*vm.State
+	// succs are this phase's outgoing scenario-graph edges. nil means
+	// linear fallthrough to the next phase in the plan — the shape every
+	// pre-graph plan keeps, bit-identically. Edges must point forward
+	// (edge.to > this phase's index) so plan order stays a topological
+	// order for both walkers.
+	succs []phaseEdge
+	// drain marks the DPC fixpoint node: a success that still has pending
+	// DPCs re-enters this phase instead of moving on.
+	drain bool
+}
+
+// phaseEdge is one outgoing scenario-graph edge. A nil when matches every
+// state; predicates route alternatives (e.g. RemoveDevice only after a
+// surprise removal).
+type phaseEdge struct {
+	to   int
+	when func(*Engine, *vm.State) bool
 }
 
 // stdPhase builds the standard phase shape shared by every entry point:
@@ -94,13 +113,9 @@ func stdPhase(name string, gate bool, pcOf func(*kernel.KState) uint32,
 			}
 			st := mk(e, base, phase, pc)
 			out := []*vm.State{st}
-			if e.Opts.SymbolicInterrupts && kernel.Of(st).ISRRegistered && name != "ISR" {
+			if e.Opts.SymbolicInterrupts && kernel.Of(st).ISRRegistered && name != "ISR" && e.intrBudgetLeft(base) {
 				alt := mk(e, base, phase, pc)
-				if alt.Meta == nil {
-					alt.Meta = make(map[string]uint64)
-				}
-				alt.Meta[metaIntrCount] = 1
-				alt.Meta[metaInjectISR] = 1
+				chargeIntr(alt)
 				out = append(out, alt)
 			}
 			return out
@@ -108,24 +123,25 @@ func stdPhase(name string, gate bool, pcOf func(*kernel.KState) uint32,
 	}
 }
 
-// dpcPhase drains one pending timer/DPC callback at DISPATCH_LEVEL
-// (mirroring Engine.drainDPCs; no interrupt sibling there either).
+// dpcPhase dispatches one pending timer/DPC callback at DISPATCH_LEVEL
+// (mirroring Engine.drainDPCs; no interrupt sibling there either). The
+// drain flag makes successes with a non-empty DPC queue re-enter this
+// phase — the pipelined form of the barriered fixpoint drain.
 func dpcPhase() phaseSpec {
 	return phaseSpec{
-		name: "DPC",
+		name:  "DPC",
+		drain: true,
 		applicable: func(e *Engine, base *vm.State) bool {
 			return len(kernel.Of(base).PendingDPCs) > 0
 		},
 		invoke: func(e *Engine, base *vm.State, phase int) []*vm.State {
-			ks := kernel.Of(base)
-			if len(ks.PendingDPCs) == 0 {
+			if len(kernel.Of(base).PendingDPCs) == 0 {
 				return nil
 			}
-			dpc := ks.PendingDPCs[0]
 			st := e.M.ForkState(base)
 			st.Phase = phase
 			sks := kernel.Of(st)
-			sks.PendingDPCs = sks.PendingDPCs[1:]
+			dpc := sks.TakeDPC()
 			sks.IRQL = kernel.DispatchLevel
 			sks.InDpc = true
 			e.K.InvokeSym(st, "DPC:"+dpc.Label, dpc.FuncPC, expr.Const(dpc.Ctx))
@@ -245,8 +261,145 @@ func (e *Engine) phasePlan() []phaseSpec {
 				func(ks *kernel.KState) uint32 { return au(ks).HaltPC },
 				handleArg, nil),
 		)
+	case binimg.ClassStorage:
+		plan = append(plan, e.storagePhases(handleArg)...)
 	}
 	return plan
+}
+
+// scenarioKind selects the workload scenario: an explicit Options.Scenario
+// wins; otherwise storage-class drivers default to the PnP/power scenario
+// graph and every other class to its linear plan (which "pnp" does not
+// change either — only storage defines PnP/power phases today).
+func (e *Engine) scenarioKind() string {
+	if e.Opts.Scenario != "" {
+		return e.Opts.Scenario
+	}
+	if e.Img.Device.Class == binimg.ClassStorage {
+		return ScenarioPnP
+	}
+	return ScenarioLinear
+}
+
+// storagePhases builds the storage-class workload. Under ScenarioLinear it
+// is the familiar straight line (Initialize, Read, Write, ISR, DPC, Halt).
+// Under ScenarioPnP it is a scenario graph layering the PnP/power
+// alternatives of a real OS onto that data path:
+//
+//	0 DriverEntry ─ 1 Initialize ─ 2 Read ─ 3 Write ─ 4 ISR ─┬─ 5 CancelIo ──────────┐
+//	                                                         ├─ 6 Suspend ─ 7 Resume ┤
+//	                                                         └─ 8 SurpriseRemoval ───┤
+//	                                                  ┌──────────────────────────────┘
+//	                                                  9 DPC ─┬─(removed)─ 10 RemoveDevice ─ 11 Halt
+//	                                                         └─(else)──────────────────────── Halt
+//
+// CancelIo's interrupt-at-entry sibling is the IRP-cancellation-vs-ISR
+// race; SurpriseRemoval flips the device to removed (all further hardware
+// reads return all-ones) BEFORE invoking the PnP handler, exactly as a
+// yanked card behaves; the DPC drain after each alternative is where
+// completion callbacks touch whatever the alternative left behind.
+func (e *Engine) storagePhases(handleArg func(*Engine, *vm.State) []*expr.Expr) []phaseSpec {
+	sc := func(ks *kernel.KState) *kernel.StorageChars {
+		if ks.Storage == nil {
+			return &kernel.StorageChars{}
+		}
+		return ks.Storage
+	}
+	blockArgs := func(e *Engine, s *vm.State) []*expr.Expr {
+		buf := e.makeStorageBuffer(s)
+		return []*expr.Expr{expr.Const(adapterHandle), expr.Const(buf), expr.Const(0x80)}
+	}
+	pnpArgs := func(minor uint32) func(*Engine, *vm.State) []*expr.Expr {
+		return func(e *Engine, s *vm.State) []*expr.Expr {
+			return []*expr.Expr{expr.Const(adapterHandle), expr.Const(minor)}
+		}
+	}
+	powerArgs := func(state uint32) func(*Engine, *vm.State) []*expr.Expr {
+		return func(e *Engine, s *vm.State) []*expr.Expr {
+			return []*expr.Expr{expr.Const(adapterHandle), expr.Const(kernel.IrpMnSetPower), expr.Const(state)}
+		}
+	}
+
+	phases := []phaseSpec{
+		stdPhase("Initialize", true,
+			func(ks *kernel.KState) uint32 { return sc(ks).InitializePC },
+			handleArg, nil),
+		stdPhase("Read", false,
+			func(ks *kernel.KState) uint32 { return sc(ks).ReadPC },
+			blockArgs, nil),
+		stdPhase("Write", false,
+			func(ks *kernel.KState) uint32 { return sc(ks).WritePC },
+			blockArgs, nil),
+		isrPhase(),
+	}
+	if e.scenarioKind() != ScenarioPnP {
+		return append(phases,
+			dpcPhase(),
+			stdPhase("Halt", false,
+				func(ks *kernel.KState) uint32 { return sc(ks).HaltPC },
+				handleArg, nil),
+		)
+	}
+	phases = append(phases,
+		stdPhase("CancelIo", false, // 5
+			func(ks *kernel.KState) uint32 { return sc(ks).CancelPC },
+			handleArg, nil),
+		stdPhase("Suspend", false, // 6
+			func(ks *kernel.KState) uint32 { return sc(ks).PowerPC },
+			powerArgs(kernel.PowerDeviceD3), nil),
+		stdPhase("Resume", false, // 7
+			func(ks *kernel.KState) uint32 { return sc(ks).PowerPC },
+			powerArgs(kernel.PowerDeviceD0), nil),
+		stdPhase("SurpriseRemoval", false, // 8
+			func(ks *kernel.KState) uint32 { return sc(ks).PnpPC },
+			pnpArgs(kernel.IrpMnSurpriseRemoval),
+			func(s *vm.State) {
+				// The card is gone before the driver hears about it.
+				hw.Of(s).Removed = true
+				kernel.Of(s).Removed = true
+			}),
+		dpcPhase(), // 9
+		stdPhase("RemoveDevice", false, // 10
+			func(ks *kernel.KState) uint32 { return sc(ks).PnpPC },
+			pnpArgs(kernel.IrpMnRemoveDevice), nil),
+		stdPhase("Halt", false, // 11
+			func(ks *kernel.KState) uint32 { return sc(ks).HaltPC },
+			handleArg, nil),
+	)
+	removed := func(e *Engine, s *vm.State) bool { return kernel.Of(s).Removed }
+	notRemoved := func(e *Engine, s *vm.State) bool { return !kernel.Of(s).Removed }
+	// Indices below are plan indices (this slice is appended after the
+	// DriverEntry phase 0, so slice index k is plan index k+1).
+	phases[3].succs = []phaseEdge{{to: 5}, {to: 6}, {to: 8}} // ISR → alternatives
+	phases[4].succs = []phaseEdge{{to: 9}}                   // CancelIo → DPC
+	phases[5].succs = []phaseEdge{{to: 7}}                   // Suspend → Resume
+	phases[6].succs = []phaseEdge{{to: 9}}                   // Resume → DPC
+	phases[7].succs = []phaseEdge{{to: 9}}                   // SurpriseRemoval → DPC
+	phases[8].succs = []phaseEdge{{to: 10, when: removed}, {to: 11, when: notRemoved}}
+	phases[9].succs = []phaseEdge{{to: 11}} // RemoveDevice → Halt
+	return phases
+}
+
+// phaseRanks computes each phase's scheduling rank — its longest-path
+// depth from DriverEntry. Edges only point forward, so one in-order sweep
+// relaxes every edge after its source is final. On a linear plan ranks
+// equal plan indices.
+func phaseRanks(plan []phaseSpec) []int {
+	ranks := make([]int, len(plan))
+	for i, sp := range plan {
+		if sp.succs == nil {
+			if i+1 < len(plan) && ranks[i+1] < ranks[i]+1 {
+				ranks[i+1] = ranks[i] + 1
+			}
+			continue
+		}
+		for _, edge := range sp.succs {
+			if ranks[edge.to] < ranks[i]+1 {
+				ranks[edge.to] = ranks[i] + 1
+			}
+		}
+	}
+	return ranks
 }
 
 // pipeSeed is one phase-transition work item: invoke base into phase.
@@ -264,6 +417,20 @@ type pipeLedger struct {
 	// bases are this phase's input states, kept for the zero-success
 	// fallback (bounded: promotions into a phase are KeepStates-capped).
 	bases []*vm.State
+
+	// Drained counts drain-phase re-entries (successes that still held
+	// pending DPCs and were re-seeded into this same phase); bounded
+	// separately from Promoted so the fixpoint never starves promotion.
+	Drained int
+
+	// PromotedDPC counts extra promotions granted to successes that carry
+	// pending DPCs after the ordinary Promoted quota is spent. The
+	// barriered loop SORTS a phase's successes by pending-DPC count before
+	// capping at KeepStates, guaranteeing DPC-carrying states survive into
+	// the drain; the pipelined explorer promotes in completion order and
+	// would otherwise spend its whole quota on DPC-less fast paths and
+	// never seed the drain phase at all.
+	PromotedDPC int
 }
 
 // pipeItem is one unit of pipelined work: either a seed to expand or a
@@ -295,12 +462,16 @@ type pipeRun struct {
 // campaign.Runner pool over the phase-aware frontier, from DriverEntry to
 // Halt.
 func (e *Engine) testDriverPipelined(ctx context.Context) (*Report, error) {
+	plan := e.phasePlan()
 	if e.Opts.Heuristic == nil {
-		// Phase-weighted pick over the mixed-phase frontier.
-		e.Sched.SetHeuristic(exerciser.NewPhaseMinBlockCount(e.Sched.Counts()))
+		// Phase-weighted pick over the mixed-phase frontier. Scenario
+		// graphs weight by depth rank, not list position: alternative
+		// branches at equal depth compete fairly (on a linear plan ranks
+		// equal indices, so this is the original phase-weighted pick).
+		e.Sched.SetHeuristic(exerciser.NewPhaseRankMinBlockCount(e.Sched.Counts(), phaseRanks(plan)))
 	}
 	p := &pipeRun{e: e, seeds: workq.New[pipeSeed](e.Opts.Workers)}
-	for _, sp := range e.phasePlan() {
+	for _, sp := range plan {
 		l := &pipeLedger{spec: sp}
 		l.Name = sp.name
 		p.phases = append(p.phases, l)
@@ -431,22 +602,53 @@ func (p *pipeRun) enqueueSeed(w int, base *vm.State, phase int) {
 	p.seeds.Push(w, pipeSeed{base: base, phase: phase})
 }
 
-// seedOnward promotes base past fromPhase into the next phase that applies
-// to it, if any. Non-applicable phases are skipped — except gates: a gate
-// phase that does not apply (e.g. a network driver that never registered
-// an Initialize handler) ends the workload for this base, exactly as the
+// seedOnward promotes base past fromPhase along the plan's edges into
+// every successor phase that applies to it. Non-applicable phases are
+// skipped through via their own edges — except gates: a gate phase that
+// does not apply (e.g. a network driver that never registered an
+// Initialize handler) ends the workload for this base, exactly as the
 // barriered loop's "!initialized" early return refuses to exercise the
-// data path on an uninitialized adapter. Caller holds the coordinator lock.
+// data path on an uninitialized adapter. On a linear plan (nil succs
+// everywhere) this reduces exactly to the old walk: first applicable
+// phase wins, stop at a non-applicable gate. Caller holds the coordinator
+// lock.
 func (p *pipeRun) seedOnward(w int, base *vm.State, fromPhase int) {
-	for j := fromPhase + 1; j < len(p.phases); j++ {
-		if p.phases[j].spec.applicable(p.e, base) {
-			p.enqueueSeed(w, base, j)
-			return
+	p.seedAlong(w, base, fromPhase, make(map[int]bool))
+}
+
+// seedAlong routes base along phase i's outgoing edges (nil succs = linear
+// fallthrough). The visited set dedupes skip-through on diamond shapes —
+// two alternatives converging on the same DPC node must seed it once.
+func (p *pipeRun) seedAlong(w int, base *vm.State, i int, visited map[int]bool) {
+	sp := p.phases[i].spec
+	if sp.succs == nil {
+		if i+1 < len(p.phases) {
+			p.seedInto(w, base, i+1, visited)
 		}
-		if p.phases[j].spec.gate {
-			return
+		return
+	}
+	for _, edge := range sp.succs {
+		if edge.when == nil || edge.when(p.e, base) {
+			p.seedInto(w, base, edge.to, visited)
 		}
 	}
+}
+
+// seedInto seeds base into phase j if it applies, else skips through j's
+// own edges (gates end the walk instead).
+func (p *pipeRun) seedInto(w int, base *vm.State, j int, visited map[int]bool) {
+	if visited[j] {
+		return
+	}
+	visited[j] = true
+	if p.phases[j].spec.applicable(p.e, base) {
+		p.enqueueSeed(w, base, j)
+		return
+	}
+	if p.phases[j].spec.gate {
+		return
+	}
+	p.seedAlong(w, base, j, visited)
 }
 
 // seedExpanded pushes a seed's invocation states into the frontier and
@@ -491,8 +693,25 @@ func (p *pipeRun) pathDone(w int, st *vm.State, res *PhaseResult) {
 	if h := p.e.testOnPathDone; h != nil {
 		h(done, st.Phase, success)
 	}
-	if success && l.Promoted < p.e.Opts.KeepStates {
-		l.Promoted++
+	hasDPCs := len(kernel.Of(done).PendingDPCs) > 0
+	switch {
+	case success && l.spec.drain && hasDPCs &&
+		l.Drained < p.e.Opts.KeepStates*maxDPCRounds:
+		// Drain phase with work left: re-enter the same phase (the
+		// pipelined form of drainDPCs' fixpoint rounds). Not charged to
+		// Promoted — the fixpoint must not eat the forward budget.
+		l.Drained++
+		ks := kernel.Of(done)
+		ks.InDpc = false
+		ks.IRQL = kernel.PassiveLevel
+		p.enqueueSeed(w, done, st.Phase)
+	case success && (l.Promoted < p.e.Opts.KeepStates ||
+		(hasDPCs && l.PromotedDPC < p.e.Opts.KeepStates)):
+		if l.Promoted < p.e.Opts.KeepStates {
+			l.Promoted++
+		} else {
+			l.PromotedDPC++
+		}
 		// Promoted bases must not leak DPC/IRQL context into the next
 		// phase (the barriered loop normalizes carried states the same way).
 		ks := kernel.Of(done)

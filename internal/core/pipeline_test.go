@@ -78,65 +78,104 @@ func TestPipelineIgnoredSequentially(t *testing.T) {
 // DriverEntry). The engine's test hooks fire under the coordinator lock:
 // testOnPathDone when a path retires, testOnSeed when a base is invoked
 // into a phase — so a seed whose base has no earlier successful completion
-// on record is a barrier-removal ordering bug.
+// on record is a barrier-removal ordering bug. One sanctioned exception:
+// a drain phase (DPC fixpoint) re-seeds its own successes while they still
+// carry pending DPCs, so phase == completed-phase is legal there and only
+// there. Runs over both a linear plan (rtl8029) and the storage scenario
+// graph (promise-ultra133), where seeds route along graph edges.
 func TestPipelinedPhaseOrdering(t *testing.T) {
-	img, err := corpus.Build("rtl8029", corpus.Buggy)
-	if err != nil {
-		t.Fatal(err)
+	for _, driver := range []string{"rtl8029", "promise-ultra133"} {
+		t.Run(driver, func(t *testing.T) {
+			img, err := corpus.Build(driver, corpus.Buggy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := DefaultOptions()
+			opts.Workers = 4
+			opts.Pipeline = true
+			e := NewEngine(img, opts)
+			plan := e.phasePlan()
+			drain := func(phase int) bool {
+				return phase >= 0 && phase < len(plan) && plan[phase].drain
+			}
+
+			type completion struct {
+				phase   int
+				success bool
+			}
+			var mu sync.Mutex
+			completed := make(map[uint64]completion)
+			seeds := 0
+			var violations []string
+
+			e.testOnPathDone = func(s *vm.State, phase int, success bool) {
+				mu.Lock()
+				defer mu.Unlock()
+				completed[s.ID] = completion{phase: phase, success: success}
+			}
+			e.testOnSeed = func(base *vm.State, phase int) {
+				mu.Lock()
+				defer mu.Unlock()
+				seeds++
+				if phase == 0 {
+					// DriverEntry is seeded from the boot state, which never ran.
+					return
+				}
+				c, ok := completed[base.ID]
+				switch {
+				case !ok:
+					violations = append(violations,
+						base.String()+" entered a phase without completing any")
+				case !c.success:
+					violations = append(violations,
+						base.String()+" promoted from a failed path")
+				case c.phase == phase && drain(phase):
+					// DPC fixpoint re-entry: legal.
+				case c.phase >= phase:
+					violations = append(violations,
+						base.String()+" moved backwards or re-entered its phase")
+				}
+			}
+
+			rep, err := e.TestDriver(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range violations {
+				t.Errorf("phase-ordering violation: %s", v)
+			}
+			if seeds < 2 {
+				t.Fatalf("only %d seed(s) observed — the pipeline never promoted", seeds)
+			}
+			if len(rep.Bugs) == 0 {
+				t.Error("instrumented run found no bugs")
+			}
+		})
 	}
+}
+
+// TestPipelinedStorageScenario: the scenario graph survives barrier
+// removal — pipelined workers=4 finds exactly the storage driver's two
+// planted bugs (the multi-DPC drain crash and the surprise-removal race),
+// and the corrected variant stays clean. Runs under -race in CI, which
+// makes this the graph seeding/drain re-entry race regression test.
+func TestPipelinedStorageScenario(t *testing.T) {
 	opts := DefaultOptions()
 	opts.Workers = 4
 	opts.Pipeline = true
-	e := NewEngine(img, opts)
-
-	type completion struct {
-		phase   int
-		success bool
+	rep := runDDT(t, "promise-ultra133", corpus.Buggy, opts)
+	want := []string{"kernel crash", "memory corruption"}
+	if got := storageBugClasses(t, rep); !reflect.DeepEqual(got, want) {
+		t.Errorf("pipelined bug classes = %v, want %v\n%s", got, want, rep)
 	}
-	var mu sync.Mutex
-	completed := make(map[uint64]completion)
-	seeds := 0
-	var violations []string
-
-	e.testOnPathDone = func(s *vm.State, phase int, success bool) {
-		mu.Lock()
-		defer mu.Unlock()
-		completed[s.ID] = completion{phase: phase, success: success}
-	}
-	e.testOnSeed = func(base *vm.State, phase int) {
-		mu.Lock()
-		defer mu.Unlock()
-		seeds++
-		if phase == 0 {
-			// DriverEntry is seeded from the boot state, which never ran.
-			return
-		}
-		c, ok := completed[base.ID]
-		switch {
-		case !ok:
-			violations = append(violations,
-				base.String()+" entered a phase without completing any")
-		case !c.success:
-			violations = append(violations,
-				base.String()+" promoted from a failed path")
-		case c.phase >= phase:
-			violations = append(violations,
-				base.String()+" moved backwards or re-entered its phase")
-		}
+	if !rep.Pipelined {
+		t.Error("report not marked pipelined")
 	}
 
-	rep, err := e.TestDriver(context.Background())
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, v := range violations {
-		t.Errorf("phase-ordering violation: %s", v)
-	}
-	if seeds < 2 {
-		t.Fatalf("only %d seed(s) observed — the pipeline never promoted", seeds)
-	}
-	if len(rep.Bugs) == 0 {
-		t.Error("instrumented run found no bugs")
+	fixed := runDDT(t, "promise-ultra133", corpus.Fixed, opts)
+	if len(fixed.Bugs) != 0 {
+		t.Errorf("fixed promise-ultra133 pipelined reported %d bug(s): %v",
+			len(fixed.Bugs), sortedBugKeys(fixed))
 	}
 }
 

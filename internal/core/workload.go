@@ -54,6 +54,10 @@ func (e *Engine) TestDriver(ctx context.Context) (*Report, error) {
 		bases = e.networkWorkload(ctx, bases)
 	case binimg.ClassAudio:
 		bases = e.audioWorkload(ctx, bases)
+	case binimg.ClassStorage:
+		// Storage drivers run the scenario graph (PnP/power/surprise
+		// removal); the plan is shared with the pipelined explorer.
+		bases = e.runGraph(ctx, e.phasePlan(), bases)
 	default:
 		// No class-specific data path: still exercise halt if registered.
 	}
@@ -92,7 +96,7 @@ func (e *Engine) phase(ctx context.Context, bases []*vm.State, name string, pcOf
 		e.K.InvokeSym(st, name, pc, args...)
 		e.Sched.Push(st)
 
-		if e.Opts.SymbolicInterrupts && kernel.Of(st).ISRRegistered && name != "ISR" {
+		if e.Opts.SymbolicInterrupts && kernel.Of(st).ISRRegistered && name != "ISR" && e.intrBudgetLeft(base) {
 			alt := e.M.ForkState(base)
 			if prep != nil {
 				prep(alt)
@@ -102,11 +106,7 @@ func (e *Engine) phase(ctx context.Context, bases []*vm.State, name string, pcOf
 				altArgs = argsOf(alt)
 			}
 			e.K.InvokeSym(alt, name, pc, altArgs...)
-			if alt.Meta == nil {
-				alt.Meta = make(map[string]uint64)
-			}
-			alt.Meta[metaIntrCount] = 1
-			alt.Meta[metaInjectISR] = 1
+			chargeIntr(alt)
 			e.Sched.Push(alt)
 		}
 	}
@@ -264,41 +264,148 @@ func (e *Engine) audioWorkload(ctx context.Context, bases []*vm.State) []*vm.Sta
 	return bases
 }
 
+// maxDPCRounds bounds the DPC-drain fixpoint: a DPC body may itself queue
+// another DPC, and an unbounded drain would never terminate on such a
+// driver. Eight rounds comfortably covers every corpus driver while still
+// converging when a callback re-queues itself.
+const maxDPCRounds = 8
+
 // drainDPCs dispatches pending timer/DPC callbacks at DISPATCH_LEVEL with
-// the DPC flag set (where the Intel Pro/100 spinlock bug manifests).
+// the DPC flag set (where the Intel Pro/100 spinlock bug manifests). A
+// driver may hold several queued DPCs — a timer callback plus KDPCs the
+// ISR inserted — so the drain runs to a fixpoint: each round pops one DPC
+// per state and explores it, until no carried state has work left. States
+// whose queue is already empty ride through a round unchanged.
 func (e *Engine) drainDPCs(ctx context.Context, bases []*vm.State) []*vm.State {
-	var out []*vm.State
-	ran := false
-	for _, base := range bases {
-		ks := kernel.Of(base)
-		if len(ks.PendingDPCs) == 0 {
-			out = append(out, base)
+	for round := 0; round < maxDPCRounds; round++ {
+		var out []*vm.State
+		ran := false
+		for _, base := range bases {
+			if len(kernel.Of(base).PendingDPCs) == 0 {
+				out = append(out, base)
+				continue
+			}
+			ran = true
+			st := e.M.ForkState(base)
+			sks := kernel.Of(st)
+			dpc := sks.TakeDPC()
+			sks.IRQL = kernel.DispatchLevel
+			sks.InDpc = true
+			e.K.InvokeSym(st, "DPC:"+dpc.Label, dpc.FuncPC, expr.Const(dpc.Ctx))
+			e.Sched.Push(st)
+		}
+		if !ran {
+			return bases
+		}
+		res := e.Explore(ctx, "DPC")
+		for _, s := range res.Succeeded {
+			ks := kernel.Of(s)
+			ks.InDpc = false
+			ks.IRQL = kernel.PassiveLevel
+			out = append(out, s)
+		}
+		if len(out) == 0 {
+			return bases
+		}
+		bases = out
+	}
+	return bases
+}
+
+// runGraph executes a scenario graph — a phasePlan whose specs may carry
+// successor edges — under the barriered explorer. Edges only point forward
+// (phasePlan builds them that way), so plan index order is a topological
+// order and a single in-order sweep visits every node after all of its
+// predecessors. Node 0 (DriverEntry) has already run; bases are its
+// successes, routed along node 0's edges. The return value collects the
+// graph's leaves: states that completed a terminal node (or stalled at a
+// failed gate).
+func (e *Engine) runGraph(ctx context.Context, plan []phaseSpec, bases []*vm.State) []*vm.State {
+	in := make([][]*vm.State, len(plan))
+	leaves := e.routeGraph(plan, 0, bases, in)
+	for i := 1; i < len(plan); i++ {
+		if len(in[i]) == 0 {
 			continue
 		}
-		ran = true
-		dpc := ks.PendingDPCs[0]
-		st := e.M.ForkState(base)
-		sks := kernel.Of(st)
-		sks.PendingDPCs = sks.PendingDPCs[1:]
-		sks.IRQL = kernel.DispatchLevel
-		sks.InDpc = true
-		e.K.InvokeSym(st, "DPC:"+dpc.Label, dpc.FuncPC, expr.Const(dpc.Ctx))
-		e.Sched.Push(st)
+		out, ok := e.runGraphNode(ctx, plan[i], i, in[i])
+		if !ok && plan[i].gate {
+			// Gate with zero successes: this subtree of the scenario ends
+			// (the linear loop's "!initialized" early return). Its inputs
+			// are the subtree's final states.
+			leaves = append(leaves, in[i]...)
+			continue
+		}
+		// Zero-success non-gate nodes return their inputs unchanged (the
+		// linear loop's pass-through), so routing out is always right.
+		leaves = append(leaves, e.routeGraph(plan, i, out, in)...)
 	}
-	if !ran {
-		return bases
+	return leaves
+}
+
+// routeGraph sends the states leaving node i along its outgoing edges,
+// appending them to each matching target's input list. nil succs is linear
+// fallthrough to i+1; a state matching no edge (or leaving the last node)
+// is a leaf and is returned.
+func (e *Engine) routeGraph(plan []phaseSpec, i int, out []*vm.State, in [][]*vm.State) []*vm.State {
+	sp := plan[i]
+	if sp.succs == nil {
+		if i+1 < len(plan) {
+			in[i+1] = append(in[i+1], out...)
+			return nil
+		}
+		return out
 	}
-	res := e.Explore(ctx, "DPC")
+	var leaves []*vm.State
+	for _, s := range out {
+		routed := false
+		for _, edge := range sp.succs {
+			if edge.when == nil || edge.when(e, s) {
+				in[edge.to] = append(in[edge.to], s)
+				routed = true
+			}
+		}
+		if !routed {
+			leaves = append(leaves, s)
+		}
+	}
+	return leaves
+}
+
+// runGraphNode runs one scenario-graph node over its input states,
+// mirroring Engine.phase's explore/sort/cap/normalize sequence but driving
+// the invocation through the node's phaseSpec (so the barriered and
+// pipelined walkers exercise identical invocations). Drain nodes delegate
+// to the DPC fixpoint.
+func (e *Engine) runGraphNode(ctx context.Context, sp phaseSpec, idx int, bases []*vm.State) ([]*vm.State, bool) {
+	if sp.drain {
+		return e.drainDPCs(ctx, bases), true
+	}
+	any := false
+	for _, base := range bases {
+		for _, st := range sp.invoke(e, base, idx) {
+			any = true
+			e.Sched.Push(st)
+		}
+	}
+	if !any {
+		return bases, false
+	}
+	res := e.Explore(ctx, sp.name)
+	if len(res.Succeeded) == 0 {
+		return bases, false
+	}
+	sort.SliceStable(res.Succeeded, func(i, j int) bool {
+		return len(kernel.Of(res.Succeeded[i]).PendingDPCs) > len(kernel.Of(res.Succeeded[j]).PendingDPCs)
+	})
+	if len(res.Succeeded) > e.Opts.KeepStates {
+		res.Succeeded = res.Succeeded[:e.Opts.KeepStates]
+	}
 	for _, s := range res.Succeeded {
 		ks := kernel.Of(s)
 		ks.InDpc = false
 		ks.IRQL = kernel.PassiveLevel
-		out = append(out, s)
 	}
-	if len(out) == 0 {
-		return bases
-	}
-	return out
+	return res.Succeeded, true
 }
 
 // makeSymbolicPacket builds the one-packet Send workload: a packet header
@@ -346,6 +453,29 @@ func (e *Engine) makeInfoBuffer(s *vm.State) uint32 {
 		return 0
 	}
 	delete(ks.Allocs, addr)
+	return addr
+}
+
+// makeStorageBuffer allocates a 128-byte block-I/O buffer whose leading
+// bytes are symbolic. The fuzzer's storage workload mirrors this
+// positionally (symbol k here is feed word k there) — keep the two in sync.
+func (e *Engine) makeStorageBuffer(s *vm.State) uint32 {
+	ks := kernel.Of(s)
+	addr, err := ks.HeapAlloc(128, "blkbuf", "param", s.ICount, 0)
+	if err != nil {
+		return 0
+	}
+	delete(ks.Allocs, addr)
+	if e.Opts.Annotations {
+		for i := uint32(0); i < 8; i++ {
+			b := e.K.FreshSymbol(s, fmt.Sprintf("blk_byte_%d", i), expr.OriginPacket)
+			s.Mem.Write(addr+i, 1, b)
+		}
+	} else {
+		for i := uint32(0); i < 8; i++ {
+			s.Mem.Write(addr+i, 1, expr.Const(i*9&0xFF))
+		}
+	}
 	return addr
 }
 

@@ -1,0 +1,356 @@
+package corpus
+
+import (
+	"fmt"
+
+	"repro/internal/binimg"
+)
+
+func init() {
+	register(&Spec{
+		Name:  "promise-ultra133",
+		Class: binimg.ClassStorage,
+		ExpectedBugs: []string{
+			"kernel crash",      // StatsDpc releases its spinlock to PASSIVE inside the DPC
+			"memory corruption", // completion DPC writes through a request freed on surprise removal
+		},
+		FillerFuncs: 64,
+		Source:      ultra133Source,
+	})
+}
+
+// ultra133Source generates a Promise Ultra133-style IDE/ATA storage
+// miniport — the scenario-graph corpus driver. Two bugs are planted:
+//
+//  1. Surprise removal frees the in-flight request block but leaves the
+//     completion pointer dangling; the completion DPC, queued by the last
+//     interrupt before the yank, then writes through freed pool
+//     ("memory corruption"). The fixed variant parks the pointer and
+//     defers the free to IRP_MN_REMOVE_DEVICE.
+//  2. The statistics DPC — always queued SECOND, so only a drain that
+//     runs past the first pending DPC ever reaches it — releases its
+//     spinlock with a hardcoded PASSIVE_LEVEL, lowering IRQL inside a DPC
+//     ("kernel crash"). This is the regression tripwire for the one-shot
+//     DPC drain.
+func ultra133Source(v Variant) string {
+	buggy := v == Buggy
+	return fmt.Sprintf(`
+; Promise Ultra133 TX2 ATA controller (corpus reimplementation)
+.name promise-ultra133
+.device vendor=0x105A device=0x4D69 class=storage bar=256 ports=8 irq=11 rev=1
+.import StorRegisterMiniport
+.import MmMapIoSpace
+.import KeInitializeSpinLock
+.import KeAcquireSpinLock
+.import KeReleaseSpinLock
+.import KeInitializeDpc
+.import KeInsertQueueDpc
+.import IoConnectInterrupt
+.import ExAllocatePoolWithTag
+.import ExFreePoolWithTag
+.import PoSetPowerState
+.entry DriverEntry
+
+.text
+DriverEntry:
+    push lr
+    movi r0, chars
+    call StorRegisterMiniport
+    call u133_selftest
+    pop  lr
+    movi r0, 0
+    ret
+
+; ---------------------------------------------------------------
+; Initialize(adapter) -> status
+; ---------------------------------------------------------------
+Initialize:
+    push lr
+    movi r0, 0xFE000000
+    movi r1, 256
+    call MmMapIoSpace
+    movi r5, g_mmio
+    stw  [r5+0], r0
+    movi r0, g_lock
+    call KeInitializeSpinLock
+    movi r0, g_dpc
+    movi r1, IoDone
+    movi r2, 0
+    call KeInitializeDpc
+    movi r0, g_dpc2
+    movi r1, StatsDpc
+    movi r2, 0
+    call KeInitializeDpc
+    movi r0, Isr
+    movi r1, 0
+    call IoConnectInterrupt
+    ; one reusable request block
+    movi r0, 0
+    movi r1, 64
+    movi r2, 0x51304552
+    call ExAllocatePoolWithTag
+    movi r12, 0
+    beq  r0, r12, u133_init_fail
+    movi r5, g_req
+    stw  [r5+0], r0
+    pop  lr
+    movi r0, 0
+    ret
+u133_init_fail:
+    pop  lr
+    movi r0, 0xC0000001
+    ret
+
+; ---------------------------------------------------------------
+; Read(adapter, buf, lba) -> status
+; ---------------------------------------------------------------
+Read:
+    push lr
+    movi r5, g_req
+    ldw  r5, [r5+0]
+    movi r6, g_inflight
+    stw  [r6+0], r5
+    movi r6, g_mmio
+    ldw  r6, [r6+0]
+    stw  [r6+16], r2          ; LBA register
+    ldb  r7, [r1+0]           ; leading payload byte selects tagged mode
+    movi r12, 0x5A
+    bne  r7, r12, u133_rd_go
+    movi r8, 2
+    stw  [r6+20], r8          ; tagged-queue command
+u133_rd_go:
+    movi r8, 1
+    stw  [r6+20], r8          ; READ doorbell
+    ldw  r9, [r6+24]          ; controller status
+    andi r9, r9, 1            ; busy bit
+    movi r12, 0
+    beq  r9, r12, u133_rd_done
+    ldw  r9, [r6+24]          ; poll once more
+u133_rd_done:
+    ldw  r9, [r6+28]          ; data FIFO
+    stw  [r1+0], r9
+    pop  lr
+    movi r0, 0
+    ret
+
+; ---------------------------------------------------------------
+; Write(adapter, buf, lba) -> status
+; ---------------------------------------------------------------
+Write:
+    push lr
+    movi r5, g_req
+    ldw  r5, [r5+0]
+    movi r6, g_inflight
+    stw  [r6+0], r5
+    movi r6, g_mmio
+    ldw  r6, [r6+0]
+    stw  [r6+16], r2
+    movi r8, 3
+    stw  [r6+20], r8          ; WRITE doorbell
+    ldw  r9, [r1+0]
+    stw  [r6+28], r9          ; payload word into the FIFO
+    pop  lr
+    movi r0, 0
+    ret
+
+; ---------------------------------------------------------------
+; CancelIo(adapter)
+; ---------------------------------------------------------------
+CancelIo:
+    push lr
+    movi r6, g_mmio
+    ldw  r6, [r6+0]
+    movi r8, 0
+    stw  [r6+20], r8          ; abort command
+    movi r5, g_inflight
+    stw  [r5+0], r8
+    pop  lr
+    movi r0, 0
+    ret
+
+; ---------------------------------------------------------------
+; Pnp(adapter, minor) -> status
+; ---------------------------------------------------------------
+Pnp:
+    push lr
+    movi r12, 0x17
+    beq  r1, r12, u133_pnp_surprise
+    movi r12, 2
+    beq  r1, r12, u133_pnp_remove
+    pop  lr
+    movi r0, 0
+    ret
+u133_pnp_surprise:
+    movi r5, g_removed
+    movi r4, 1
+    stw  [r5+0], r4
+%s
+    pop  lr
+    movi r0, 0
+    ret
+u133_pnp_remove:
+    movi r5, g_req
+    ldw  r0, [r5+0]
+    movi r12, 0
+    beq  r0, r12, u133_pnp_rm_out
+    movi r1, 0x51304552
+    call ExFreePoolWithTag
+    movi r5, g_req
+    movi r12, 0
+    stw  [r5+0], r12
+    movi r5, g_inflight
+    stw  [r5+0], r12
+u133_pnp_rm_out:
+    pop  lr
+    movi r0, 0
+    ret
+
+; ---------------------------------------------------------------
+; Power(adapter, minor, state) -> status
+; ---------------------------------------------------------------
+Power:
+    push lr
+    movi r12, 2               ; IRP_MN_SET_POWER
+    bne  r1, r12, u133_pw_out
+    movi r6, g_mmio
+    ldw  r6, [r6+0]
+    movi r12, 4               ; PowerDeviceD3
+    beq  r2, r12, u133_pw_d3
+    movi r5, g_saved          ; D0: restore the control register
+    ldw  r4, [r5+0]
+    stw  [r6+32], r4
+    movi r0, 1
+    call PoSetPowerState
+    pop  lr
+    movi r0, 0
+    ret
+u133_pw_d3:
+    ldw  r4, [r6+32]          ; save the control register
+    movi r5, g_saved
+    stw  [r5+0], r4
+    movi r0, 4
+    call PoSetPowerState
+    pop  lr
+    movi r0, 0
+    ret
+u133_pw_out:
+    pop  lr
+    movi r0, 0
+    ret
+
+; ---------------------------------------------------------------
+; Isr(ctx) -> handled
+; ---------------------------------------------------------------
+Isr:
+    push lr
+    movi r6, g_mmio
+    ldw  r6, [r6+0]
+    movi r12, 0
+    beq  r6, r12, u133_isr_out
+    ldw  r2, [r6+24]          ; interrupt status
+    stw  [r6+24], r2          ; ack
+    andi r3, r2, 2            ; completion bit
+    beq  r3, r12, u133_isr_out
+    movi r0, g_dpc
+    call KeInsertQueueDpc
+    movi r0, g_dpc2
+    call KeInsertQueueDpc
+u133_isr_out:
+    pop  lr
+    movi r0, 0
+    ret
+
+; ---------------------------------------------------------------
+; IoDone(ctx): completion DPC — writes the final status through the
+; in-flight request pointer.
+; ---------------------------------------------------------------
+IoDone:
+    push lr
+    movi r6, g_mmio
+    ldw  r6, [r6+0]
+    ldw  r9, [r6+28]
+    movi r5, g_inflight
+    ldw  r4, [r5+0]
+    movi r12, 0
+    beq  r4, r12, u133_done_out
+    stw  [r4+0], r9
+    stw  [r5+0], r12
+u133_done_out:
+    pop  lr
+    movi r0, 0
+    ret
+
+; ---------------------------------------------------------------
+; StatsDpc(ctx): statistics DPC — always queued second.
+; ---------------------------------------------------------------
+StatsDpc:
+    push lr
+    addi sp, sp, -4
+    movi r0, g_lock
+    mov  r1, sp
+    call KeAcquireSpinLock
+    movi r5, g_nint
+    ldw  r4, [r5+0]
+    addi r4, r4, 1
+    stw  [r5+0], r4
+    movi r0, g_lock
+%s
+    call KeReleaseSpinLock
+    addi sp, sp, 4
+    pop  lr
+    movi r0, 0
+    ret
+
+; ---------------------------------------------------------------
+; Halt(adapter)
+; ---------------------------------------------------------------
+Halt:
+    push lr
+    movi r5, g_req
+    ldw  r0, [r5+0]
+    movi r12, 0
+    beq  r0, r12, u133_halt_out
+    movi r1, 0x51304552
+    call ExFreePoolWithTag
+    movi r5, g_req
+    movi r12, 0
+    stw  [r5+0], r12
+u133_halt_out:
+    pop  lr
+    movi r0, 0
+    ret
+
+%s
+
+.data
+chars:      .word Initialize, Read, Write, CancelIo, Pnp, Power, Isr, Halt
+g_mmio:     .word 0
+g_req:      .word 0
+g_inflight: .word 0
+g_removed:  .word 0
+g_saved:    .word 0
+g_nint:     .word 0
+g_lock:     .space 8
+g_dpc:      .space 16
+g_dpc2:     .space 16
+`,
+		// Bug (removal race): surprise removal frees the request block but
+		// leaves g_inflight dangling for the completion DPC.
+		pick(buggy, `    movi r5, g_req
+    ldw  r0, [r5+0]
+    movi r12, 0
+    beq  r0, r12, u133_pnp_sr_out
+    movi r1, 0x51304552
+    call ExFreePoolWithTag
+    movi r5, g_req
+    movi r12, 0
+    stw  [r5+0], r12
+u133_pnp_sr_out:`, `    movi r5, g_inflight
+    movi r12, 0
+    stw  [r5+0], r12`),
+		// Bug (one-shot drain tripwire): release the stats lock back to
+		// PASSIVE_LEVEL instead of the saved IRQL.
+		pick(buggy, "    movi r1, 0", "    ldw  r1, [sp+0]"),
+		filler("u133", 64, 16),
+	)
+}

@@ -179,6 +179,11 @@ func (h *MinBlockCount) Pick(queue []*vm.State) int {
 // spare workers pick up later-phase work instead of idling.
 type PhaseMinBlockCount struct {
 	counts map[uint32]uint64
+	// ranks maps a phase index to its scheduling weight. nil (or an
+	// out-of-range phase) weighs a phase by its own index — the linear
+	// plan's ordering. Scenario graphs pass depth ranks so alternative
+	// branches at equal depth compete at equal weight.
+	ranks []int
 }
 
 // NewPhaseMinBlockCount builds the phase-weighted heuristic over a
@@ -187,18 +192,31 @@ func NewPhaseMinBlockCount(counts map[uint32]uint64) *PhaseMinBlockCount {
 	return &PhaseMinBlockCount{counts: counts}
 }
 
+// NewPhaseRankMinBlockCount builds the phase-weighted heuristic with an
+// explicit phase→rank table (see PhaseMinBlockCount.ranks).
+func NewPhaseRankMinBlockCount(counts map[uint32]uint64, ranks []int) *PhaseMinBlockCount {
+	return &PhaseMinBlockCount{counts: counts, ranks: ranks}
+}
+
 // Name implements Heuristic.
 func (*PhaseMinBlockCount) Name() string { return "phase-min-block-count" }
+
+func (h *PhaseMinBlockCount) rank(phase int) int {
+	if phase >= 0 && phase < len(h.ranks) {
+		return h.ranks[phase]
+	}
+	return phase
+}
 
 // Pick implements Heuristic.
 func (h *PhaseMinBlockCount) Pick(queue []*vm.State) int {
 	best := 0
-	bestPhase := queue[0].Phase
+	bestRank := h.rank(queue[0].Phase)
 	bestCount := h.counts[queue[0].PC]
 	for i := 1; i < len(queue); i++ {
-		p, c := queue[i].Phase, h.counts[queue[i].PC]
-		if p < bestPhase || (p == bestPhase && c < bestCount) {
-			best, bestPhase, bestCount = i, p, c
+		r, c := h.rank(queue[i].Phase), h.counts[queue[i].PC]
+		if r < bestRank || (r == bestRank && c < bestCount) {
+			best, bestRank, bestCount = i, r, c
 		}
 	}
 	return best

@@ -510,6 +510,10 @@ func (e *Executor) classWorkload(s *vm.State, res *ExecResult) *vm.State {
 		if a := kernel.Of(s).Audio; a != nil {
 			initPC = a.InitializePC
 		}
+	case binimg.ClassStorage:
+		if st := kernel.Of(s).Storage; st != nil {
+			initPC = st.InitializePC
+		}
 	default:
 		e.recordTerminal(s, res)
 		return s
@@ -533,6 +537,8 @@ func (e *Executor) dataWorkload(s *vm.State, res *ExecResult) *vm.State {
 		return e.networkData(s, res)
 	case binimg.ClassAudio:
 		return e.audioData(s, res)
+	case binimg.ClassStorage:
+		return e.storageData(s, res)
 	}
 	return s
 }
@@ -602,6 +608,71 @@ func (e *Executor) audioData(s *vm.State, res *ExecResult) *vm.State {
 	return s
 }
 
+// storageData exercises the storage data path plus ONE scenario-graph
+// alternative per execution: feed fork-bits pick surprise removal,
+// suspend/resume, or IRP cancellation — the concrete mirror of the
+// symbolic scenario graph's alternative edges (core/pipeline.go
+// storagePhases), so mutation of the fork-bit stream walks every branch.
+func (e *Executor) storageData(s *vm.State, res *ExecResult) *vm.State {
+	sc := func() *kernel.StorageChars {
+		if st := kernel.Of(s).Storage; st != nil {
+			return st
+		}
+		return &kernel.StorageChars{}
+	}
+	adapter := expr.Const(adapterHandle)
+	var ok bool
+
+	if buf := e.makeStorageBuffer(s); buf != 0 {
+		if s, ok = e.runEntry(s, "Read", sc().ReadPC, []*expr.Expr{adapter, expr.Const(buf), expr.Const(0x80)}, res); !ok {
+			return s
+		}
+		if s, ok = e.runEntry(s, "Write", sc().WritePC, []*expr.Expr{adapter, expr.Const(buf), expr.Const(0x80)}, res); !ok {
+			return s
+		}
+	}
+	if s, ok = e.runISR(s, adapter, res); !ok {
+		return s
+	}
+	removal := e.reader.forkBit()
+	suspend := !removal && e.reader.forkBit()
+	switch {
+	case removal:
+		// The card is gone before the driver hears about it; every
+		// hardware read from here on returns all-ones.
+		hw.Of(s).Removed = true
+		kernel.Of(s).Removed = true
+		if s, ok = e.runEntry(s, "SurpriseRemoval", sc().PnpPC, []*expr.Expr{adapter, expr.Const(kernel.IrpMnSurpriseRemoval)}, res); !ok {
+			return s
+		}
+		if s, ok = e.drainDPCs(s, res); !ok {
+			return s
+		}
+		if s, ok = e.runEntry(s, "RemoveDevice", sc().PnpPC, []*expr.Expr{adapter, expr.Const(kernel.IrpMnRemoveDevice)}, res); !ok {
+			return s
+		}
+	case suspend:
+		if s, ok = e.runEntry(s, "Suspend", sc().PowerPC, []*expr.Expr{adapter, expr.Const(kernel.IrpMnSetPower), expr.Const(kernel.PowerDeviceD3)}, res); !ok {
+			return s
+		}
+		if s, ok = e.runEntry(s, "Resume", sc().PowerPC, []*expr.Expr{adapter, expr.Const(kernel.IrpMnSetPower), expr.Const(kernel.PowerDeviceD0)}, res); !ok {
+			return s
+		}
+		if s, ok = e.drainDPCs(s, res); !ok {
+			return s
+		}
+	default:
+		if s, ok = e.runEntry(s, "CancelIo", sc().CancelPC, []*expr.Expr{adapter}, res); !ok {
+			return s
+		}
+		if s, ok = e.drainDPCs(s, res); !ok {
+			return s
+		}
+	}
+	s, _ = e.runEntry(s, "Halt", sc().HaltPC, []*expr.Expr{adapter}, res)
+	return s
+}
+
 func (e *Executor) runISR(s *vm.State, adapter *expr.Expr, res *ExecResult) (*vm.State, bool) {
 	ks := kernel.Of(s)
 	if !ks.ISRRegistered || ks.ISRPC == 0 {
@@ -617,8 +688,7 @@ func (e *Executor) drainDPCs(s *vm.State, res *ExecResult) (*vm.State, bool) {
 		if len(ks.PendingDPCs) == 0 {
 			break
 		}
-		dpc := ks.PendingDPCs[0]
-		ks.PendingDPCs = ks.PendingDPCs[1:]
+		dpc := ks.TakeDPC()
 		ks.IRQL = kernel.DispatchLevel
 		ks.InDpc = true
 		var ok bool
@@ -785,6 +855,27 @@ func (e *Executor) infoArgs(s *vm.State, adapter *expr.Expr, concreteOID uint32)
 		oid = expr.Const(concreteOID)
 	}
 	return []*expr.Expr{adapter, oid, expr.Const(buf), expr.Const(64)}
+}
+
+// makeStorageBuffer mirrors core/workload.go makeStorageBuffer; the
+// injection sites must stay positionally aligned for the concolic bridge.
+func (e *Executor) makeStorageBuffer(s *vm.State) uint32 {
+	ks := kernel.Of(s)
+	addr, err := ks.HeapAlloc(128, "blkbuf", "param", s.ICount, 0)
+	if err != nil {
+		return 0
+	}
+	delete(ks.Allocs, addr)
+	if e.opts.Annotations {
+		for i := uint32(0); i < 8; i++ {
+			s.Mem.Write(addr+i, 1, e.k.FreshSymbol(s, fmt.Sprintf("blk_byte_%d", i), expr.OriginPacket))
+		}
+	} else {
+		for i := uint32(0); i < 8; i++ {
+			s.Mem.Write(addr+i, 1, expr.Const(i*9&0xFF))
+		}
+	}
+	return addr
 }
 
 func (e *Executor) makeAudioBuffer(s *vm.State) uint32 {

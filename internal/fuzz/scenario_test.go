@@ -1,0 +1,64 @@
+package fuzz
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+// TestFuzzStorageScenarioFindsRemovalRace: the concrete fuzzer reaches the
+// PnP/power scenario behaviours through feed-driven branching — the
+// workload forks on feed bits to pick surprise-removal, suspend/resume, or
+// cancellation after the ISR, so the storage driver's planted bugs must be
+// findable by fuzzing alone. The memory-corruption crash needs the removal
+// branch (ISR queues the completion DPC, the yank frees the request, the
+// drain writes through it); the kernel crash needs the drain to run past
+// the first queued DPC. Every crash must replay from its feed.
+func TestFuzzStorageScenarioFindsRemovalRace(t *testing.T) {
+	img, err := corpus.Build("promise-ultra133", corpus.Buggy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Workers = 2
+	cfg.MaxExecs = 25_000
+	f := New(img, cfg)
+	rep, err := f.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := rep.CountByClass()
+	if classes["memory corruption"] == 0 {
+		t.Errorf("removal race not found in %d execs:\n%s", rep.Execs, rep)
+	}
+	if classes["kernel crash"] == 0 {
+		t.Errorf("multi-DPC drain crash not found in %d execs:\n%s", rep.Execs, rep)
+	}
+	for _, c := range rep.Crashes {
+		if !c.Reproduced {
+			t.Errorf("crash %s feed did not replay", c.Key())
+		}
+	}
+}
+
+// TestFuzzStorageScenarioFixedClean: the corrected storage variant
+// survives the same budget — the scenario machinery itself (removal
+// reads returning ~0, power cycling, DPC drain) must not fabricate
+// crashes on a correct driver.
+func TestFuzzStorageScenarioFixedClean(t *testing.T) {
+	img, err := corpus.Build("promise-ultra133", corpus.Fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Workers = 2
+	cfg.MaxExecs = 10_000
+	rep, err := New(img, cfg).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Crashes) != 0 {
+		t.Fatalf("fixed promise-ultra133 crashed:\n%s", rep)
+	}
+}

@@ -57,6 +57,12 @@ func (d *ConcreteDevice) Attach(m *vm.Machine) {
 func (d *ConcreteDevice) readMMIO(s *vm.State, addr, size uint32) *expr.Expr {
 	ds := Of(s)
 	ds.RegReads++
+	if ds.Removed {
+		// Removed hardware has exactly one behaviour; the feed is NOT
+		// consumed, so cursor accounting matches the symbolic engine's
+		// injection sites (no symbol is minted there either).
+		return removedRead(size)
+	}
 	v := d.Src.ReadRegister(false, addr-isa.MMIOBase, size)
 	switch size {
 	case 1:
@@ -74,6 +80,9 @@ func (d *ConcreteDevice) writeMMIO(s *vm.State, addr, size uint32, v *expr.Expr)
 func (d *ConcreteDevice) readPort(s *vm.State, port uint32) *expr.Expr {
 	ds := Of(s)
 	ds.PortReads++
+	if ds.Removed {
+		return removedRead(2)
+	}
 	return expr.Const(d.Src.ReadRegister(true, port, 2) & 0xFFFF)
 }
 

@@ -30,6 +30,12 @@ type DeviceState struct {
 	RegWrites  uint64
 	PortReads  uint64
 	PortWrites uint64
+	// Removed is set when the workload surprise-removes the device. From
+	// then on every register read — MMIO or port, symbolic or concrete-feed
+	// mode — returns all-ones, exactly what the PCI bus returns for a
+	// vanished function; writes are discarded as always. The counters and
+	// the recent-write window keep accounting so post-mortems still work.
+	Removed bool
 	// LastWrites keeps the most recent few register writes for bug-report
 	// post-mortems ("the trace contained no writes to the interrupt
 	// control register", §5.1).
@@ -86,8 +92,25 @@ func (d *SymbolicDevice) Attach(m *vm.Machine) {
 func (d *SymbolicDevice) readMMIO(s *vm.State, addr, size uint32) *expr.Expr {
 	ds := Of(s)
 	ds.RegReads++
+	if ds.Removed {
+		return removedRead(size)
+	}
 	sym := d.FreshSymbol(s, fmt.Sprintf("hw_mmio_%#x", addr-isa.MMIOBase), expr.OriginHardware)
 	return maskForSize(sym, size)
+}
+
+// removedRead is the all-ones value a read of a surprise-removed device
+// returns, masked to the access width. Deliberately concrete in both
+// device modes: post-removal hardware has exactly one behaviour.
+func removedRead(size uint32) *expr.Expr {
+	switch size {
+	case 1:
+		return expr.Const(0xFF)
+	case 2:
+		return expr.Const(0xFFFF)
+	default:
+		return expr.Const(0xFFFFFFFF)
+	}
 }
 
 // deviceWriteMMIO discards an MMIO register write, keeping the accounting
@@ -121,6 +144,9 @@ func (d *SymbolicDevice) writeMMIO(s *vm.State, addr, size uint32, v *expr.Expr)
 func (d *SymbolicDevice) readPort(s *vm.State, port uint32) *expr.Expr {
 	ds := Of(s)
 	ds.PortReads++
+	if ds.Removed {
+		return removedRead(2)
+	}
 	return expr.ZeroExt16(d.FreshSymbol(s, fmt.Sprintf("hw_port_%#x", port), expr.OriginHardware))
 }
 

@@ -14,9 +14,10 @@ import (
 // fingerprint change of the parent after the child is mutated.
 func fingerprint(ks *KState) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "irql=%d stack=%v heap=%#x handle=%#x isr=%v/%#x dpc=%v crash=%v/%#x/%q indpc=%v aff=%d\n",
+	fmt.Fprintf(&sb, "irql=%d stack=%v heap=%#x handle=%#x isr=%v/%#x dpc=%v crash=%v/%#x/%q indpc=%v aff=%d pow=%d rm=%v\n",
 		ks.IRQL, ks.IRQLStack, ks.NextHeap, ks.NextHandle, ks.ISRRegistered, ks.ISRPC,
-		ks.PendingDPCs, ks.Crashed, ks.CrashCode, ks.CrashMsg, ks.InDpc, ks.AllocFailForks)
+		ks.PendingDPCs, ks.Crashed, ks.CrashCode, ks.CrashMsg, ks.InDpc, ks.AllocFailForks,
+		ks.PowerState, ks.Removed)
 	for _, r := range ks.Regions {
 		fmt.Fprintf(&sb, "region %+v\n", r)
 	}
@@ -48,6 +49,9 @@ func fingerprint(ks *KState) string {
 	for k, v := range ks.IntrSyncs {
 		lines = append(lines, fmt.Sprintf("isync %#x=%v", k, v))
 	}
+	for k, v := range ks.Dpcs {
+		lines = append(lines, fmt.Sprintf("dpcobj %#x=%+v", k, *v))
+	}
 	sort.Strings(lines)
 	sb.WriteString(strings.Join(lines, "\n"))
 	if ks.Miniport != nil {
@@ -55,6 +59,9 @@ func fingerprint(ks *KState) string {
 	}
 	if ks.Audio != nil {
 		fmt.Fprintf(&sb, "\naudio %+v", *ks.Audio)
+	}
+	if ks.Storage != nil {
+		fmt.Fprintf(&sb, "\nstorage %+v", *ks.Storage)
 	}
 	return sb.String()
 }
@@ -79,9 +86,13 @@ func populate(r *rand.Rand, ks *KState) {
 	ks.IntrSyncs[0x9500] = true
 	ks.Miniport = &MiniportChars{InitializePC: 0x100400, SendPC: 0x100408, ISRPC: 0x100410}
 	ks.Audio = &AudioChars{InitializePC: 0x100500, PlayPC: 0x100508}
+	ks.Storage = &StorageChars{InitializePC: 0x100700, ReadPC: 0x100708, PnpPC: 0x100710}
+	ks.Dpcs[0x9600] = &DpcObj{Inited: true, FuncPC: 0x100800, Ctx: 3, Queued: r.Intn(2) == 0}
 	ks.ISRRegistered = true
 	ks.ISRPC = 0x100410
 	ks.PendingDPCs = append(ks.PendingDPCs, DPC{FuncPC: 0x100600, Ctx: 1, Label: "dpc"})
+	ks.PowerState = PowerDeviceD0
+	ks.Removed = r.Intn(2) == 0
 }
 
 // mutateChild rewrites every mutable structure of the fork — the mutations
@@ -120,6 +131,13 @@ func mutateChild(c *KState) {
 	c.IntrSyncs[0x9500] = false
 	c.Miniport.SendPC = 0xBEEF
 	c.Audio.PlayPC = 0xBEEF
+	c.Storage.ReadPC = 0xBEEF
+	for _, o := range c.Dpcs {
+		o.Queued = !o.Queued
+		o.FuncPC = 0xDEAD
+	}
+	c.PowerState = PowerDeviceD3
+	c.Removed = !c.Removed
 	c.PendingDPCs = append(c.PendingDPCs, DPC{FuncPC: 0xF00D})
 	if len(c.PendingDPCs) > 1 {
 		c.PendingDPCs[0].Label = "mutated"

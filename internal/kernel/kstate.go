@@ -108,6 +108,19 @@ type DPC struct {
 	FuncPC uint32
 	Ctx    uint32
 	Label  string
+	// Obj is the guest address of the backing KDPC object for DPCs queued
+	// via KeInsertQueueDpc (0 for timer DPCs): dispatch clears its queued
+	// flag so the driver may re-queue it.
+	Obj uint32
+}
+
+// DpcObj tracks a driver-embedded KDPC object (KeInitializeDpc /
+// KeInsertQueueDpc).
+type DpcObj struct {
+	Inited bool
+	FuncPC uint32
+	Ctx    uint32
+	Queued bool
 }
 
 // MiniportChars is the entry-point table a network driver registers via
@@ -128,6 +141,21 @@ type AudioChars struct {
 	InitializePC uint32
 	PlayPC       uint32
 	StopPC       uint32
+	ISRPC        uint32
+	HaltPC       uint32
+}
+
+// StorageChars is the storage miniport's registration table: data-path
+// entries plus the IRP_MJ_PNP / IRP_MJ_POWER dispatch handlers the
+// scenario-graph workload drives (suspend/resume, surprise removal,
+// cancellation).
+type StorageChars struct {
+	InitializePC uint32
+	ReadPC       uint32
+	WritePC      uint32
+	CancelPC     uint32
+	PnpPC        uint32
+	PowerPC      uint32
 	ISRPC        uint32
 	HaltPC       uint32
 }
@@ -158,12 +186,24 @@ type KState struct {
 
 	Miniport *MiniportChars
 	Audio    *AudioChars
+	Storage  *StorageChars
 
 	ISRRegistered bool
 	ISRPC         uint32
 	IntrSyncs     map[uint32]bool // PcNewInterruptSync objects
 
+	// Dpcs tracks driver-embedded KDPC objects by guest address.
+	Dpcs map[uint32]*DpcObj
+
 	PendingDPCs []DPC
+
+	// PowerState is the device power state last set via PoSetPowerState
+	// (0 = never set; PowerDeviceD0/D3 afterwards).
+	PowerState uint32
+
+	// Removed is set when the workload surprise-removes the device: from
+	// then on all hardware reads return ~0 (internal/hw honours it).
+	Removed bool
 
 	Crashed   bool
 	CrashCode uint32
@@ -193,6 +233,7 @@ func NewKState() *KState {
 		Packets:       make(map[uint32]PacketInfo),
 		Registry:      make(map[string]uint32),
 		IntrSyncs:     make(map[uint32]bool),
+		Dpcs:          make(map[uint32]*DpcObj),
 	}
 	ks.Grant(Region{Lo: isa.KGlobals, Hi: isa.KGlobals + isa.KGlobalsSz, Kind: RegionKGlobals, Writable: false, Tag: "kernel globals"})
 	ks.Grant(Region{Lo: isa.StackBase - isa.StackSize, Hi: isa.StackBase, Kind: RegionStack, Writable: true, Tag: "driver stack"})
@@ -216,6 +257,7 @@ func (ks *KState) Fork() vm.Forkable {
 		Packets:        make(map[uint32]PacketInfo, len(ks.Packets)),
 		Registry:       make(map[string]uint32, len(ks.Registry)),
 		IntrSyncs:      make(map[uint32]bool, len(ks.IntrSyncs)),
+		Dpcs:           make(map[uint32]*DpcObj, len(ks.Dpcs)),
 		ISRRegistered:  ks.ISRRegistered,
 		ISRPC:          ks.ISRPC,
 		PendingDPCs:    append([]DPC(nil), ks.PendingDPCs...),
@@ -223,6 +265,8 @@ func (ks *KState) Fork() vm.Forkable {
 		CrashCode:      ks.CrashCode,
 		CrashMsg:       ks.CrashMsg,
 		InDpc:          ks.InDpc,
+		PowerState:     ks.PowerState,
+		Removed:        ks.Removed,
 		AllocFailForks: ks.AllocFailForks,
 	}
 	for k, v := range ks.Allocs {
@@ -257,6 +301,10 @@ func (ks *KState) Fork() vm.Forkable {
 	for k, v := range ks.IntrSyncs {
 		n.IntrSyncs[k] = v
 	}
+	for k, v := range ks.Dpcs {
+		c := *v
+		n.Dpcs[k] = &c
+	}
 	if ks.Miniport != nil {
 		c := *ks.Miniport
 		n.Miniport = &c
@@ -265,7 +313,26 @@ func (ks *KState) Fork() vm.Forkable {
 		c := *ks.Audio
 		n.Audio = &c
 	}
+	if ks.Storage != nil {
+		c := *ks.Storage
+		n.Storage = &c
+	}
 	return n
+}
+
+// TakeDPC pops the head of the pending-DPC queue. For DPCs queued via
+// KeInsertQueueDpc it clears the backing object's queued flag so the
+// driver may re-queue it; timer DPCs (Obj == 0) are unaffected. All
+// dispatch sites (barriered, pipelined, fuzz) must pop through here.
+func (ks *KState) TakeDPC() DPC {
+	d := ks.PendingDPCs[0]
+	ks.PendingDPCs = ks.PendingDPCs[1:]
+	if d.Obj != 0 {
+		if o := ks.Dpcs[d.Obj]; o != nil {
+			o.Queued = false
+		}
+	}
+	return d
 }
 
 // Of extracts the kernel state attached to a vm state.

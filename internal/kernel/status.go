@@ -52,6 +52,21 @@ const (
 	BugCheckManual              uint32 = 0x000000E2
 )
 
+// IRP minor codes dispatched to a storage miniport's IRP_MJ_PNP and
+// IRP_MJ_POWER handlers, matching the Windows numeric conventions.
+const (
+	IrpMnStartDevice     uint32 = 0x00 // IRP_MN_START_DEVICE
+	IrpMnRemoveDevice    uint32 = 0x02 // IRP_MN_REMOVE_DEVICE
+	IrpMnSurpriseRemoval uint32 = 0x17 // IRP_MN_SURPRISE_REMOVAL
+	IrpMnSetPower        uint32 = 0x02 // IRP_MN_SET_POWER (under IRP_MJ_POWER)
+)
+
+// Device power states (DEVICE_POWER_STATE).
+const (
+	PowerDeviceD0 uint32 = 1 // fully on
+	PowerDeviceD3 uint32 = 4 // off
+)
+
 // NDIS parameter types for NdisReadConfiguration.
 const (
 	ParamInteger    uint32 = 1

@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"repro/internal/isa"
 	"repro/internal/vm"
 )
 
@@ -22,6 +23,12 @@ func registerWdmAPI(k *Kernel) {
 	k.Register("PcNewInterruptSync", pcNewInterruptSync)
 	k.Register("PcRegisterServiceRoutine", pcRegisterServiceRoutine)
 	k.Register("IoWriteErrorLogEntry", nop)
+	k.Register("StorRegisterMiniport", storRegisterMiniport)
+	k.Register("IoConnectInterrupt", ioConnectInterrupt)
+	k.Register("KeInitializeDpc", keInitializeDpc)
+	k.Register("KeInsertQueueDpc", keInsertQueueDpc)
+	k.Register("PoSetPowerState", poSetPowerState)
+	k.Register("MmMapIoSpace", mmMapIoSpace)
 }
 
 // PoolType argument values for ExAllocatePoolWithTag.
@@ -238,6 +245,114 @@ func pcNewInterruptSync(k *Kernel, s *vm.State) ([]*vm.State, error) {
 	ks.IntrSyncs[addr] = true
 	k.writeU32(s, syncPtrPtr, addr)
 	k.SetRet(s, StatusSuccess)
+	return nil, nil
+}
+
+// StorRegisterMiniport(charsPtr) reads the storage miniport's entry table
+// { Initialize, Read, Write, CancelIo, Pnp, Power, ISR, Halt } — the
+// storage analogue of NdisMRegisterMiniport, including the PnP/power
+// dispatch handlers the scenario-graph workload exercises.
+func storRegisterMiniport(k *Kernel, s *vm.State) ([]*vm.State, error) {
+	ptr, err := k.ArgConcrete(s, 0)
+	if err != nil {
+		return nil, err
+	}
+	var words [8]uint32
+	for i := range words {
+		words[i], err = k.readU32(s, ptr+uint32(i*4))
+		if err != nil {
+			return nil, err
+		}
+	}
+	Of(s).Storage = &StorageChars{
+		InitializePC: words[0], ReadPC: words[1], WritePC: words[2],
+		CancelPC: words[3], PnpPC: words[4], PowerPC: words[5],
+		ISRPC: words[6], HaltPC: words[7],
+	}
+	k.SetRet(s, StatusSuccess)
+	return nil, nil
+}
+
+// IoConnectInterrupt(isrPC, ctx) attaches the ISR to the device interrupt:
+// from here on symbolic interrupts may be injected.
+func ioConnectInterrupt(k *Kernel, s *vm.State) ([]*vm.State, error) {
+	isrPC, err := k.ArgConcrete(s, 0)
+	if err != nil {
+		return nil, err
+	}
+	ks := Of(s)
+	ks.ISRRegistered = true
+	ks.ISRPC = isrPC
+	k.SetRet(s, StatusSuccess)
+	return nil, nil
+}
+
+// KeInitializeDpc(dpcPtr, funcPC, ctx) initializes a driver-embedded KDPC
+// object.
+func keInitializeDpc(k *Kernel, s *vm.State) ([]*vm.State, error) {
+	ptr, err := k.ArgConcrete(s, 0)
+	if err != nil {
+		return nil, err
+	}
+	funcPC, err := k.ArgConcrete(s, 1)
+	if err != nil {
+		return nil, err
+	}
+	ctx, err := k.ArgConcrete(s, 2)
+	if err != nil {
+		return nil, err
+	}
+	Of(s).Dpcs[ptr] = &DpcObj{Inited: true, FuncPC: funcPC, Ctx: ctx}
+	k.SetRet(s, StatusSuccess)
+	return nil, nil
+}
+
+// KeInsertQueueDpc(dpcPtr) -> TRUE if newly queued, FALSE if already
+// queued. Queuing an uninitialized DPC is a verifier bug (the KDPC-flavour
+// of BugCheckTimerNotInitialized).
+func keInsertQueueDpc(k *Kernel, s *vm.State) ([]*vm.State, error) {
+	ptr, err := k.ArgConcrete(s, 0)
+	if err != nil {
+		return nil, err
+	}
+	ks := Of(s)
+	o, ok := ks.Dpcs[ptr]
+	if !ok || !o.Inited {
+		return nil, k.verifierBug(s, BugCheckTimerNotInitialized,
+			"KeInsertQueueDpc of uninitialized DPC object %#x", ptr)
+	}
+	if o.Queued {
+		k.SetRet(s, 0)
+		return nil, nil
+	}
+	o.Queued = true
+	ks.PendingDPCs = append(ks.PendingDPCs, DPC{FuncPC: o.FuncPC, Ctx: o.Ctx, Label: "kdpc", Obj: ptr})
+	k.SetRet(s, 1)
+	return nil, nil
+}
+
+// PoSetPowerState(state) records the device power state the driver
+// reported (PowerDeviceD0/D3); the workload's Suspend/Resume nodes read it
+// back for edge decisions.
+func poSetPowerState(k *Kernel, s *vm.State) ([]*vm.State, error) {
+	state, err := k.ArgConcrete(s, 0)
+	if err != nil {
+		return nil, err
+	}
+	ks := Of(s)
+	old := ks.PowerState
+	ks.PowerState = state
+	k.SetRet(s, old)
+	return nil, nil
+}
+
+// MmMapIoSpace(physAddr, length) -> virtual base of the device's register
+// window (the machine routes loads/stores there to the device hooks).
+func mmMapIoSpace(k *Kernel, s *vm.State) ([]*vm.State, error) {
+	if _, err := k.ArgConcrete(s, 0); err != nil {
+		return nil, err
+	}
+	k.SetRet(s, isa.MMIOBase)
 	return nil, nil
 }
 
