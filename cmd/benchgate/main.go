@@ -20,6 +20,12 @@
 // the gate protects, is still comparable. Lower must be better for every
 // tracked metric.
 //
+// With `-benchmem` in the bench invocation, B/op and allocs/op appear as
+// ordinary value/unit columns and can be gated the same way
+// ("Name:allocs/op") — the CI gate tracks allocation counts on the
+// hot-path benchmarks so an alloc-count regression fails even when extra
+// garbage hasn't (yet) shown up in wall clock.
+//
 // A leading "?" marks a target as optional-on-base: a benchmark the PR
 // itself introduces has no merge-base samples, and without the marker the
 // missing-side rule would fail the introducing PR's own gate. An optional

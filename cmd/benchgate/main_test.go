@@ -116,6 +116,39 @@ func TestGatePerSessionMetricSurvivesShapeChange(t *testing.T) {
 	}
 }
 
+// benchMemOut fabricates `go test -bench -benchmem` output: the standard
+// ns/op column followed by the B/op and allocs/op columns -benchmem adds.
+func benchMemOut(name string, ns, allocs float64, runs int) string {
+	var sb strings.Builder
+	sb.WriteString("goos: linux\ngoarch: amd64\npkg: repro\n")
+	for i := 0; i < runs; i++ {
+		fmt.Fprintf(&sb, "%s-8 \t       3\t%8.0f ns/op\t    %.0f B/op\t      %.0f allocs/op\n",
+			name, ns, allocs*48, allocs)
+	}
+	sb.WriteString("PASS\nok  \trepro\t12.3s\n")
+	return sb.String()
+}
+
+// TestGateFailsOnInjectedAllocRegression: with -benchmem columns present,
+// an allocs/op target gates allocation counts — inject a +30% alloc
+// regression with unchanged wall clock and the alloc gate must fail while
+// the ns/op gate over the same outputs still passes.
+func TestGateFailsOnInjectedAllocRegression(t *testing.T) {
+	base := benchMemOut("BenchmarkFuzzExecsPerSec", 1000, 100, 6)
+	head := benchMemOut("BenchmarkFuzzExecsPerSec", 1000, 130, 6)
+	s := gate(base, head, targets("BenchmarkFuzzExecsPerSec:allocs/op"), 0.20)
+	if s.Pass {
+		t.Fatal("gate passed a 30% allocs/op regression")
+	}
+	r := s.Results[0]
+	if !r.Regression || r.Unit != "allocs/op" || r.Base != 100 || r.Head != 130 {
+		t.Fatalf("result %+v, want allocs/op regression 100 -> 130", r)
+	}
+	if ns := gate(base, head, targets("BenchmarkFuzzExecsPerSec"), 0.20); !ns.Pass {
+		t.Fatalf("ns/op gate failed with unchanged wall clock: %+v", ns.Results)
+	}
+}
+
 // TestGateThresholdIsExclusive: exactly-at-threshold is not a regression
 // (the gate fires on > 20%, not >= 20%).
 func TestGateThresholdIsExclusive(t *testing.T) {

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/campaign"
@@ -40,10 +41,25 @@ func main() {
 	fz := flag.Bool("fuzz", false, "fuzzer throughput and mode comparison")
 	par := flag.Bool("parallel", false, "parallel exploration scaling and solver-cache stats")
 	pipe := flag.Bool("pipeline", false, "cross-phase pipelined exploration: barriered vs pipelined wall clock and per-phase concurrency")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the selected sections to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	// -pipeline is this command's report-section selector, so only the
 	// non-conflicting subset of the uniform campaign flag surface registers.
 	cf := campaign.RegisterFlags(flag.CommandLine, campaign.FlagWorkers|campaign.FlagSeed|campaign.FlagTimeout)
 	flag.Parse()
+
+	// Profile wiring matches ddtfuzz: CPU profile brackets the run,
+	// heap profile snapshots retained memory at exit.
+	if *cpuProfile != "" {
+		pf, err := os.Create(*cpuProfile)
+		check(err)
+		check(pprof.StartCPUProfile(pf))
+		defer pf.Close()
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer writeHeapProfile(*memProfile)
+	}
 
 	all := !*t1 && !*t2 && !*f2 && !*f3 && !*dv && !*sdvF && !*abl && !*fz && !*par && !*pipe
 
@@ -246,6 +262,17 @@ func fuzzSection(seed int64, timeout time.Duration) error {
 	fmt.Printf("  amd-pcnet bug keys: fuzz %d, symbolic %d, hybrid %d\n",
 		len(pf.Crashes), len(ps.Bugs), ph.TotalBugKeys())
 	return nil
+}
+
+// writeHeapProfile snapshots the live heap (after a forced GC, so the
+// profile reflects retained objects rather than garbage awaiting collection)
+// into a pprof file.
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	check(err)
+	defer f.Close()
+	runtime.GC()
+	check(pprof.WriteHeapProfile(f))
 }
 
 func check(err error) {

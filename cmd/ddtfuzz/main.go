@@ -53,6 +53,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/pprof"
 
 	"repro"
@@ -75,6 +76,7 @@ func main() {
 	hybrid := flag.Bool("hybrid", false, "run the hybrid concolic loop")
 	jsonOut := flag.String("json", "", "write JSON report to file (\"-\" for stdout)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the campaign to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at campaign exit to this file")
 	expect := flag.Bool("expect", false, "compare against the driver's expected Table 2 bug classes")
 	managerURL := flag.String("manager", "", "attach to a ddtd campaign manager at this base URL")
 	name := flag.String("name", "", "worker name reported to the manager (default host-pid)")
@@ -113,6 +115,9 @@ func main() {
 		}
 		defer pf.Close()
 		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer writeHeapProfile(*memProfile)
 	}
 
 	var rep *fuzz.Report
@@ -235,6 +240,21 @@ func loadImage(driver string, fixed bool, args []string) (*binimg.Image, error) 
 		return ddt.LoadDriver(b)
 	default:
 		return nil, fmt.Errorf("pass -driver name or one driver binary path (see ddt -list)")
+	}
+}
+
+// writeHeapProfile snapshots the live heap (after a forced GC, so the
+// profile reflects retained objects rather than garbage awaiting collection)
+// into a pprof file.
+func writeHeapProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fatal(err)
 	}
 }
 

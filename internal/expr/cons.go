@@ -1,0 +1,38 @@
+package expr
+
+import "sync/atomic"
+
+// Hash-consing tables. Beyond the static constant interning (smallConsts,
+// maskConsts, pow2Consts), every node the smart constructors produce is
+// looked up in a bounded, direct-mapped, lock-free table before a fresh
+// allocation: compound nodes by (Op, child pointers), constants by value,
+// symbols by SymID. Because children are consed before their parents,
+// structurally equal subtrees built while their table entries survive
+// share one pointer — which turns the simplifier's Equal fast path and
+// solver cache key comparisons into pointer hits, and makes repeated
+// expression construction on the hot path allocation-free.
+//
+// Eviction is overwrite-on-collision: a slot holds the most recent node
+// that hashed to it. That bounds memory without any bookkeeping, at the
+// cost of guaranteed sharing — two live expressions may still be
+// structurally equal with different pointers (Equal stays structural for
+// exactly this reason). Consing is an allocation/identity optimization,
+// never a semantic one: hashes, sizes, and fold results are byte-for-byte
+// what the unconsed constructors produced.
+//
+// The tables are global, not per-worker: slots are atomic.Pointer values,
+// so concurrent workers race benignly (each validates the loaded node
+// field-by-field before using it) and a build sequence on one goroutine
+// is guaranteed to see its own stores — the property the pointer-equality
+// tests rely on.
+const (
+	consSize  = 1 << 14 // compound nodes: 16384 slots (128 KiB of pointers)
+	constSize = 1 << 12 // out-of-range constants
+	symSize   = 1 << 12 // symbol references
+)
+
+var (
+	consTable  [consSize]atomic.Pointer[Expr]
+	constTable [constSize]atomic.Pointer[Expr]
+	symTable   [symSize]atomic.Pointer[Expr]
+)

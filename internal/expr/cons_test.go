@@ -1,0 +1,89 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestConsPointerIdentity: with the hash-cons cache, building the same
+// compound expression twice back-to-back returns the same node pointer —
+// structural equality implies pointer equality while the entry is resident.
+// This is what lets DAG-aware walks (CollectSyms, the solver's constant
+// harvest) skip shared subtrees by pointer.
+func TestConsPointerIdentity(t *testing.T) {
+	x, y := Sym(0), Sym(1)
+	if Sym(0) != x {
+		t.Fatal("Sym not pointer-stable")
+	}
+	if Const(0x1234567) != Const(0x1234567) {
+		t.Fatal("Const not pointer-stable")
+	}
+	a := Add(Mul(x, y), Xor(x, Const(0xDEAD)))
+	b := Add(Mul(x, y), Xor(x, Const(0xDEAD)))
+	if a != b {
+		t.Fatalf("identical builds produced distinct nodes: %p vs %p", a, b)
+	}
+	// The table is direct-mapped, so two nodes of one big expression can
+	// collide into the same slot and evict each other mid-build; the hard
+	// guarantee is therefore immediate reconstruction: a compound node is
+	// the last store to its slot, so re-invoking its constructor over the
+	// same children returns the identical pointer. Pin that for random
+	// expression shapes.
+	f := func(seed int64) bool {
+		e := randomExpr(rand.New(rand.NewSource(seed)), 4, 5)
+		if e.Op == OpConst || e.Op == OpSym {
+			return true
+		}
+		return rebuild(e.Op, e.X, e.Y, e.Z) == e
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConsEvictionKeepsStructuralEqual: the cache is direct-mapped with
+// overwrite-on-collision eviction, so pointer sharing is NOT guaranteed
+// across unrelated construction traffic — Equal must stay structural and
+// hashes must stay build-order independent. Flood the table between two
+// builds of the same expression and check the semantic invariants hold
+// whether or not the nodes were shared.
+func TestConsEvictionKeepsStructuralEqual(t *testing.T) {
+	build := func() *Expr {
+		return Ite(ULt(Sym(2), Const(77)), Add(Sym(2), Sym(3)), Not(Sym(3)))
+	}
+	e1 := build()
+	// Flood: enough distinct nodes to wrap every table index many times.
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 4*consSize; i++ {
+		_ = Add(Sym(SymID(r.Intn(64))), Const(uint32(i)*2654435761))
+	}
+	e2 := build()
+	if !Equal(e1, e2) {
+		t.Fatal("structural equality lost across cache eviction")
+	}
+	if e1.Hash() != e2.Hash() {
+		t.Fatal("hash differs across cache eviction")
+	}
+	a := Assignment{2: 123, 3: 456}
+	if Eval(e1, a) != Eval(e2, a) {
+		t.Fatal("evaluation differs across cache eviction")
+	}
+}
+
+// TestConsFoldingUnchanged: consing happens after the smart constructors'
+// folds, so every algebraic rewrite fires exactly as before — a consed
+// compound over constants still folds to the interned constant, and
+// identity rewrites still return the operand itself.
+func TestConsFoldingUnchanged(t *testing.T) {
+	if got := Add(Const(3), Const(4)); !got.IsConst() || got.ConstVal() != 7 {
+		t.Fatalf("constant fold broken under consing: %v", got)
+	}
+	x := Sym(5)
+	if got := Add(x, Const(0)); got != x {
+		t.Fatalf("identity rewrite broken under consing: %v", got)
+	}
+	if got := Xor(x, x); !got.IsConst() || got.ConstVal() != 0 {
+		t.Fatalf("self-xor fold broken under consing: %v", got)
+	}
+}

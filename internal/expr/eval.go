@@ -68,9 +68,27 @@ func Eval(e *Expr, a Assignment) uint32 {
 	panic("expr: eval of unknown op " + e.Op.String())
 }
 
+// collectSymsDAGThreshold is the tree size above which CollectSyms walks
+// with a pointer-visited set. Hash-consing makes big expressions DAGs with
+// heavy subtree sharing; skipping already-visited pointers turns the walk
+// from O(tree) into O(distinct nodes). Small expressions stay on the plain
+// recursion — the visited map would cost more than it saves.
+const collectSymsDAGThreshold = 64
+
 // CollectSyms appends every symbol referenced by e to set (a scratch map
 // owned by the caller).
 func CollectSyms(e *Expr, set map[SymID]bool) {
+	if e == nil {
+		return
+	}
+	if e.size > collectSymsDAGThreshold {
+		collectSymsDAG(e, set, make(map[*Expr]struct{}, 32))
+		return
+	}
+	collectSymsTree(e, set)
+}
+
+func collectSymsTree(e *Expr, set map[SymID]bool) {
 	if e == nil {
 		return
 	}
@@ -78,9 +96,26 @@ func CollectSyms(e *Expr, set map[SymID]bool) {
 		set[e.Sym] = true
 		return
 	}
-	CollectSyms(e.X, set)
-	CollectSyms(e.Y, set)
-	CollectSyms(e.Z, set)
+	collectSymsTree(e.X, set)
+	collectSymsTree(e.Y, set)
+	collectSymsTree(e.Z, set)
+}
+
+func collectSymsDAG(e *Expr, set map[SymID]bool, seen map[*Expr]struct{}) {
+	if e == nil || e.Op == OpConst {
+		return
+	}
+	if e.Op == OpSym {
+		set[e.Sym] = true
+		return
+	}
+	if _, ok := seen[e]; ok {
+		return
+	}
+	seen[e] = struct{}{}
+	collectSymsDAG(e.X, set, seen)
+	collectSymsDAG(e.Y, set, seen)
+	collectSymsDAG(e.Z, set, seen)
 }
 
 // Syms returns the set of symbols referenced by e, as a slice in

@@ -116,7 +116,20 @@ func Const(c uint32) *Expr {
 	if c&(c-1) == 0 { // power of two
 		return pow2Consts[bits.TrailingZeros32(c)]
 	}
-	return internConst(c)
+	// Out-of-range values go through the bounded cons table so repeated
+	// materialization of the same word (device register values, packet
+	// fields) yields one shared node. The slot index is the node's own
+	// structural hash: cheaper index functions were measured and lost —
+	// their worse slot distribution cost more in evictions (a miss pays an
+	// allocation plus the hash anyway, and breaks downstream pointer
+	// sharing) than they saved per hit.
+	slot := &constTable[hashNode(OpConst, uint64(c), 0, 0)&(constSize-1)]
+	if e := slot.Load(); e != nil && e.C == c {
+		return e
+	}
+	e := internConst(c)
+	slot.Store(e)
+	return e
 }
 
 // Bool returns Const(1) if b, else Const(0).
@@ -127,9 +140,17 @@ func Bool(b bool) *Expr {
 	return smallConsts[0]
 }
 
-// Sym returns a reference to symbolic variable id.
+// Sym returns a reference to symbolic variable id. References are interned
+// through the cons table: every read of the same symbolic device register
+// returns the same node.
 func Sym(id SymID) *Expr {
-	return &Expr{Op: OpSym, Sym: id, hash: hashNode(OpSym, uint64(id), 0, 0), size: 1}
+	slot := &symTable[uint64(uint32(id))&(symSize-1)]
+	if e := slot.Load(); e != nil && e.Sym == id {
+		return e
+	}
+	e := &Expr{Op: OpSym, Sym: id, hash: hashNode(OpSym, uint64(id), 0, 0), size: 1}
+	slot.Store(e)
+	return e
 }
 
 // IsConst reports whether e is a concrete constant.
@@ -190,7 +211,20 @@ func newNode(op Op, x, y, z *Expr) *Expr {
 		hz = z.hash
 		sz += z.size
 	}
-	return &Expr{Op: op, X: x, Y: y, Z: z, hash: hashNode(op, hx, hy, hz), size: sz}
+	// Hash-cons: children were consed before their parent, so comparing
+	// child pointers is structural identity for the whole subtree whenever
+	// the slot still holds a match. The slot index is the node's structural
+	// hash itself — cheap mixes of the child hashes were tried and measured
+	// slower overall: worse distribution raises the miss rate, and a miss
+	// pays the full hash plus an allocation and evicts a shared node.
+	h := hashNode(op, hx, hy, hz)
+	slot := &consTable[h&(consSize-1)]
+	if e := slot.Load(); e != nil && e.Op == op && e.X == x && e.Y == y && e.Z == z {
+		return e
+	}
+	e := &Expr{Op: op, X: x, Y: y, Z: z, hash: h, size: sz}
+	slot.Store(e)
+	return e
 }
 
 // Equal reports structural equality of a and b.

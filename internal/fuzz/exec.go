@@ -54,6 +54,20 @@ type Options struct {
 	// superblock determinism suite proves it); the switch exists for those
 	// proofs and for the step-loop benchmarks.
 	NoSuperblocks bool `json:",omitempty"`
+	// NoCompiledSpans disables the VM's pre-lowered micro-op dispatch and
+	// falls back to per-instruction decode inside spans. Execution is
+	// bit-identical either way (the compiled-span determinism suite proves
+	// it); the switch exists for those proofs and for dispatch benchmarks.
+	NoCompiledSpans bool `json:",omitempty"`
+	// LazyTrace runs executions trace-free: no TraceNode chain is built,
+	// recorded, or allocated (ExecResult.Trace is nil). Execution is a pure
+	// function of (feed, schedule), so the full chain for the rare feeds
+	// that need one — crashes under triage, determinism comparisons — is
+	// materialized on demand by RunTraced, an exact cold re-execution with
+	// tracing on; the lazy-trace determinism suite proves the rematerialized
+	// chain event-for-event identical to an eager one. Defaults on in
+	// DefaultOptions: the fuzzer's hot path never looks at traces.
+	LazyTrace bool
 }
 
 // DefaultOptions mirror the engine's workload configuration, with tighter
@@ -66,6 +80,7 @@ func DefaultOptions() Options {
 		MaxInterrupts:    4,
 		LoopThreshold:    1_000,
 		MaxDPCs:          8,
+		LazyTrace:        true,
 	}
 }
 
@@ -139,7 +154,8 @@ type ExecResult struct {
 	// Trace is the executed path's event chain (the final state's trace).
 	// Warm executions chain through the snapshot's recorded boot trace, so
 	// the event sequence equals a cold execution's — the determinism suite
-	// compares them event by event.
+	// compares them event by event. Nil under Options.LazyTrace: use
+	// RunTraced to materialize the chain by exact re-execution.
 	Trace *vm.TraceNode
 }
 
@@ -167,6 +183,7 @@ type Executor struct {
 	stepsBase uint64 // logical boot steps a snapshot resume skipped
 	curNew    int
 	curSeen   map[uint32]bool
+	covBatch  []uint32 // first-seen block PCs awaiting one shared-map Merge
 	intrUsed  int
 	lastBlock uint32
 	eligBound uint64 // persistent mode: triggers below this could have fired
@@ -198,6 +215,12 @@ func NewExecutor(img *binimg.Image, cov *exerciser.Coverage, opts Options) *Exec
 	if opts.NoSuperblocks {
 		e.m.DisableSuperblocks = true
 	}
+	if opts.NoCompiledSpans {
+		e.m.DisableCompiledSpans = true
+	}
+	if opts.LazyTrace {
+		e.m.DisableTrace = true
+	}
 	if opts.Persist {
 		e.snaps = opts.Fabric
 		if e.snaps == nil {
@@ -209,9 +232,14 @@ func NewExecutor(img *binimg.Image, cov *exerciser.Coverage, opts Options) *Exec
 		e.lastBlock = pc
 		if !e.curSeen[pc] {
 			e.curSeen[pc] = true
-		}
-		if e.cov != nil && e.cov.Visit(pc, e.now()) {
-			e.curNew++
+			// Batched coverage: first-seen blocks accumulate locally and hit
+			// the shared map in one Merge per execution (flushCoverage)
+			// instead of one mutex round-trip per block. Merge dedups against
+			// the global map atomically, so novelty attribution (NewBlocks)
+			// is what per-block Visit calls would have produced.
+			if e.cov != nil {
+				e.covBatch = append(e.covBatch, pc)
+			}
 		}
 		if err := e.loop.Visit(s, pc); err != nil {
 			if f, ok := err.(*vm.Fault); ok {
@@ -220,6 +248,17 @@ func NewExecutor(img *binimg.Image, cov *exerciser.Coverage, opts Options) *Exec
 		}
 	}
 	return e
+}
+
+// flushCoverage publishes the execution's first-seen blocks to the shared
+// coverage map in one call, crediting any fleet-novel ones to curNew. Must
+// run before NewBlocks is read off the execution.
+func (e *Executor) flushCoverage() {
+	if len(e.covBatch) == 0 {
+		return
+	}
+	e.curNew += e.cov.Merge(e.covBatch, e.now())
+	e.covBatch = e.covBatch[:0]
 }
 
 func (e *Executor) now() uint64 {
@@ -329,6 +368,7 @@ func (e *Executor) Run(feed *Feed) *ExecResult {
 	e.stepsBase = 0
 	e.curNew = 0
 	e.curSeen = make(map[uint32]bool)
+	e.covBatch = e.covBatch[:0]
 	e.intrUsed = 0
 	e.lastBlock = 0
 	e.eligBound = 0
@@ -352,16 +392,39 @@ func (e *Executor) Run(feed *Feed) *ExecResult {
 		fin = e.runWorkload(e.bootState(), res)
 	}
 
+	e.flushCoverage()
 	res.NewBlocks = e.curNew
 	res.Blocks = len(e.curSeen)
 	res.Steps = e.m.Steps.Load() - e.runBase + e.stepsBase
 	res.ConsumedData, res.ConsumedForks, res.ConsumedIRQ = e.reader.consumed()
 	if fin != nil {
-		res.Trace = fin.Trace
-		// The final state is never touched again (crash identity, trace, and
-		// cursors are all harvested); recycle its overlay maps.
+		// Detach the trace before retiring: Retire recycles an attached
+		// leaf's event storage, and the harvested chain must outlive the
+		// state. The rest of the state is never touched again (crash
+		// identity and cursors are all harvested); recycle its overlay maps.
+		res.Trace = fin.DetachTrace()
 		fin.Retire()
 	}
+	return res
+}
+
+// RunTraced executes one feed exactly like Run but guarantees the result
+// carries the full trace chain, whatever Options.LazyTrace says. Under lazy
+// tracing it re-enables trace recording and runs the feed cold — snapshot
+// lookup AND recording are bypassed, so trace-carrying states never enter
+// the (trace-free) snapshot fabric and the chain covers the whole workload
+// from boot. Execution is a pure function of the feed, so every other
+// result field matches the trace-free run of the same feed bit for bit.
+func (e *Executor) RunTraced(feed *Feed) *ExecResult {
+	if !e.opts.LazyTrace {
+		return e.Run(feed)
+	}
+	snaps := e.snaps
+	e.snaps = nil
+	e.m.DisableTrace = false
+	res := e.Run(feed)
+	e.m.DisableTrace = true
+	e.snaps = snaps
 	return res
 }
 

@@ -24,9 +24,9 @@ func TestSuperblockFuzzExecBitIdentity(t *testing.T) {
 	for _, name := range corpus.Names() {
 		t.Run(name, func(t *testing.T) {
 			for _, persist := range []bool{false, true} {
-				fastOpts := DefaultOptions()
+				fastOpts := eagerOptions()
 				fastOpts.Persist = persist
-				slowOpts := DefaultOptions()
+				slowOpts := eagerOptions()
 				slowOpts.Persist = persist
 				slowOpts.NoSuperblocks = true
 
@@ -109,7 +109,7 @@ func TestSharedSnapshotFabricConcurrent(t *testing.T) {
 		t.Fatal(err)
 	}
 	fabric := NewSnapFabric()
-	opts := DefaultOptions()
+	opts := eagerOptions()
 	opts.Persist = true
 	opts.Fabric = fabric
 
@@ -144,7 +144,7 @@ func TestSharedSnapshotFabricConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 
-	want := NewExecutor(img, nil, DefaultOptions()).Run(zero)
+	want := NewExecutor(img, nil, eagerOptions()).Run(zero)
 	for i, res := range results {
 		if !res.Warm || res.SkippedSteps == 0 {
 			t.Fatalf("executor %d did not resume from the shared fabric (warm=%v skip=%d)",
@@ -170,7 +170,7 @@ func TestSharedSnapshotFabricConcurrent(t *testing.T) {
 	// results must match a serial cold executor feed-for-feed.
 	feedsPer := 25
 	coldRes := make([][]*ExecResult, workers)
-	cold := NewExecutor(img, nil, DefaultOptions())
+	cold := NewExecutor(img, nil, eagerOptions())
 	schedules := make([][]*Feed, workers)
 	for i := range schedules {
 		schedules[i] = persistFeeds(NewMutator(int64(100+i)), feedsPer)

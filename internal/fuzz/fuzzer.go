@@ -83,6 +83,11 @@ type Report struct {
 	// TriageExecs counts the extra executions spent verifying and
 	// minimizing crashes.
 	TriageExecs uint64 `json:"triage_execs"`
+	// LazyTraceReexecs counts the traced re-executions spent materializing
+	// full trace chains under Options.LazyTrace (crash verification runs
+	// traced, so each deduplicated crash costs exactly one). A subset of
+	// TriageExecs; zero when tracing is eager.
+	LazyTraceReexecs uint64 `json:"lazy_trace_reexecs,omitempty"`
 	// Instructions is total simulated instructions across all workers. With
 	// persistent mode on, boot instructions a snapshot resume logically
 	// replayed without re-executing are included, so the simulated-time axis
@@ -204,6 +209,7 @@ type Fuzzer struct {
 
 	execsDone    atomic.Uint64
 	triageExecs  atomic.Uint64
+	lazyReexecs  atomic.Uint64
 	steps        atomic.Uint64
 	coldExecs    atomic.Uint64
 	warmExecs    atomic.Uint64
@@ -385,6 +391,7 @@ func (f *Fuzzer) Run(ctx context.Context) (*Report, error) {
 		Workers:             f.cfg.Workers,
 		Execs:               f.execsDone.Load(),
 		TriageExecs:         f.triageExecs.Load(),
+		LazyTraceReexecs:    f.lazyReexecs.Load(),
 		Instructions:        f.steps.Load(),
 		ColdExecs:           f.coldExecs.Load(),
 		WarmExecs:           f.warmExecs.Load(),
@@ -516,8 +523,15 @@ func (f *Fuzzer) triageCrash(exec *Executor, mu *Mutator, worker int, feed *Feed
 	// Verification: the minimized feed must deterministically reproduce the
 	// same fault site and class. finalize publishes both under the store
 	// lock, so concurrent Crashes() readers never see a half-triaged entry.
-	ver := exec.Run(minFeed)
+	// The verification runs traced: under lazy tracing this is the one
+	// place a crash's full trace chain is rematerialized (by exact cold
+	// re-execution), at no extra execution cost — the verification had to
+	// run anyway.
+	ver := exec.RunTraced(minFeed)
 	f.triageExecs.Add(1)
+	if f.cfg.Exec.LazyTrace {
+		f.lazyReexecs.Add(1)
+	}
 	f.crashes.finalize(c, minFeed, ver.Crash != nil && ver.Crash.Key() == c.Key())
 
 	if f.cfg.CorpusDir != "" {

@@ -1,0 +1,186 @@
+package fuzz
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/binimg"
+	"repro/internal/corpus"
+	"repro/internal/exerciser"
+)
+
+// TestLazyTraceRematerialization is the trace-on-demand contract: for every
+// corpus driver, in every executor configuration (cold vs persistent,
+// superblocks on vs off), a lazy executor's RunTraced materializes — by
+// exact cold re-execution — a trace chain event-for-event identical to what
+// an eager executor records for the same feed, while the lazy fast path
+// itself stays trace-free (ExecResult.Trace nil) and bit-identical on every
+// other result field. It also proves the traced re-execution does not
+// poison the lazy executor's snapshot fabric: re-running the feed after
+// RunTraced still resumes trace-free with identical results.
+func TestLazyTraceRematerialization(t *testing.T) {
+	for _, name := range corpus.Names() {
+		t.Run(name, func(t *testing.T) {
+			for _, persist := range []bool{false, true} {
+				for _, noSB := range []bool{false, true} {
+					lazyOpts := DefaultOptions()
+					lazyOpts.Persist = persist
+					lazyOpts.NoSuperblocks = noSB
+					if !lazyOpts.LazyTrace {
+						t.Fatal("DefaultOptions no longer defaults to lazy tracing")
+					}
+					eagOpts := eagerOptions()
+					eagOpts.Persist = persist
+					eagOpts.NoSuperblocks = noSB
+
+					img, err := corpus.Build(name, corpus.Buggy)
+					if err != nil {
+						t.Fatal(err)
+					}
+					lazy := NewExecutor(img, nil, lazyOpts)
+					eager := NewExecutor(img, nil, eagOpts)
+
+					mu := NewMutator(11)
+					for i, f := range persistFeeds(mu, 10) {
+						tag := fmt.Sprintf("persist=%v nosb=%v feed %d", persist, noSB, i)
+						lr := lazy.Run(f)
+						if lr.Trace != nil {
+							t.Fatalf("%s: lazy execution built a trace chain", tag)
+						}
+						eg := eager.Run(f)
+						tr := lazy.RunTraced(f)
+						// The rematerialized chain (and every other field)
+						// must match the eager execution exactly.
+						compareExec(t, tag+" retraced", tr, eg)
+						// The trace-free run agrees with both on everything
+						// but the (absent) chain.
+						if lr.Steps != eg.Steps || lr.Blocks != eg.Blocks ||
+							(lr.Crash == nil) != (eg.Crash == nil) {
+							t.Fatalf("%s: lazy run diverged: steps %d vs %d, blocks %d vs %d",
+								tag, lr.Steps, eg.Steps, lr.Blocks, eg.Blocks)
+						}
+						// RunTraced must not have leaked traced states into
+						// the trace-free fabric: the next lazy run of the
+						// same feed is still trace-free and identical.
+						again := lazy.Run(f)
+						if again.Trace != nil {
+							t.Fatalf("%s: traced re-execution poisoned the fabric", tag)
+						}
+						if again.Steps != lr.Steps || again.Blocks != lr.Blocks {
+							t.Fatalf("%s: post-RunTraced run diverged (steps %d vs %d)",
+								tag, again.Steps, lr.Steps)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLazyTraceEagerRunTracedPassthrough pins the degenerate half of the
+// RunTraced contract: on an eager executor it is plain Run (no snapshot
+// bypass, no machine reconfiguration).
+func TestLazyTraceEagerRunTracedPassthrough(t *testing.T) {
+	img, err := corpus.Build("rtl8029", corpus.Buggy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExecutor(img, nil, eagerOptions())
+	f := &Feed{Data: make([]byte, 64)}
+	a := ex.Run(f)
+	b := ex.RunTraced(f)
+	compareExec(t, "eager passthrough", a, b)
+	if b.Trace == nil {
+		t.Fatal("eager RunTraced returned no trace")
+	}
+}
+
+// TestCompiledSpanExecBitIdentity is the per-execution half of the compiled
+// span contract: for every corpus driver, dispatching spans through the
+// pre-lowered micro-op table (default) is bit-identical — steps, coverage,
+// crash identity, consumed cursors, and the full trace event chain — to the
+// per-instruction decode path (Options.NoCompiledSpans), in both cold-start
+// and persistent mode, over the same snapshot-stressing schedule the
+// superblock suite uses (interrupts landing mid-span included).
+func TestCompiledSpanExecBitIdentity(t *testing.T) {
+	for _, name := range corpus.Names() {
+		t.Run(name, func(t *testing.T) {
+			for _, persist := range []bool{false, true} {
+				fastOpts := eagerOptions()
+				fastOpts.Persist = persist
+				slowOpts := eagerOptions()
+				slowOpts.Persist = persist
+				slowOpts.NoCompiledSpans = true
+
+				img, err := corpus.Build(name, corpus.Buggy)
+				if err != nil {
+					t.Fatal(err)
+				}
+				blocks := len(binimg.StaticBlocks(img))
+				fast := NewExecutor(img, exerciser.NewCoverage(blocks), fastOpts)
+				slow := NewExecutor(img, exerciser.NewCoverage(blocks), slowOpts)
+
+				mu := NewMutator(5)
+				for i, f := range persistFeeds(mu, 15) {
+					a := fast.Run(f)
+					b := slow.Run(f)
+					compareExec(t, fmt.Sprintf("persist=%v feed %d", persist, i), a, b)
+				}
+			}
+		})
+	}
+}
+
+// TestFuzzCampaignCompiledSpansBitIdentical is the campaign-level half: a
+// full single-worker campaign with micro-op dispatch on is bit-identical to
+// one decoding per instruction — same crash set, same minimized
+// reproducers, same coverage series, same instruction totals.
+func TestFuzzCampaignCompiledSpansBitIdentical(t *testing.T) {
+	img, err := corpus.Build("rtl8029", corpus.Buggy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	campaign := func(noCS bool) *Report {
+		cfg := DefaultConfig()
+		cfg.Workers = 1
+		cfg.MaxExecs = 4_000
+		cfg.Persist = true
+		cfg.Exec.NoCompiledSpans = noCS
+		rep, err := New(img, cfg).Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	on := campaign(false)
+	off := campaign(true)
+	if !reflect.DeepEqual(crashKeys(on), crashKeys(off)) {
+		t.Fatalf("bug sets differ:\n  compiled: %v\n  decoded: %v", crashKeys(on), crashKeys(off))
+	}
+	if len(on.Crashes) == 0 {
+		t.Fatal("campaign found no crashes — equality is vacuous")
+	}
+	for k, f := range on.CrashFeeds {
+		if !f.Equal(off.CrashFeeds[k]) {
+			t.Fatalf("minimized reproducer for %s differs", k)
+		}
+	}
+	if on.Instructions != off.Instructions {
+		t.Fatalf("simulated instructions %d vs %d", on.Instructions, off.Instructions)
+	}
+	if on.BlocksCovered != off.BlocksCovered || on.CorpusSize != off.CorpusSize {
+		t.Fatalf("coverage/corpus: %d/%d vs %d/%d",
+			on.BlocksCovered, on.CorpusSize, off.BlocksCovered, off.CorpusSize)
+	}
+	if !reflect.DeepEqual(on.CoverageSeries, off.CoverageSeries) {
+		t.Fatal("coverage series diverged")
+	}
+	if on.LazyTraceReexecs != off.LazyTraceReexecs {
+		t.Fatalf("lazy-trace re-executions %d vs %d", on.LazyTraceReexecs, off.LazyTraceReexecs)
+	}
+	if on.LazyTraceReexecs == 0 {
+		t.Fatal("lazy campaign triaged crashes without any traced re-execution")
+	}
+}

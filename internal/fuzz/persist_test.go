@@ -75,6 +75,16 @@ func compareExec(t *testing.T, tag string, a, b *ExecResult) {
 	}
 }
 
+// eagerOptions is DefaultOptions with eager tracing: this suite compares
+// full trace chains execution by execution, which the lazy-trace default
+// would leave nil on both sides (making the comparison vacuous). The
+// lazy-trace determinism suite (lazytrace_test.go) covers the lazy side.
+func eagerOptions() Options {
+	o := DefaultOptions()
+	o.LazyTrace = false
+	return o
+}
+
 // persistFeeds builds a feed schedule that exercises the snapshot cache
 // hard: repeats (exact prefix hits), tail-extensions of earlier feeds
 // (warm resumes past the boot), boot-prefix mutants (snapshot misses and
@@ -111,10 +121,10 @@ func TestPersistentExecBitIdentical(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			warmOpts := DefaultOptions()
+			warmOpts := eagerOptions()
 			warmOpts.Persist = true
 			warm := NewExecutor(img, exerciser.NewCoverage(len(binimg.StaticBlocks(img))), warmOpts)
-			cold := NewExecutor(img, exerciser.NewCoverage(len(binimg.StaticBlocks(img))), DefaultOptions())
+			cold := NewExecutor(img, exerciser.NewCoverage(len(binimg.StaticBlocks(img))), eagerOptions())
 
 			mu := NewMutator(5)
 			warmHits := 0
@@ -144,7 +154,7 @@ func TestSnapshotInvalidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	opts := DefaultOptions()
+	opts := eagerOptions()
 	opts.Persist = true
 
 	t.Run("mutated boot prefix", func(t *testing.T) {
@@ -168,7 +178,7 @@ func TestSnapshotInvalidation(t *testing.T) {
 			t.Fatalf("boot-prefix mutant skipped %d steps, the stale deep snapshot's %d",
 				got.SkippedSteps, r2.SkippedSteps)
 		}
-		want := NewExecutor(img, nil, DefaultOptions()).Run(mutant)
+		want := NewExecutor(img, nil, eagerOptions()).Run(mutant)
 		compareExec(t, "boot-prefix mutant", got, want)
 		if got.Crash == nil {
 			t.Fatal("expected this mutant to crash in Initialize (registry corruption)")
@@ -193,7 +203,7 @@ func TestSnapshotInvalidation(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		probe := NewExecutor(pcnet, nil, DefaultOptions())
+		probe := NewExecutor(pcnet, nil, eagerOptions())
 		mu := NewMutator(17)
 		var mutant *Feed
 		var wantRes *ExecResult
@@ -245,7 +255,7 @@ func TestSnapshotInvalidation(t *testing.T) {
 			t.Fatalf("early-IRQ feed reused the Initialize snapshot: skip %d >= %d",
 				got.SkippedSteps, deep.SkippedSteps)
 		}
-		want := NewExecutor(img, nil, DefaultOptions()).Run(early)
+		want := NewExecutor(img, nil, eagerOptions()).Run(early)
 		compareExec(t, "early IRQ", got, want)
 	})
 
@@ -264,7 +274,7 @@ func TestSnapshotInvalidation(t *testing.T) {
 		}
 		warm := NewExecutor(img, nil, opts)
 		warm.Run(&Feed{Data: make([]byte, 64)}) // prime a snapshot
-		cold := NewExecutor(img, nil, DefaultOptions())
+		cold := NewExecutor(img, nil, eagerOptions())
 		for i, b := range srep.Bugs {
 			feed := FromBug(b)
 			compareExec(t, fmt.Sprintf("bridge feed %d", i), warm.Run(feed), cold.Run(feed))
@@ -288,7 +298,7 @@ func TestSnapshotInvalidation(t *testing.T) {
 		if !again.Warm || again.NewBlocks != 0 {
 			t.Fatalf("warm replay reported stale novelty: warm=%v new=%d", again.Warm, again.NewBlocks)
 		}
-		fresh := NewExecutor(img, cov, DefaultOptions()).Run(zero)
+		fresh := NewExecutor(img, cov, eagerOptions()).Run(zero)
 		compareExec(t, "shared coverage", again, fresh)
 	})
 }

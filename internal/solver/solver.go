@@ -438,11 +438,43 @@ func collectConsts(e *expr.Expr, out map[uint32]bool) {
 	if e == nil {
 		return
 	}
+	// Hash-consed expressions share subtrees; above the same threshold the
+	// expr package uses for symbol collection, skip already-visited
+	// pointers so shared subtrees are walked once. The collected value set
+	// is identical either way.
+	if e.Size() > 64 {
+		collectConstsDAG(e, out, make(map[*expr.Expr]struct{}, 32))
+		return
+	}
+	collectConstsTree(e, out)
+}
+
+func collectConstsTree(e *expr.Expr, out map[uint32]bool) {
+	if e == nil {
+		return
+	}
 	if e.Op == expr.OpConst {
 		out[e.C] = true
 		return
 	}
-	collectConsts(e.X, out)
-	collectConsts(e.Y, out)
-	collectConsts(e.Z, out)
+	collectConstsTree(e.X, out)
+	collectConstsTree(e.Y, out)
+	collectConstsTree(e.Z, out)
+}
+
+func collectConstsDAG(e *expr.Expr, out map[uint32]bool, seen map[*expr.Expr]struct{}) {
+	if e == nil {
+		return
+	}
+	if e.Op == expr.OpConst {
+		out[e.C] = true
+		return
+	}
+	if _, ok := seen[e]; ok {
+		return
+	}
+	seen[e] = struct{}{}
+	collectConstsDAG(e.X, out, seen)
+	collectConstsDAG(e.Y, out, seen)
+	collectConstsDAG(e.Z, out, seen)
 }

@@ -88,8 +88,27 @@ type Machine struct {
 	// identical either way.
 	DisableSuperblocks bool
 
+	// DisableCompiledSpans makes runSpan dispatch through the fastExec
+	// switch (re-decoding each instruction per visit) instead of the
+	// pre-lowered micro-op table. Both paths are instruction-exact; the
+	// bit-identity suites run them against each other.
+	DisableCompiledSpans bool
+
+	// DisableTrace starts root states with a nil trace chain, so no trace
+	// events are recorded or allocated anywhere on the path (TraceNode
+	// methods are nil-safe). Execution semantics are unaffected — a trace
+	// is pure observation — which is what lets the fuzz executor run
+	// trace-free by default and rematerialize a chain by exact
+	// re-execution with tracing on (fuzz.Options.LazyTrace).
+	DisableTrace bool
+
 	instrs    []isa.Instr
 	decodeErr []error
+
+	// uops[i] is the pre-lowered span micro-op for instruction i: the
+	// compiled form of the fastExec dispatch decision, computed once from
+	// the immutable image and shared read-only by every worker.
+	uops []uop
 
 	// spanLen[i] is the length of the straight-line span starting at
 	// instruction index i: the number of consecutive validly-decoded,
@@ -178,6 +197,14 @@ func NewMachine(img *binimg.Image, syms *expr.SymbolTable, sol *solver.Solver) *
 			m.spanLen[i] = m.spanLen[i+1] + 1
 		}
 	}
+	m.uops = make([]uop, n)
+	for i := 0; i < n; i++ {
+		if m.decodeErr[i] != nil {
+			m.uops[i] = uop{fn: uopGeneral}
+			continue
+		}
+		m.uops[i] = lowerUop(&m.instrs[i])
+	}
 	m.root = &ExecContext{M: m, Solver: sol}
 	return m
 }
@@ -211,6 +238,9 @@ func (m *Machine) SolverFor(s *State) *solver.Solver {
 // NewRootState allocates the initial state with the image loaded.
 func (m *Machine) NewRootState() *State {
 	s := NewState(m.newID())
+	if m.DisableTrace {
+		s.Trace = nil
+	}
 	s.Mem.WriteBytes(isa.ImageBase, m.Img.Text)
 	s.Mem.WriteBytes(m.Img.DataBase(), m.Img.Data)
 	// bss is implicitly zero.
@@ -241,6 +271,13 @@ func (m *Machine) ForkState(s *State) *State {
 func (m *Machine) SnapshotState(s *State) *State {
 	snap := s.Fork(m.newID())
 	snap.LoopCounts = s.loopCountsCopy()
+	// Freeze the snapshot's trace node now, while capture is still
+	// single-threaded: every ForkFrozen resume hangs a child off it, and
+	// with a shared fabric those resumes run concurrently — the flag must
+	// be set before the snapshot is published, not by the resumers.
+	if snap.Trace != nil {
+		snap.Trace.frozen = true
+	}
 	return snap
 }
 

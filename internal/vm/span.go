@@ -5,6 +5,127 @@ import (
 	"repro/internal/isa"
 )
 
+// uop is one pre-lowered span micro-op: the dispatch decision fastExec
+// makes by re-decoding `in.Op` through a switch on every visit is made
+// once per instruction slot at NewMachine time instead, leaving only a
+// direct call through fn with the operands already extracted. A uop either
+// completes the instruction against the scratch concrete register file
+// (returning true) or reports false to route that one instruction through
+// the general exec — the exact contract of fastExec, so the two dispatch
+// paths are interchangeable per instruction.
+type uop struct {
+	fn  func(u *uop, conc *[isa.NumRegs]uint32, known, dirty *uint32) bool
+	alu func(x, y uint32) uint32
+	imm uint32
+	rd  uint8
+	rs1 uint8
+	rs2 uint8
+}
+
+func uopGeneral(_ *uop, _ *[isa.NumRegs]uint32, _, _ *uint32) bool { return false }
+
+func uopNop(_ *uop, _ *[isa.NumRegs]uint32, _, _ *uint32) bool { return true }
+
+func uopMovi(u *uop, conc *[isa.NumRegs]uint32, known, dirty *uint32) bool {
+	conc[u.rd] = u.imm
+	*known |= 1 << u.rd
+	*dirty |= 1 << u.rd
+	return true
+}
+
+func uopMov(u *uop, conc *[isa.NumRegs]uint32, known, dirty *uint32) bool {
+	if *known&(1<<u.rs1) == 0 {
+		return false
+	}
+	conc[u.rd] = conc[u.rs1]
+	*known |= 1 << u.rd
+	*dirty |= 1 << u.rd
+	return true
+}
+
+func uopAluRR(u *uop, conc *[isa.NumRegs]uint32, known, dirty *uint32) bool {
+	if *known&(1<<u.rs1) == 0 || *known&(1<<u.rs2) == 0 {
+		return false
+	}
+	conc[u.rd] = u.alu(conc[u.rs1], conc[u.rs2])
+	*known |= 1 << u.rd
+	*dirty |= 1 << u.rd
+	return true
+}
+
+func uopAluRI(u *uop, conc *[isa.NumRegs]uint32, known, dirty *uint32) bool {
+	if *known&(1<<u.rs1) == 0 {
+		return false
+	}
+	conc[u.rd] = u.alu(conc[u.rs1], u.imm)
+	*known |= 1 << u.rd
+	*dirty |= 1 << u.rd
+	return true
+}
+
+// aluFn returns the concrete ALU function for op. The arithmetic is
+// aluConcrete's, case for case — both replicate the expr constant folds
+// bit for bit, which is what keeps the compiled path invisible.
+func aluFn(op isa.Opcode) func(x, y uint32) uint32 {
+	switch op {
+	case isa.ADD, isa.ADDI:
+		return func(x, y uint32) uint32 { return x + y }
+	case isa.SUB:
+		return func(x, y uint32) uint32 { return x - y }
+	case isa.MUL, isa.MULI:
+		return func(x, y uint32) uint32 { return x * y }
+	case isa.DIVU:
+		return func(x, y uint32) uint32 {
+			if y == 0 {
+				return 0xFFFFFFFF
+			}
+			return x / y
+		}
+	case isa.REMU:
+		return func(x, y uint32) uint32 {
+			if y == 0 {
+				return x
+			}
+			return x % y
+		}
+	case isa.AND, isa.ANDI:
+		return func(x, y uint32) uint32 { return x & y }
+	case isa.OR, isa.ORI:
+		return func(x, y uint32) uint32 { return x | y }
+	case isa.XOR, isa.XORI:
+		return func(x, y uint32) uint32 { return x ^ y }
+	case isa.SHL, isa.SHLI:
+		return func(x, y uint32) uint32 { return x << (y & 31) }
+	case isa.SHR, isa.SHRI:
+		return func(x, y uint32) uint32 { return x >> (y & 31) }
+	case isa.SAR, isa.SARI:
+		return func(x, y uint32) uint32 { return uint32(int32(x) >> (y & 31)) }
+	}
+	return nil
+}
+
+// lowerUop pre-lowers one decoded instruction into its span micro-op.
+// Instructions the fast path cannot complete (memory, stack, ports,
+// control flow) lower to uopGeneral and always take the general exec.
+func lowerUop(in *isa.Instr) uop {
+	switch in.Op {
+	case isa.NOP:
+		return uop{fn: uopNop}
+	case isa.MOVI:
+		return uop{fn: uopMovi, imm: in.Imm, rd: in.Rd}
+	case isa.MOV:
+		return uop{fn: uopMov, rd: in.Rd, rs1: in.Rs1}
+	case isa.ADD, isa.SUB, isa.MUL, isa.DIVU, isa.REMU,
+		isa.AND, isa.OR, isa.XOR, isa.SHL, isa.SHR, isa.SAR:
+		return uop{fn: uopAluRR, alu: aluFn(in.Op), rd: in.Rd, rs1: in.Rs1, rs2: in.Rs2}
+	case isa.ADDI, isa.ANDI, isa.ORI, isa.XORI,
+		isa.SHLI, isa.SHRI, isa.SARI, isa.MULI:
+		return uop{fn: uopAluRI, alu: aluFn(in.Op), imm: in.Imm, rd: in.Rd, rs1: in.Rs1}
+	default:
+		return uop{fn: uopGeneral}
+	}
+}
+
 // runSpan executes up to budget instructions of the straight-line span that
 // starts at instruction index idx, without re-entering the step dispatcher
 // per instruction. The span table guarantees every instruction in
@@ -71,13 +192,21 @@ func (c *ExecContext) runSpan(s *State, idx uint32, budget uint64) ([]*State, er
 	}
 	loadScratch()
 
+	compiled := !m.DisableCompiledSpans
 	for executed < maxN {
-		in := &m.instrs[i]
-		if fastExec(in, &conc, &known, &dirty) {
+		var done bool
+		if compiled {
+			u := &m.uops[i]
+			done = u.fn(u, &conc, &known, &dirty)
+		} else {
+			done = fastExec(&m.instrs[i], &conc, &known, &dirty)
+		}
+		if done {
 			executed++
 			i++
 			continue
 		}
+		in := &m.instrs[i]
 
 		// General path for this one instruction: make the architectural
 		// state exact first, exactly as the per-instruction dispatcher

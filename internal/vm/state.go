@@ -202,9 +202,13 @@ func (s *State) cloneChild(id uint64, mem *Memory, trace *TraceNode) *State {
 func (s *State) Fork(id uint64) *State {
 	frozenMem := s.Mem
 	s.Mem = frozenMem.Fork()
-	frozenTrace := s.Trace
-	s.Trace = &TraceNode{parent: frozenTrace}
-	return s.cloneChild(id, frozenMem.Fork(), &TraceNode{parent: frozenTrace})
+	var childTrace *TraceNode
+	if frozenTrace := s.Trace; frozenTrace != nil {
+		frozenTrace.frozen = true
+		s.Trace = &TraceNode{parent: frozenTrace}
+		childTrace = &TraceNode{parent: frozenTrace}
+	}
+	return s.cloneChild(id, frozenMem.Fork(), childTrace)
 }
 
 // ForkFrozen clones a frozen state into a fresh runnable child WITHOUT
@@ -218,7 +222,14 @@ func (s *State) Fork(id uint64) *State {
 // bit-identical replay of a cold execution (the persistent-mode fuzz
 // executor's contract) needs the boot segment's loop accounting.
 func (s *State) ForkFrozen(id uint64) *State {
-	c := s.cloneChild(id, s.Mem.Fork(), &TraceNode{parent: s.Trace})
+	var childTrace *TraceNode
+	if s.Trace != nil {
+		// The receiver's trace was frozen when the snapshot was captured
+		// (Machine.SnapshotState); ForkFrozen must not write to it — shared-
+		// fabric snapshots are resumed from many goroutines concurrently.
+		childTrace = &TraceNode{parent: s.Trace}
+	}
+	c := s.cloneChild(id, s.Mem.Fork(), childTrace)
 	c.LoopCounts = s.loopCountsCopy()
 	return c
 }
@@ -247,7 +258,19 @@ func (s *State) Retire() {
 	if s == nil {
 		return
 	}
+	s.Trace.recycle()
+	s.Trace = nil
 	s.Mem.Retire()
+}
+
+// DetachTrace removes and returns the state's trace chain so a caller can
+// keep it past Retire: a detached leaf is no longer reachable from the
+// state, so Retire cannot recycle its event storage out from under the
+// harvested result. Returns nil when the state ran trace-free.
+func (s *State) DetachTrace() *TraceNode {
+	t := s.Trace
+	s.Trace = nil
+	return t
 }
 
 // AddConstraint appends a path constraint.

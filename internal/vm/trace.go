@@ -1,6 +1,10 @@
 package vm
 
-import "repro/internal/expr"
+import (
+	"sync"
+
+	"repro/internal/expr"
+)
 
 // EventKind tags a trace event.
 type EventKind uint8
@@ -85,29 +89,123 @@ type Event struct {
 type TraceNode struct {
 	parent *TraceNode
 	events []Event
+	// frozen marks interior nodes: once a node has become the fork-parent
+	// of other nodes its events are shared history and its storage must
+	// never be recycled. Leaves owned by exactly one state stay unfrozen.
+	frozen bool
 }
 
-// Append records an event in this node.
+// eventSizeClasses are the pooled event-slice capacities. Growth walks up
+// the ladder so a node's slice is reallocated O(log n) times instead of
+// per-append, and retired slices are reused across executions.
+var eventSizeClasses = [...]int{16, 64, 256, 1024, 4096}
+
+var eventPools [len(eventSizeClasses)]sync.Pool
+
+func init() {
+	for i := range eventPools {
+		n := eventSizeClasses[i]
+		eventPools[i].New = func() any {
+			s := make([]Event, 0, n)
+			return &s
+		}
+	}
+}
+
+// putEvents returns a pool-sized event slice to its size-class pool.
+// Elements are cleared first so retired traces do not pin expressions.
+func putEvents(s []Event) {
+	c := cap(s)
+	for i := range eventSizeClasses {
+		if c == eventSizeClasses[i] {
+			clear(s)
+			s = s[:0]
+			eventPools[i].Put(&s)
+			return
+		}
+	}
+}
+
+// grow moves the node's events to the next size class, recycling the old
+// storage. Beyond the largest class it falls back to plain doubling.
+func (t *TraceNode) grow() {
+	need := 2 * cap(t.events)
+	if need == 0 {
+		need = eventSizeClasses[0]
+	}
+	if need > eventSizeClasses[len(eventSizeClasses)-1] {
+		ns := make([]Event, len(t.events), need)
+		copy(ns, t.events)
+		putEvents(t.events)
+		t.events = ns
+		return
+	}
+	idx := 0
+	for eventSizeClasses[idx] < need {
+		idx++
+	}
+	np := eventPools[idx].Get().(*[]Event)
+	ns := (*np)[:len(t.events)]
+	copy(ns, t.events)
+	putEvents(t.events)
+	t.events = ns
+}
+
+// Append records an event in this node. Appending to a nil node is a
+// no-op: a state running with tracing disabled carries a nil trace, and
+// every recording site stays unchanged.
 func (t *TraceNode) Append(ev Event) {
+	if t == nil {
+		return
+	}
+	if len(t.events) == cap(t.events) {
+		t.grow()
+	}
 	t.events = append(t.events, ev)
 }
 
+// recycle returns the node's event storage to its pool. Frozen (interior)
+// nodes are shared by forked siblings and are left alone.
+func (t *TraceNode) recycle() {
+	if t == nil || t.frozen {
+		return
+	}
+	if cap(t.events) != 0 {
+		putEvents(t.events)
+	}
+	t.events = nil
+	t.parent = nil
+}
+
 // Parent returns the fork-parent node, or nil at the root.
-func (t *TraceNode) Parent() *TraceNode { return t.parent }
+func (t *TraceNode) Parent() *TraceNode {
+	if t == nil {
+		return nil
+	}
+	return t.parent
+}
 
 // Local returns the events recorded in this node only.
-func (t *TraceNode) Local() []Event { return t.events }
+func (t *TraceNode) Local() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
 
 // Path returns the full event sequence from the root to this node,
-// unwinding the chain (the paper's trace reconstruction).
+// unwinding the chain (the paper's trace reconstruction). The result is
+// sized once from Len and filled back-to-front.
 func (t *TraceNode) Path() []Event {
-	var chain []*TraceNode
-	for n := t; n != nil; n = n.parent {
-		chain = append(chain, n)
+	n := t.Len()
+	if n == 0 {
+		return nil
 	}
-	var out []Event
-	for i := len(chain) - 1; i >= 0; i-- {
-		out = append(out, chain[i].events...)
+	out := make([]Event, n)
+	pos := n
+	for node := t; node != nil; node = node.parent {
+		pos -= len(node.events)
+		copy(out[pos:], node.events)
 	}
 	return out
 }
